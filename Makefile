@@ -1,0 +1,26 @@
+# Convenience targets for the FC-DPM reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test bench report export examples all
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+report:
+	$(PYTHON) -m repro.cli report
+
+export:
+	$(PYTHON) -m repro.cli export artifacts/
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f > /dev/null || exit 1; done
+	@echo "all examples ran cleanly"
+
+all: test bench examples

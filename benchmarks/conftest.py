@@ -1,0 +1,33 @@
+"""Benchmark-harness configuration.
+
+Every bench regenerates one table or figure of the paper, prints the
+rows/series the paper reports (visible with ``pytest benchmarks/ -s``,
+and always written to ``benchmarks/out/``), and times the underlying
+computation with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> pathlib.Path:
+    """Directory where benches drop their regenerated tables/series."""
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture
+def emit(out_dir):
+    """Print a report block and mirror it to benchmarks/out/<name>.txt."""
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

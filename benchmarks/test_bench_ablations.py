@@ -1,0 +1,80 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+Not figures of the paper -- these quantify *why* FC-DPM works:
+
+* the efficiency slope ``beta`` is the entire source of the win;
+* storage capacity trades directly against fuel;
+* the predictor choice is second order on the MPEG workload;
+* ASAP-DPM's recharge threshold barely matters.
+"""
+
+from repro.analysis.report import format_table
+from repro.analysis.sweep import (
+    efficiency_slope_sweep,
+    predictor_sweep,
+    recharge_threshold_sweep,
+    storage_capacity_sweep,
+)
+
+
+def test_bench_ablation_efficiency_slope(benchmark, emit):
+    sweep = benchmark.pedantic(efficiency_slope_sweep, rounds=1, iterations=1)
+    rows = [["beta", "FC-DPM saving vs ASAP-DPM (%)"]]
+    for beta, saving in sweep.items():
+        rows.append([f"{beta:.2f}", f"{100 * saving:.1f}"])
+    emit(
+        "ablation_beta",
+        "ABLATION -- fuel saving vs efficiency slope (paper beta = 0.13)\n"
+        + format_table(rows),
+    )
+    assert abs(sweep[0.0]) < 0.02        # no slope, no win
+    assert sweep[0.13] > 0.10            # paper slope: double-digit saving
+    values = list(sweep.values())
+    assert values == sorted(values)      # monotone in beta
+
+
+def test_bench_ablation_storage_capacity(benchmark, emit):
+    sweep = benchmark.pedantic(storage_capacity_sweep, rounds=1, iterations=1)
+    rows = [["Cmax (A-s)", "conv", "asap", "fc-dpm"]]
+    for cap, row in sweep.items():
+        rows.append(
+            [
+                f"{cap:g}",
+                f"{row['conv-dpm']:.3f}",
+                f"{row['asap-dpm']:.3f}",
+                f"{row['fc-dpm']:.3f}",
+            ]
+        )
+    emit(
+        "ablation_storage",
+        "ABLATION -- normalized fuel vs storage capacity "
+        "(paper uses 6 A-s)\n" + format_table(rows),
+    )
+    caps = sorted(sweep)
+    assert sweep[caps[-1]]["fc-dpm"] <= sweep[caps[0]]["fc-dpm"] + 1e-6
+
+
+def test_bench_ablation_predictor(benchmark, emit):
+    sweep = benchmark.pedantic(predictor_sweep, rounds=1, iterations=1)
+    rows = [["idle predictor", "FC-DPM fuel / Conv-DPM"]]
+    for name, value in sorted(sweep.items(), key=lambda kv: kv[1]):
+        rows.append([name, f"{value:.3f}"])
+    emit(
+        "ablation_predictor",
+        "ABLATION -- FC-DPM vs idle-period predictor "
+        "(paper uses the rho=0.5 exponential filter)\n" + format_table(rows),
+    )
+    assert max(sweep.values()) - min(sweep.values()) < 0.05
+
+
+def test_bench_ablation_recharge_threshold(benchmark, emit):
+    sweep = benchmark.pedantic(recharge_threshold_sweep, rounds=1, iterations=1)
+    rows = [["threshold", "ASAP fuel / Conv-DPM"]]
+    for th, value in sweep.items():
+        rows.append([f"{th:.2f}", f"{value:.3f}"])
+    emit(
+        "ablation_recharge",
+        "ABLATION -- ASAP-DPM recharge threshold "
+        "(paper uses half capacity)\n" + format_table(rows),
+    )
+    assert max(sweep.values()) - min(sweep.values()) < 0.10

@@ -1,0 +1,57 @@
+"""Gap decomposition bench: where does FC-DPM's remaining fuel go?
+
+Breaks FC-DPM's distance to the offline optimum into named pieces:
+
+    fuel(FC-DPM)  -  fuel(oracle FC-DPM)   = prediction error
+    fuel(oracle)  -  flat lower bound      = per-slot planning
+"""
+
+from repro.analysis.report import format_table
+from repro.core.manager import PowerManager
+from repro.core.oracle_controller import OracleFCDPMController
+from repro.devices.camcorder import camcorder_device_params
+from repro.fuelcell.efficiency import LinearSystemEfficiency
+from repro.sim.slotsim import SlotSimulator
+from repro.workload.mpeg import generate_mpeg_trace
+
+
+def test_bench_gap_decomposition(benchmark, emit):
+    trace = generate_mpeg_trace(seed=2007)
+    dev = camcorder_device_params()
+    model = LinearSystemEfficiency()
+
+    def run_all():
+        predicted = SlotSimulator(
+            PowerManager.fc_dpm(dev, storage_capacity=6.0, storage_initial=3.0)
+        ).run(trace)
+        oracle_mgr = PowerManager.fc_dpm(
+            dev, storage_capacity=6.0, storage_initial=3.0
+        )
+        oracle_mgr.name = "oracle-fc-dpm"
+        oracle_mgr.controller = OracleFCDPMController(model, trace, device=dev)
+        oracle = SlotSimulator(oracle_mgr).run(trace)
+        avg = predicted.load_charge / predicted.duration
+        bound = model.fc_current(avg) * predicted.duration
+        return predicted.fuel, oracle.fuel, bound
+
+    predicted, oracle, bound = benchmark.pedantic(run_all, rounds=1,
+                                                  iterations=1)
+    rows = [
+        ["stage", "fuel (A-s)", "gap vs bound (%)"],
+        ["offline flat lower bound", f"{bound:.1f}", "0.0"],
+        ["oracle FC-DPM (true slots)", f"{oracle:.1f}",
+         f"{100 * (oracle / bound - 1):.1f}"],
+        ["FC-DPM (predicted slots)", f"{predicted:.1f}",
+         f"{100 * (predicted / bound - 1):.1f}"],
+    ]
+    emit(
+        "decomposition",
+        "GAP DECOMPOSITION -- FC-DPM's distance to the offline optimum\n"
+        + format_table(rows)
+        + "\nreading: per-slot planning (the Cend = Cini stability rule) "
+        "costs a few percent; prediction error costs almost nothing on "
+        "this workload -- the paper's design allocates its complexity "
+        "exactly where it pays.",
+    )
+    assert bound <= oracle <= predicted + 1e-6
+    assert predicted / bound < 1.10

@@ -1,0 +1,27 @@
+"""Fig. 2 bench: FC stack voltage & power versus stack current."""
+
+from repro.analysis.figures import fig2_stack_iv_curve
+from repro.analysis.report import ascii_plot, format_series
+
+
+def test_bench_fig2_stack_iv_curve(benchmark, emit):
+    data = benchmark(fig2_stack_iv_curve)
+
+    report = "\n".join(
+        [
+            "FIG 2 -- BCS 20 W stack output characteristics",
+            "paper anchors: Vo = 18.2 V, max power ~20 W, falling V(I)",
+            format_series("Vfc (V) vs Ifc (A)", data["current"], data["voltage"]),
+            format_series("P (W) vs Ifc (A)", data["current"], data["power"]),
+            f"measured: Voc = {data['voltage'][0]:.2f} V, "
+            f"MPP = {float(data['p_mpp']):.2f} W @ {float(data['i_mpp']):.3f} A",
+            ascii_plot(data["current"], data["voltage"],
+                       title="Vfc vs Ifc", y_label="V"),
+            ascii_plot(data["current"], data["power"],
+                       title="P vs Ifc", y_label="W"),
+        ]
+    )
+    emit("fig2", report)
+
+    assert data["voltage"][0] == float(f"{data['voltage'][0]:.6g}")
+    assert 19.0 < float(data["p_mpp"]) < 21.0

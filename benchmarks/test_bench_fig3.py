@@ -1,0 +1,35 @@
+"""Fig. 3 bench: stack & system efficiency versus system output current."""
+
+import numpy as np
+
+from repro.analysis.figures import fig3_efficiency_curves
+from repro.analysis.report import ascii_plot, format_series
+
+
+def test_bench_fig3_efficiency_curves(benchmark, emit):
+    data = benchmark(fig3_efficiency_curves)
+
+    i = data["current"]
+    in_range = (i >= 0.1) & (i <= 1.2)
+    fit_err = float(
+        np.max(np.abs(data["proportional"][in_range] - data["linear_fit"][in_range]))
+    )
+    report = "\n".join(
+        [
+            "FIG 3 -- efficiency vs FC system output current IF",
+            "paper: (a) stack > (b) variable-speed fan > (c) on-off fan at light load;",
+            "       (b) calibrates to eta_s = 0.45 - 0.13*IF over [0.1, 1.2] A",
+            format_series("(a) stack", i, data["stack"]),
+            format_series("(b) proportional fan (PWM-PFM)", i, data["proportional"]),
+            format_series("(c) on-off fan (PWM)", i, data["onoff"]),
+            format_series("paper linear fit", i, data["linear_fit"]),
+            f"max |(b) - linear fit| over the load-following range: {fit_err:.4f}",
+            ascii_plot(i, data["proportional"],
+                       title="(b) system efficiency, variable-speed fan"),
+        ]
+    )
+    emit("fig3", report)
+
+    assert fit_err < 0.05
+    light = i < 0.4
+    assert np.all(data["proportional"][light] > data["onoff"][light])

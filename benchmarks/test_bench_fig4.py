@@ -1,0 +1,31 @@
+"""Fig. 4 / Section 3.2 bench: the motivational single-slot example."""
+
+from repro.analysis.figures import fig4_motivational
+from repro.analysis.report import format_table
+
+
+def test_bench_fig4_motivational(benchmark, emit):
+    result = benchmark(fig4_motivational)
+    paper_reading = fig4_motivational(conv_uses_paper_ifc=True)
+
+    rows = [
+        ["setting", "fuel (A-s)", "paper (A-s)"],
+        ["(a) conv-dpm (Eq.4 Ifc=1.306)", f"{result.fuel['conv-dpm']:.2f}", "36*"],
+        ["(b) asap-dpm", f"{result.fuel['asap-dpm']:.2f}", "16"],
+        ["(c) fc-dpm", f"{result.fuel['fc-dpm']:.2f}", "13.45"],
+    ]
+    report = "\n".join(
+        [
+            "FIG 4 / SEC 3.2 -- three FC output settings for one task slot",
+            "slot: Ti=20 s @0.2 A, Ta=10 s @1.2 A, Cmax=200 A-s",
+            format_table(rows),
+            "(*) the paper's 36 A-s uses Ifc = IF = 1.2 A; Eq. (4) gives 39.18.",
+            f"fc vs asap saving: {100 * result.fc_vs_asap_saving:.1f}% (paper 15.9%)",
+            f"fc vs conv saving (paper reading): "
+            f"{100 * paper_reading.fc_vs_conv_saving:.1f}% (paper 62.6%)",
+        ]
+    )
+    emit("fig4", report)
+
+    assert abs(result.fuel["fc-dpm"] - 13.45) < 0.01
+    assert abs(result.fuel["asap-dpm"] - 16.08) < 0.02

@@ -1,0 +1,36 @@
+"""Fig. 7 bench: Experiment-1 current profiles over the first 300 s."""
+
+import numpy as np
+
+from repro.analysis.figures import fig7_current_profiles
+from repro.analysis.report import ascii_plot
+
+
+def _mids(times, values):
+    return [(times[i] + times[i + 1]) / 2 for i in range(len(values))]
+
+
+def test_bench_fig7_current_profiles(benchmark, emit):
+    profiles = benchmark.pedantic(fig7_current_profiles, rounds=1, iterations=1)
+
+    blocks = [
+        "FIG 7 -- current profiles, first 300 s of Experiment 1",
+        "paper: (a) load, (b) ASAP-DPM follows the load, (c) FC-DPM is flat",
+    ]
+    stats = {}
+    for key, title in (
+        ("load", "(a) embedded-system load current Ild"),
+        ("asap-dpm", "(b) FC system output IF under ASAP-DPM"),
+        ("fc-dpm", "(c) FC system output IF under FC-DPM"),
+    ):
+        times, values = profiles[key]
+        stats[key] = float(np.std(values))
+        blocks.append(ascii_plot(_mids(times, values), values,
+                                 title=title, y_label="A"))
+    blocks.append(
+        "std(IF): asap=%.3f A, fc-dpm=%.3f A (flatness is the paper's point)"
+        % (stats["asap-dpm"], stats["fc-dpm"])
+    )
+    emit("fig7", "\n".join(blocks))
+
+    assert stats["fc-dpm"] < 0.5 * stats["asap-dpm"]

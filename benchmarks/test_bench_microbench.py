@@ -1,0 +1,52 @@
+"""Micro-benchmarks of the hot paths (throughput numbers for the README).
+
+These are conventional performance benches: the closed-form slot solver
+must stay in the microsecond range (it runs once per task slot online),
+and a full 28-minute trace simulation must remain interactive.
+"""
+
+from repro.core.manager import PowerManager
+from repro.core.optimizer import solve_slot
+from repro.core.setting import SlotProblem
+from repro.devices.camcorder import camcorder_device_params
+from repro.fuelcell.efficiency import LinearSystemEfficiency
+from repro.sim.slotsim import SlotSimulator
+from repro.workload.mpeg import generate_mpeg_trace
+
+MODEL = LinearSystemEfficiency()
+PROBLEM = SlotProblem(
+    t_idle=12.0, t_active=3.0, i_idle=0.2, i_active=1.22,
+    c_ini=3.0, c_end=3.0, c_max=6.0, sleeping=True,
+    t_wu=0.5, t_pd=0.5, i_wu=0.4, i_pd=0.4,
+)
+
+
+def test_bench_solve_slot_closed_form(benchmark):
+    """One online FC-DPM decision (must be trivially cheap)."""
+    solution = benchmark(solve_slot, PROBLEM, MODEL)
+    assert solution.fuel > 0
+
+
+def test_bench_fuel_map_evaluation(benchmark):
+    """A single Eq. 4 evaluation."""
+    value = benchmark(MODEL.fc_current, 0.5333)
+    assert abs(value - 0.448) < 1e-3
+
+
+def test_bench_trace_generation(benchmark):
+    """28-minute MPEG trace synthesis."""
+    trace = benchmark(generate_mpeg_trace)
+    assert len(trace) > 50
+
+
+def test_bench_full_simulation_fc_dpm(benchmark):
+    """End-to-end FC-DPM simulation of the 28-minute trace."""
+    trace = generate_mpeg_trace()
+    dev = camcorder_device_params()
+
+    def run():
+        mgr = PowerManager.fc_dpm(dev, storage_capacity=6.0, storage_initial=3.0)
+        return SlotSimulator(mgr).run(trace)
+
+    result = benchmark(run)
+    assert result.fuel > 0

@@ -1,0 +1,54 @@
+"""Section-2.2 bench: hybridization lets the stack shrink to the average."""
+
+from repro.analysis.report import format_table
+from repro.devices.camcorder import camcorder_device_params
+from repro.fuelcell.purge import calibrated_purge_model, ideal_zeta
+from repro.fuelcell.sizing import downsizing_curve
+from repro.workload.mpeg import generate_mpeg_trace
+
+
+def test_bench_stack_downsizing(benchmark, emit):
+    trace = generate_mpeg_trace(duration_s=600.0, seed=5)
+    device = camcorder_device_params()
+    curve = benchmark.pedantic(
+        downsizing_curve, args=(trace, device), rounds=1, iterations=1
+    )
+
+    rows = [["storage (A-s)", "required IF_max (A)", "downsizing factor"]]
+    for cap, r in curve.items():
+        rows.append([f"{cap:g}", f"{r.hybrid_if_max:.3f}",
+                     f"x{r.downsizing_factor:.2f}"])
+    any_r = next(iter(curve.values()))
+    emit(
+        "sizing",
+        "SECTION 2.2 -- minimum FC output vs storage buffer\n"
+        + format_table(rows)
+        + f"\npeak load {any_r.peak_current:.3f} A, "
+        f"average {any_r.average_current:.3f} A: the paper's 6 A-s "
+        "supercap already buys a >2x smaller stack.",
+    )
+    assert curve[0.0].downsizing_factor == 1.0
+    assert curve[6.0].downsizing_factor > 2.0
+
+
+def test_bench_purge_explains_measured_zeta(benchmark, emit):
+    purge = benchmark(calibrated_purge_model)
+    emit(
+        "purge",
+        "FUEL ACCOUNTING -- why measured zeta (37.5 W/A) exceeds "
+        "thermodynamics\n"
+        + format_table(
+            [
+                ["quantity", "value"],
+                ["thermodynamic floor (20 cells)", f"{ideal_zeta(20):.2f} W/A"],
+                ["paper's measured zeta", "37.5 W/A"],
+                ["implied H2 utilization", f"{100 * purge.utilization:.1f} %"],
+                ["implied vent per purge",
+                 f"{purge.purge_loss_charge:.1f} A-s-equivalent"],
+            ]
+        )
+        + "\nreading: a dead-ended anode purging ~1/3 of its feed is the "
+        "standard small-stack regime; the paper's zeta is physically "
+        "consistent.",
+    )
+    assert 0.6 < purge.utilization < 0.7

@@ -1,0 +1,27 @@
+"""Table 2 bench: Experiment 1 (28-min MPEG camcorder trace)."""
+
+from repro.analysis.report import format_table
+from repro.analysis.tables import table2
+
+
+def test_bench_table2_experiment1(benchmark, emit):
+    result = benchmark.pedantic(table2, rounds=1, iterations=1)
+
+    report = "\n".join(
+        [
+            "TABLE 2 -- normalized fuel consumption, Experiment 1",
+            "28-min synthetic MPEG encode/write trace, DVD camcorder,",
+            "1 F supercap (6 A-s), rho = 0.5",
+            format_table(result.rows()),
+            f"FC-DPM saves {100 * result.fc_vs_asap_saving:.1f}% fuel vs "
+            f"ASAP-DPM (paper: 24.4%)",
+            f"lifetime extension vs ASAP-DPM: x{result.fc_vs_asap_lifetime:.2f} "
+            f"(paper: x1.32)",
+        ]
+    )
+    emit("table2", report)
+
+    n = result.normalized
+    assert n["fc-dpm"] < n["asap-dpm"] < n["conv-dpm"]
+    assert abs(n["asap-dpm"] - 0.408) < 0.06
+    assert abs(n["fc-dpm"] - 0.308) < 0.06

@@ -1,0 +1,25 @@
+"""Table 3 bench: Experiment 2 (randomized synthetic workload)."""
+
+from repro.analysis.report import format_table
+from repro.analysis.tables import table3
+
+
+def test_bench_table3_experiment2(benchmark, emit):
+    result = benchmark.pedantic(table3, rounds=1, iterations=1)
+
+    report = "\n".join(
+        [
+            "TABLE 3 -- normalized fuel consumption, Experiment 2",
+            "idle U[5,25] s, active U[2,4] s, P_active U[12,16] W,",
+            "tauPD = tauWU = 1 s @1.2 A, Tbe = 10 s, rho = sigma = 0.5",
+            format_table(result.rows()),
+            f"FC-DPM saves {100 * result.fc_vs_asap_saving:.1f}% fuel vs "
+            f"ASAP-DPM (paper: 15.5%)",
+        ]
+    )
+    emit("table3", report)
+
+    n = result.normalized
+    assert n["fc-dpm"] < n["asap-dpm"] < n["conv-dpm"]
+    assert abs(n["asap-dpm"] - 0.491) < 0.08
+    assert abs(n["fc-dpm"] - 0.415) < 0.08

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Experiment 1: the DVD camcorder MPEG encode/write session (Table 2, Fig 7).
+
+Generates the 28-minute synthetic MPEG trace, runs the three power
+managers over the paper's hybrid source (BCS 20 W stack model + 1 F
+supercap), prints the Table-2 comparison, and renders the Fig-7 current
+profiles as ASCII art.
+
+Run:  python examples/camcorder_experiment.py [seed]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import PowerManager, camcorder_device_params, generate_mpeg_trace
+from repro.analysis.report import ascii_plot, format_table
+from repro.sim import SlotSimulator, compare
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 2007
+    trace = generate_mpeg_trace(seed=seed)
+    idles = [s.t_idle for s in trace]
+    print(f"trace: {len(trace)} task slots over {trace.duration / 60:.1f} min, "
+          f"idle {min(idles):.1f}-{max(idles):.1f} s "
+          f"(paper: 8-20 s), active {trace.mean_active():.2f} s")
+
+    dev = camcorder_device_params()
+    managers = [
+        PowerManager.conv_dpm(dev, storage_capacity=6.0, storage_initial=3.0),
+        PowerManager.asap_dpm(dev, storage_capacity=6.0, storage_initial=3.0),
+        PowerManager.fc_dpm(dev, storage_capacity=6.0, storage_initial=3.0),
+    ]
+    results = {
+        mgr.name: SlotSimulator(mgr, record=True).run(trace) for mgr in managers
+    }
+
+    # --- Table 2 ----------------------------------------------------------
+    table = compare([r.metrics for r in results.values()])
+    paper = {"conv-dpm": 1.0, "asap-dpm": 0.408, "fc-dpm": 0.308}
+    rows = [["policy", "fuel (A-s)", "normalized", "paper"]]
+    for name, r in results.items():
+        rows.append(
+            [name, f"{r.fuel:.1f}", f"{100 * table[name]:.1f}%",
+             f"{100 * paper[name]:.1f}%"]
+        )
+    print()
+    print(format_table(rows, title="Table 2 -- normalized fuel consumption"))
+
+    saving = 1 - results["fc-dpm"].fuel / results["asap-dpm"].fuel
+    lifetime = results["asap-dpm"].fuel / results["fc-dpm"].fuel
+    print(f"\nfc-dpm saves {100 * saving:.1f}% fuel vs asap-dpm "
+          f"-> lifetime x{lifetime:.2f} (paper: 24.4% / x1.32)")
+
+    # --- Fig 7 ------------------------------------------------------------
+    print("\nFig 7 -- current profiles, first 300 s")
+    for key, field, title in (
+        ("asap-dpm", "i_load", "(a) load current Ild (A)"),
+        ("asap-dpm", "i_f", "(b) FC output IF under asap-dpm (A)"),
+        ("fc-dpm", "i_f", "(c) FC output IF under fc-dpm (A)"),
+    ):
+        grid, values = results[key].recorder.resample(field, dt=1.0, t_max=300.0)
+        print()
+        print(ascii_plot(grid, values, title=title, height=10))
+
+    flat_asap = np.std(results["asap-dpm"].recorder.resample("i_f", 1.0)[1])
+    flat_fc = np.std(results["fc-dpm"].recorder.resample("i_f", 1.0)[1])
+    print(f"\nstd(IF): asap-dpm {flat_asap:.3f} A vs fc-dpm {flat_fc:.3f} A "
+          "-- the flat profile is what saves the fuel")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""FC-aware DVS: the prior work the paper builds on (refs [10], [11]).
+
+Races four speed policies over an MPEG frame workload on the hybrid
+source, then shows the one regime where minimizing *device* energy and
+minimizing *fuel* genuinely disagree: a leakage-dominated CPU whose
+race-to-idle schedule exceeds what the FC plus a tiny buffer can carry.
+
+Run:  python examples/fc_aware_dvs.py
+"""
+
+from repro.analysis.report import format_table
+from repro.core.multilevel import default_levels
+from repro.dvs import (
+    CPULevel,
+    CPUModel,
+    DVSSimulator,
+    EnergyMinimalDVS,
+    FuelAwareDVS,
+    JointLevelDVS,
+    NoDVSPolicy,
+)
+from repro.dvs.tasks import Frame, FrameTaskSet, mpeg_frames
+from repro.fuelcell.efficiency import LinearSystemEfficiency
+
+
+def race_policies() -> None:
+    cpu = CPUModel.xscale_like()
+    model = LinearSystemEfficiency()
+    frames = mpeg_frames(n_frames=150, seed=7)
+
+    rows = [["policy", "fuel (A-s)", "device charge (A-s)", "mean f (GHz)"]]
+    for name, policy in (
+        ("no-dvs (race-to-idle)", NoDVSPolicy(cpu)),
+        ("energy-minimal dvs", EnergyMinimalDVS(cpu)),
+        ("fuel-aware dvs [10]", FuelAwareDVS(cpu, model)),
+        ("joint 8-level dvs [11]", JointLevelDVS(cpu, model,
+                                                 default_levels(model, 8))),
+    ):
+        r = DVSSimulator(policy, model, name=name).run(frames)
+        rows.append([name, f"{r.fuel:.2f}", f"{r.device_charge:.2f}",
+                     f"{r.mean_frequency:.2f}"])
+    print(format_table(rows, title="DVS policies on the FC hybrid source"))
+    print()
+
+
+def show_divergence() -> None:
+    """Energy-min picks race-to-idle; fuel-aware must back off."""
+    model = LinearSystemEfficiency()
+    leaky_cpu = CPUModel(
+        levels=[CPULevel(0.4, 1.0), CPULevel(1.0, 1.8)],
+        c_eff=2.8,
+        leakage_per_volt=7.0,   # leakage-dominated: fast-then-idle wins
+        p_platform=2.0,
+        p_idle=0.5,
+    )
+    frame = Frame(cycles=0.4, deadline=1.0)
+    frames = FrameTaskSet([frame] * 50, name="leaky")
+
+    rows = [["policy", "chosen f (GHz)", "fuel (A-s)", "device charge (A-s)"]]
+    for name, policy in (
+        ("energy-minimal", EnergyMinimalDVS(leaky_cpu)),
+        ("fuel-aware", FuelAwareDVS(leaky_cpu, model)),
+    ):
+        sim = DVSSimulator(policy, model, storage_capacity=0.2,
+                           storage_initial=0.1, name=name)
+        try:
+            r = sim.run(frames)
+            rows.append([name, f"{r.mean_frequency:.2f}", f"{r.fuel:.2f}",
+                         f"{r.device_charge:.2f}"])
+        except Exception as exc:
+            rows.append([name, "-", f"FAILS: {type(exc).__name__}", "-"])
+    print(format_table(
+        rows,
+        title="leakage-dominated CPU + 0.2 A-s buffer: energy-min vs fuel-min",
+    ))
+    print("\nreading: the ~2 A race-to-idle peak exceeds IF_max + buffer, so")
+    print("the device-energy winner browns the system out; the fuel-aware")
+    print("policy backs off to 0.4 GHz -- the prior work's core message that")
+    print("minimum device energy is NOT minimum fuel.")
+
+
+def main() -> None:
+    race_policies()
+    show_divergence()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Heavy-tailed workloads: where the paper's FC-DPM needs a guard.
+
+The paper evaluates FC-DPM on workloads whose idle periods span 8-20 s;
+its policy retargets the FC only at power-state transitions.  On a WLAN
+interface serving interactive traffic (session gaps of minutes), a
+10x-underpredicted idle leaves the FC over-delivering into a full
+storage: the surplus burns in the bleeder and FC-DPM loses to plain
+load-following.
+
+This example reproduces the failure and the fix -- periodic re-decision
+points (``max_segment``) plus the controller's storage-saturation guard
+-- and shows the paper's original experiments are untouched by either.
+
+Run:  python examples/heavy_tail_robustness.py
+"""
+
+from repro.analysis.report import format_table
+from repro.core.manager import PowerManager
+from repro.devices.camcorder import camcorder_device_params
+from repro.sim import SlotSimulator
+from repro.workload import generate_mpeg_trace
+from repro.workload.wlan import generate_wlan_trace
+
+
+def run_policies(trace, max_segment):
+    dev = camcorder_device_params()
+    out = {}
+    for maker in (PowerManager.conv_dpm, PowerManager.asap_dpm,
+                  PowerManager.fc_dpm):
+        mgr = maker(dev, storage_capacity=6.0, storage_initial=3.0)
+        out[mgr.name] = SlotSimulator(mgr, max_segment=max_segment).run(trace)
+    return out
+
+
+def show(title, results):
+    rows = [["policy", "fuel (A-s)", "bled (A-s)"]]
+    for name, r in results.items():
+        rows.append([name, f"{r.fuel:.1f}", f"{r.bled:.1f}"])
+    print(format_table(rows, title=title))
+    print()
+
+
+def main() -> None:
+    wlan = generate_wlan_trace(duration_s=1200.0, seed=5)
+    idles = sorted(s.t_idle for s in wlan)
+    print(f"WLAN trace: {len(wlan)} slots, idle median {idles[len(idles)//2]:.1f} s, "
+          f"max {idles[-1]:.0f} s (heavy-tailed)\n")
+
+    show("WLAN, paper-faithful (retarget only at transitions)",
+         run_policies(wlan, max_segment=None))
+    show("WLAN, with 5 s re-decision points + saturation guard",
+         run_policies(wlan, max_segment=5.0))
+
+    mpeg = generate_mpeg_trace()
+    show("paper's MPEG trace, paper-faithful", run_policies(mpeg, None))
+    show("paper's MPEG trace, with re-decision points",
+         run_policies(mpeg, 5.0))
+
+    print("reading: on the paper's own workload the guard is inert; on")
+    print("heavy tails it is the difference between losing and beating")
+    print("ASAP-DPM. Online FC control should re-check the storage on a")
+    print("timescale comparable to the break-even time, not only at")
+    print("power-state transitions.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Multi-device DPM: task ordering decides how much devices can sleep.
+
+Implements the scenario of Lu, Benini & De Micheli (paper ref [7]): a
+system with a disk and a network interface executes a batch of tasks,
+each needing one (or both) of the devices.  Interleaved execution
+fragments every device's idle time into un-sleepable slivers; clustering
+tasks by device consolidates the idle into long sleepable gaps.
+
+Run:  python examples/multi_device_scheduling.py
+"""
+
+from repro.analysis.report import format_table
+from repro.devices import (
+    DeviceParams,
+    MultiDeviceTask,
+    cluster_order,
+    compare_orderings,
+)
+
+
+def make_device(t_pd: float, t_wu: float) -> DeviceParams:
+    """A disk-like device: heavy spin-down/up, deep sleep."""
+    return DeviceParams(
+        i_run=1.0, i_sdb=0.4, i_slp=0.05,
+        t_pd=t_pd, t_wu=t_wu, i_pd=0.4, i_wu=0.4,
+    )
+
+
+def main() -> None:
+    devices = {
+        "disk": make_device(t_pd=2.0, t_wu=2.0),
+        "net": make_device(t_pd=1.0, t_wu=1.0),
+    }
+
+    # A media-sync batch: alternating disk reads and network transfers,
+    # plus two tasks that hold both devices.
+    tasks = []
+    for k in range(5):
+        tasks.append(MultiDeviceTask(f"read{k}", 3.0, frozenset({"disk"})))
+        tasks.append(MultiDeviceTask(f"send{k}", 3.0, frozenset({"net"})))
+    tasks.append(MultiDeviceTask("verify0", 4.0, frozenset({"disk", "net"})))
+    tasks.append(MultiDeviceTask("verify1", 4.0, frozenset({"disk", "net"})))
+
+    results = compare_orderings(tasks, devices)
+
+    print("execution orders:")
+    print("  fifo     :", " ".join(results["fifo"].order))
+    print("  clustered:", " ".join(t.name for t in cluster_order(tasks)))
+    print()
+
+    rows = [["ordering", "device", "idle gaps", "sleeps", "charge (A-s)"]]
+    for name, ev in results.items():
+        for dev_name, usage in ev.per_device.items():
+            rows.append(
+                [name, dev_name, str(usage.n_idle_gaps), str(usage.n_sleeps),
+                 f"{usage.charge:.2f}"]
+            )
+    print(format_table(rows, title="per-device outcome"))
+
+    fifo = results["fifo"].total_charge
+    clustered = results["clustered"].total_charge
+    print(f"\ntotal charge: fifo {fifo:.2f} A-s, clustered {clustered:.2f} A-s")
+    print(f"clustering saves {100 * (1 - clustered / fifo):.1f}% device charge")
+    print("\nreading: idle aggregation is the device-side dual of the FC's")
+    print("flat-output rule -- both reshape *when* power is drawn without")
+    print("changing the work done.")
+
+
+if __name__ == "__main__":
+    main()

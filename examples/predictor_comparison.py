@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Predictor bake-off: how much does better idle prediction buy FC-DPM?
+
+The paper builds on the simplest exponential-average predictor [ref 1]
+and notes any DPM policy plugs in.  This example races four predictors
+(exponential, last-value, AR regression, learning tree) on two
+workloads -- the scene-correlated MPEG trace and a heavy-tailed Pareto
+workload -- reporting both prediction accuracy and the fuel it costs.
+
+Run:  python examples/predictor_comparison.py
+"""
+
+from repro import PowerManager, camcorder_device_params
+from repro.analysis.report import format_table
+from repro.core.fc_dpm import FCDPMController
+from repro.dpm.predictive import PredictiveShutdownPolicy
+from repro.fuelcell.efficiency import LinearSystemEfficiency
+from repro.prediction import (
+    ExponentialAveragePredictor,
+    LastValuePredictor,
+    LearningTreePredictor,
+    RegressionPredictor,
+)
+from repro.sim import SlotSimulator
+from repro.workload import generate_mpeg_trace, pareto_slots
+
+PREDICTORS = {
+    "exponential(0.5)": lambda: ExponentialAveragePredictor(factor=0.5),
+    "last-value": lambda: LastValuePredictor(initial=10.0),
+    "regression(AR2)": lambda: RegressionPredictor(order=2, window=24),
+    "learning-tree": lambda: LearningTreePredictor(
+        bin_edges=[6.0, 9.0, 12.0, 15.0, 18.0, 24.0], depth=2, initial=12.0
+    ),
+}
+
+
+def build_manager(name: str, factory) -> PowerManager:
+    dev = camcorder_device_params()
+    model = LinearSystemEfficiency()
+    predictor = factory()
+    mgr = PowerManager.fc_dpm(dev, storage_capacity=6.0, storage_initial=3.0)
+    mgr.name = name
+    mgr.policy = PredictiveShutdownPolicy(dev, predictor)
+    controller = FCDPMController(
+        model,
+        active_length_predictor=ExponentialAveragePredictor(factor=0.5),
+        idle_length_predictor=predictor,
+        device=dev,
+    )
+    controller.observes_idle = False
+    mgr.controller = controller
+    return mgr
+
+
+def race(trace, label: str) -> None:
+    rows = [["predictor", "fuel (A-s)", "idle MAE (s)", "sleep rate"]]
+    for name, factory in PREDICTORS.items():
+        mgr = build_manager(name, factory)
+        result = SlotSimulator(mgr).run(trace)
+        mae = mgr.policy.predictor.mean_absolute_error
+        rows.append(
+            [
+                name,
+                f"{result.fuel:.1f}",
+                f"{mae:.2f}",
+                f"{mgr.policy.sleep_rate:.2f}",
+            ]
+        )
+    print(format_table(rows, title=f"workload: {label}"))
+    print()
+
+
+def main() -> None:
+    race(generate_mpeg_trace(), "28-min MPEG trace (scene-correlated idles)")
+    race(
+        pareto_slots(
+            n_slots=150, idle_scale=6.0, idle_shape=1.6, t_active=3.0,
+            i_active=1.2, idle_cap=120.0, seed=42,
+        ),
+        "heavy-tailed Pareto idles (stresses the filter)",
+    )
+    print("reading: on the smooth MPEG workload the predictor barely matters;")
+    print("heavy tails reward pattern-aware predictors -- but the fuel gap")
+    print("stays small because FC-DPM re-plans at every active-period start.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Design-space study: sizing the charge storage for a target lifetime.
+
+The paper motivates hybrid sources by noting the FC can be sized for the
+*average* load once a buffer absorbs the peaks (Section 2.2).  This
+example turns that argument into numbers: for the camcorder workload it
+sweeps the storage capacity, runs FC-DPM, and reports fuel, lifetime on
+a fixed hydrogen cartridge, and how often the capacity constraint binds
+in the optimizer.
+
+Run:  python examples/sizing_study.py
+"""
+
+from repro import PowerManager, camcorder_device_params, generate_mpeg_trace
+from repro.analysis.report import format_table
+from repro.fuelcell.fuel import GibbsFuelModel
+from repro.sim import SlotSimulator
+
+
+#: A small hydrogen cartridge: 10 normal liters ~ 0.446 mol ~ 28 W-h Gibbs.
+CARTRIDGE_NL = 10.0
+
+
+def cartridge_capacity_as() -> float:
+    """Stack charge (A-s) one cartridge sustains, via the Gibbs model."""
+    model = GibbsFuelModel(zeta=37.5)
+    # Invert norm_liters(charge): charge = NL / 22.414 * dG / zeta.
+    import repro.units as units
+
+    return CARTRIDGE_NL / 22.414 * units.GIBBS_ENERGY_H2_HHV / model.zeta
+
+
+def main() -> None:
+    trace = generate_mpeg_trace()
+    dev = camcorder_device_params()
+    tank = cartridge_capacity_as()
+    print(f"workload: {trace.duration / 60:.1f} min of MPEG encode/write")
+    print(f"cartridge: {CARTRIDGE_NL:g} NL H2 = {tank:.0f} A-s of stack charge\n")
+
+    rows = [["Cmax (A-s)", "fuel (A-s)", "lifetime (h)", "capacity-limited slots"]]
+    for capacity in (1.0, 2.0, 4.0, 6.0, 12.0, 24.0, 60.0):
+        mgr = PowerManager.fc_dpm(
+            dev, storage_capacity=capacity, storage_initial=capacity / 2
+        )
+        result = SlotSimulator(mgr).run(trace)
+        limited = sum(s.capacity_limited for s in mgr.controller.solutions)
+        lifetime_h = result.metrics.lifetime(tank) / 3600.0
+        rows.append(
+            [
+                f"{capacity:g}",
+                f"{result.fuel:.1f}",
+                f"{lifetime_h:.2f}",
+                f"{limited}/{len(mgr.controller.solutions)}",
+            ]
+        )
+    print(format_table(rows, title="FC-DPM vs storage capacity"))
+    print("\nreading: past ~6 A-s (the paper's 1 F supercap) extra capacity "
+          "buys little -- the optimizer stops hitting the Cmax constraint.")
+
+    # -- Section 2.2: how much smaller can the stack itself be? ----------
+    from repro.fuelcell.sizing import downsizing_curve
+
+    curve = downsizing_curve(trace, dev, capacities=(0.0, 2.0, 6.0, 24.0))
+    rows = [["Cmax (A-s)", "required IF_max (A)", "stack downsizing"]]
+    for capacity, r in curve.items():
+        rows.append([f"{capacity:g}", f"{r.hybrid_if_max:.3f}",
+                     f"x{r.downsizing_factor:.2f}"])
+    print()
+    print(format_table(
+        rows, title="Section 2.2 -- minimum FC output vs storage buffer"
+    ))
+    print("\nreading: a stand-alone FC must cover the 1.22 A peak; the "
+          "paper's 6 A-s buffer lets a stack less than half that size "
+          "carry the same workload.")
+
+
+if __name__ == "__main__":
+    main()

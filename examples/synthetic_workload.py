@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Experiment 2: the randomized workload with heavy sleep overheads (Table 3).
+
+Idle U[5, 25] s, active U[2, 4] s, active power U[12, 16] W; SLEEP
+transitions cost 1 s at 1.2 A each way, so the break-even time is 10 s
+and the predictive policy must actually *skip* short idles.  The future
+active current is estimated as the constant 1.2 A, as in the paper.
+
+Also demonstrates running the same configuration across many seeds to
+report confidence intervals -- something the paper does not do.
+
+Run:  python examples/synthetic_workload.py [n_seeds]
+"""
+
+import statistics
+import sys
+
+from repro import PowerManager, experiment2_trace, randomized_device_params
+from repro.analysis.report import format_table
+from repro.sim import simulate_policies
+
+
+def run_once(seed: int) -> dict[str, float]:
+    trace = experiment2_trace(seed=seed)
+    dev = randomized_device_params()
+    managers = [
+        PowerManager.conv_dpm(dev, storage_capacity=6.0, storage_initial=3.0),
+        PowerManager.asap_dpm(dev, storage_capacity=6.0, storage_initial=3.0),
+        PowerManager.fc_dpm(
+            dev, storage_capacity=6.0, storage_initial=3.0,
+            active_current_estimate=1.2,
+        ),
+    ]
+    results = simulate_policies(trace, managers)
+    conv = results["conv-dpm"].fuel
+    return {name: r.fuel / conv for name, r in results.items()}
+
+
+def main() -> None:
+    n_seeds = int(sys.argv[1]) if len(sys.argv) > 1 else 10
+    runs = [run_once(seed) for seed in range(n_seeds)]
+
+    paper = {"conv-dpm": 1.0, "asap-dpm": 0.491, "fc-dpm": 0.415}
+    rows = [["policy", "mean normalized fuel", "stdev", "paper"]]
+    for name in ("conv-dpm", "asap-dpm", "fc-dpm"):
+        values = [r[name] for r in runs]
+        mean = statistics.fmean(values)
+        sd = statistics.stdev(values) if len(values) > 1 else 0.0
+        rows.append(
+            [name, f"{100 * mean:.1f}%", f"{100 * sd:.1f}",
+             f"{100 * paper[name]:.1f}%"]
+        )
+    print(format_table(
+        rows, title=f"Table 3 -- Experiment 2 over {n_seeds} seeds"
+    ))
+
+    savings = [1 - r["fc-dpm"] / r["asap-dpm"] for r in runs]
+    print(f"\nfc-dpm saving vs asap-dpm: "
+          f"{100 * statistics.fmean(savings):.1f}% mean "
+          f"(min {100 * min(savings):.1f}%, max {100 * max(savings):.1f}%; "
+          "paper: 15.5%)")
+    print("note: the saving is smaller than Experiment 1's, as the paper "
+          "explains -- higher average currents leave less efficiency contrast.")
+
+
+if __name__ == "__main__":
+    main()

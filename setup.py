@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+All metadata lives in pyproject.toml; this file only enables
+``pip install -e .`` on environments without the ``wheel`` package
+(pip falls back to ``setup.py develop`` when no [build-system] table is
+declared).
+"""
+
+from setuptools import setup
+
+setup()

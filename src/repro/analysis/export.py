@@ -1,0 +1,116 @@
+"""Export every regenerated figure/table as CSV for external plotting.
+
+``fcdpm export <directory>`` (or :func:`export_all`) writes one CSV per
+paper artifact so any plotting tool can re-render the figures without
+touching Python.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+
+from ..errors import ConfigurationError
+from .figures import (
+    fig2_stack_iv_curve,
+    fig3_efficiency_curves,
+    fig4_motivational,
+    fig7_current_profiles,
+)
+from .tables import table2, table3
+
+
+def _write_csv(path: pathlib.Path, header: list[str], rows) -> None:
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(header)
+    for row in rows:
+        writer.writerow(row)
+    path.write_text(buf.getvalue())
+
+
+def export_fig2(directory: pathlib.Path) -> pathlib.Path:
+    """Fig 2 series: current, voltage, power."""
+    data = fig2_stack_iv_curve()
+    path = directory / "fig2_stack_iv.csv"
+    _write_csv(
+        path,
+        ["i_fc_a", "v_fc_v", "p_w"],
+        zip(data["current"], data["voltage"], data["power"]),
+    )
+    return path
+
+
+def export_fig3(directory: pathlib.Path) -> pathlib.Path:
+    """Fig 3 series: the three efficiency curves plus the linear fit."""
+    data = fig3_efficiency_curves()
+    path = directory / "fig3_efficiency.csv"
+    _write_csv(
+        path,
+        ["i_f_a", "eta_stack", "eta_proportional", "eta_onoff", "eta_linear_fit"],
+        zip(
+            data["current"],
+            data["stack"],
+            data["proportional"],
+            data["onoff"],
+            data["linear_fit"],
+        ),
+    )
+    return path
+
+
+def export_fig4(directory: pathlib.Path) -> pathlib.Path:
+    """Fig 4: the three schedules as stepwise segments."""
+    result = fig4_motivational()
+    path = directory / "fig4_settings.csv"
+    rows = []
+    for name, plan in result.plans.items():
+        t = 0.0
+        for seg in plan:
+            rows.append([name, t, t + seg.duration, seg.i_f, seg.i_load])
+            t += seg.duration
+    _write_csv(path, ["setting", "t_start_s", "t_end_s", "i_f_a", "i_load_a"], rows)
+    return path
+
+
+def export_fig7(directory: pathlib.Path, seed: int = 2007) -> pathlib.Path:
+    """Fig 7: step series of the three current profiles (first 300 s)."""
+    profiles = fig7_current_profiles(seed=seed)
+    path = directory / "fig7_profiles.csv"
+    rows = []
+    for key in ("load", "asap-dpm", "fc-dpm"):
+        times, values = profiles[key]
+        for k, value in enumerate(values):
+            rows.append([key, times[k], times[k + 1], value])
+    _write_csv(path, ["series", "t_start_s", "t_end_s", "current_a"], rows)
+    return path
+
+
+def export_tables(directory: pathlib.Path, seed: int = 2007) -> pathlib.Path:
+    """Tables 2 and 3: measured vs paper normalized fuel."""
+    path = directory / "tables_2_3.csv"
+    rows = []
+    for result in (table2(seed=seed), table3(seed=seed)):
+        for policy in ("conv-dpm", "asap-dpm", "fc-dpm"):
+            rows.append(
+                [result.name, policy, result.normalized[policy],
+                 result.paper[policy]]
+            )
+    _write_csv(path, ["table", "policy", "measured", "paper"], rows)
+    return path
+
+
+def export_all(directory) -> list[pathlib.Path]:
+    """Write every artifact CSV into ``directory`` (created if needed)."""
+    out = pathlib.Path(directory)
+    if out.exists() and not out.is_dir():
+        raise ConfigurationError(f"{out} exists and is not a directory")
+    out.mkdir(parents=True, exist_ok=True)
+    return [
+        export_fig2(out),
+        export_fig3(out),
+        export_fig4(out),
+        export_fig7(out),
+        export_tables(out),
+    ]

@@ -1,0 +1,75 @@
+"""Terminal rendering: text tables and ASCII plots for the bench harness."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import RangeError
+
+
+def format_table(rows: list[list[str]], title: str = "") -> str:
+    """Render rows (first row = header) as an aligned text table."""
+    if not rows:
+        raise RangeError("need at least a header row")
+    widths = [max(len(str(r[c])) for r in rows) for c in range(len(rows[0]))]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(v).ljust(w) for v, w in zip(rows[0], widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows[1:]:
+        lines.append(" | ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs, ys, max_points: int = 12) -> str:
+    """Compact one-line-per-point rendering of a data series."""
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    n = min(xs.size, ys.size)
+    idx = np.linspace(0, n - 1, min(max_points, n)).astype(int)
+    pts = ", ".join(f"({xs[i]:.3g}, {ys[i]:.3g})" for i in idx)
+    return f"{name}: {pts}"
+
+
+def ascii_plot(
+    xs,
+    ys,
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one series as a crude ASCII scatter/line chart.
+
+    Good enough to eyeball the Fig. 2/3/7 shapes in a terminal; the raw
+    arrays remain the real deliverable.
+    """
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.size != ys.size or xs.size < 2:
+        raise RangeError("need matching series with at least 2 points")
+    x0, x1 = float(xs.min()), float(xs.max())
+    y0, y1 = float(ys.min()), float(ys.max())
+    if x1 == x0 or y1 == y0:
+        y1 = y0 + 1.0 if y1 == y0 else y1
+        x1 = x0 + 1.0 if x1 == x0 else x1
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - x0) / (x1 - x0) * (width - 1))
+        row = int((y - y0) / (y1 - y0) * (height - 1))
+        grid[height - 1 - row][col] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y1:10.3g} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{y0:10.3g} +" + "".join(grid[-1]))
+    lines.append(
+        " " * 12 + f"{x0:<10.3g}" + " " * max(width - 20, 0) + f"{x1:>10.3g}"
+    )
+    if y_label:
+        lines.append(f"  [{y_label}]")
+    return "\n".join(lines)

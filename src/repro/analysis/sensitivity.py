@@ -1,0 +1,125 @@
+"""One-at-a-time sensitivity of the Table-2 result to every parameter.
+
+Which of the paper's measured constants actually carry the result?
+Each knob is perturbed by +-`relative` around its paper value while
+everything else stays fixed; the response is FC-DPM's normalized fuel
+(fraction of Conv-DPM) and its saving versus ASAP-DPM.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..config import CamcorderConstants
+from ..core.manager import PowerManager
+from ..devices.camcorder import camcorder_device_params
+from ..errors import ConfigurationError
+from ..fuelcell.efficiency import LinearSystemEfficiency
+from ..sim.slotsim import simulate_policies
+from ..workload.mpeg import generate_mpeg_trace
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """Result of one perturbed run."""
+
+    parameter: str
+    factor: float
+    fc_normalized: float
+    fc_saving_vs_asap: float
+
+
+def _run_experiment(
+    alpha: float = 0.45,
+    beta: float = 0.13,
+    storage_capacity: float = 6.0,
+    rho: float = 0.5,
+    p_sleep: float = 2.40,
+    idle_scale: float = 1.0,
+    seed: int = 2007,
+) -> tuple[float, float]:
+    """Experiment 1 with the given knob values; returns
+    ``(fc_normalized, fc_saving_vs_asap)``."""
+    model = LinearSystemEfficiency(alpha=alpha, beta=beta)
+    cam = CamcorderConstants(p_sleep=p_sleep)
+    trace = generate_mpeg_trace(seed=seed, camcorder=cam)
+    if idle_scale != 1.0:
+        trace = trace.scaled(idle=idle_scale)
+    dev = camcorder_device_params(constants=cam)
+    managers = [
+        PowerManager.conv_dpm(dev, model=model, storage_capacity=storage_capacity,
+                              storage_initial=storage_capacity / 2, rho=rho),
+        PowerManager.asap_dpm(dev, model=model, storage_capacity=storage_capacity,
+                              storage_initial=storage_capacity / 2, rho=rho),
+        PowerManager.fc_dpm(dev, model=model, storage_capacity=storage_capacity,
+                            storage_initial=storage_capacity / 2, rho=rho),
+    ]
+    results = simulate_policies(trace, managers)
+    conv = results["conv-dpm"].fuel
+    fc = results["fc-dpm"].fuel
+    asap = results["asap-dpm"].fuel
+    return fc / conv, 1.0 - fc / asap
+
+
+#: The perturbable knobs: name -> kwargs-producing closure of the factor.
+KNOBS: dict[str, Callable[[float], dict]] = {
+    "alpha": lambda f: {"alpha": 0.45 * f},
+    "beta": lambda f: {"beta": 0.13 * f},
+    "storage_capacity": lambda f: {"storage_capacity": 6.0 * f},
+    "rho": lambda f: {"rho": min(0.5 * f, 0.95)},
+    "p_sleep": lambda f: {"p_sleep": 2.40 * f},
+    "idle_scale": lambda f: {"idle_scale": f},
+}
+
+
+def sensitivity_analysis(
+    relative: float = 0.2,
+    seed: int = 2007,
+    knobs=None,
+) -> dict[str, tuple[SensitivityPoint, SensitivityPoint, SensitivityPoint]]:
+    """OAT sensitivity: each knob at ``1-relative``, 1, ``1+relative``.
+
+    Returns ``{knob: (low, nominal, high)}``.
+    """
+    if not 0 < relative < 1:
+        raise ConfigurationError("relative perturbation must be in (0, 1)")
+    names = list(KNOBS) if knobs is None else list(knobs)
+    unknown = set(names) - set(KNOBS)
+    if unknown:
+        raise ConfigurationError(f"unknown knobs: {sorted(unknown)}")
+
+    nominal_fc, nominal_saving = _run_experiment(seed=seed)
+    out = {}
+    for name in names:
+        points = []
+        for factor in (1.0 - relative, 1.0, 1.0 + relative):
+            if factor == 1.0:
+                fc, saving = nominal_fc, nominal_saving
+            else:
+                fc, saving = _run_experiment(seed=seed, **KNOBS[name](factor))
+            points.append(
+                SensitivityPoint(
+                    parameter=name,
+                    factor=factor,
+                    fc_normalized=fc,
+                    fc_saving_vs_asap=saving,
+                )
+            )
+        out[name] = tuple(points)
+    return out
+
+
+def tornado_ranking(
+    analysis: dict[str, tuple[SensitivityPoint, ...]],
+) -> list[tuple[str, float]]:
+    """Rank knobs by the swing they induce on FC-DPM's normalized fuel.
+
+    Returns ``[(knob, |high - low|), ...]`` sorted descending -- the
+    data behind a tornado chart.
+    """
+    ranking = [
+        (name, abs(points[-1].fc_normalized - points[0].fc_normalized))
+        for name, points in analysis.items()
+    ]
+    return sorted(ranking, key=lambda kv: kv[1], reverse=True)

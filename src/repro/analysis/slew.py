@@ -1,0 +1,132 @@
+"""FC output slew-rate ablation.
+
+The paper assumes the FC output retargets instantly at power-state
+transitions (Section 3.3 assumption 1).  Physical fuel-flow controllers
+ramp: the blower/valve dynamics limit ``|dIF/dt|``.  This module
+post-processes a *commanded* piecewise-constant output profile (as
+recorded by the simulator) into the ramp-limited profile a real stack
+would follow, and accounts the consequences:
+
+* **fuel** changes (the ramp spends time at intermediate currents);
+* **delivered-charge error** per transition: while ramping up, the FC
+  under-delivers versus the plan -- charge the storage must cover, and
+  a sizing requirement on the buffer.
+
+The ablation bench sweeps the slew rate and shows when the paper's
+instant-retarget assumption stops being harmless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..fuelcell.efficiency import SystemEfficiencyModel
+
+
+@dataclass(frozen=True)
+class SlewResult:
+    """Outcome of ramp-limiting a commanded profile."""
+
+    ideal_fuel: float
+    limited_fuel: float
+    #: Net charge error (A-s): ideal delivered minus ramp-limited
+    #: delivered.  Positive means the storage had to cover a shortfall.
+    charge_error: float
+    #: Largest single-transition shortfall (A-s) -- the extra storage
+    #: headroom the ramp demands.
+    worst_transition_shortfall: float
+    n_transitions: int
+
+    @property
+    def fuel_penalty(self) -> float:
+        """Fractional extra fuel of the ramp-limited profile."""
+        if self.ideal_fuel == 0:
+            return 0.0
+        return self.limited_fuel / self.ideal_fuel - 1.0
+
+
+def apply_slew_limit(
+    durations,
+    commands,
+    model: SystemEfficiencyModel,
+    slew_rate: float,
+    i_start: float | None = None,
+    n_substeps: int = 16,
+) -> SlewResult:
+    """Ramp-limit a commanded piecewise-constant FC output profile.
+
+    Parameters
+    ----------
+    durations, commands:
+        Matching arrays: each command is held for its duration (the
+        ``step_series`` output of a recorded run).
+    slew_rate:
+        Maximum ``|dIF/dt|`` (A/s).
+    i_start:
+        Output before the first segment (defaults to the first command,
+        i.e. no initial transient).
+    n_substeps:
+        Fuel-integration resolution within each ramp.
+    """
+    t = np.asarray(durations, dtype=float)
+    c = np.asarray(commands, dtype=float)
+    if t.shape != c.shape or t.ndim != 1 or t.size == 0:
+        raise ConfigurationError("need matching 1-D duration/command arrays")
+    if np.any(t <= 0):
+        raise ConfigurationError("durations must be positive")
+    if slew_rate <= 0:
+        raise ConfigurationError("slew rate must be positive")
+
+    level = float(c[0]) if i_start is None else float(i_start)
+    ideal_fuel = 0.0
+    limited_fuel = 0.0
+    charge_error = 0.0
+    worst = 0.0
+    n_transitions = 0
+
+    for duration, target in zip(t, c):
+        ideal_fuel += model.fc_current(float(target)) * duration
+        gap = float(target) - level
+        t_ramp = min(abs(gap) / slew_rate, duration)
+        if t_ramp > 1e-12 and abs(gap) > 1e-12:
+            n_transitions += 1
+            reached = level + np.sign(gap) * slew_rate * t_ramp
+            # Fuel along the ramp (trapezoid over the convex map).
+            grid = np.linspace(level, reached, n_substeps + 1)
+            g = np.array([model.fc_current(float(x)) for x in grid])
+            limited_fuel += float(np.trapezoid(g, dx=t_ramp / n_substeps))
+            # Delivered-charge error of this transition.
+            ramp_delivery = 0.5 * (level + reached) * t_ramp
+            ideal_delivery = float(target) * t_ramp
+            shortfall = ideal_delivery - ramp_delivery
+            charge_error += shortfall
+            worst = max(worst, abs(shortfall))
+            level = reached
+        # Hold phase (possibly the whole segment).
+        hold = duration - t_ramp
+        if hold > 0:
+            limited_fuel += model.fc_current(level) * hold
+
+    return SlewResult(
+        ideal_fuel=ideal_fuel,
+        limited_fuel=limited_fuel,
+        charge_error=charge_error,
+        worst_transition_shortfall=worst,
+        n_transitions=n_transitions,
+    )
+
+
+def slew_rate_sweep(
+    durations,
+    commands,
+    model: SystemEfficiencyModel,
+    rates=(0.05, 0.1, 0.25, 0.5, 1.0, 5.0),
+) -> dict[float, SlewResult]:
+    """Ramp-limit the same profile at several slew rates."""
+    return {
+        rate: apply_slew_limit(durations, commands, model, rate)
+        for rate in rates
+    }

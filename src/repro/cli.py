@@ -1,0 +1,173 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+Installed as ``fcdpm`` by the package.  Subcommands map one-to-one onto
+the paper's tables and figures::
+
+    fcdpm table2            # Exp. 1 normalized fuel
+    fcdpm table3            # Exp. 2 normalized fuel
+    fcdpm fig2              # stack I-V-P curve
+    fcdpm fig3              # efficiency curves
+    fcdpm fig4              # motivational example
+    fcdpm fig7              # current profiles (first 300 s)
+    fcdpm sweep <name>      # ablation sweeps
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import (
+    ascii_plot,
+    fig2_stack_iv_curve,
+    fig3_efficiency_curves,
+    fig4_motivational,
+    fig7_current_profiles,
+    format_series,
+    format_table,
+    table2,
+    table3,
+)
+from .analysis.sweep import (
+    efficiency_slope_sweep,
+    predictor_sweep,
+    recharge_threshold_sweep,
+    storage_capacity_sweep,
+)
+
+
+def _cmd_table(which: str, args: argparse.Namespace) -> int:
+    result = table2(seed=args.seed) if which == "table2" else table3(seed=args.seed)
+    print(format_table(result.rows(), title=f"{result.name} (normalized fuel)"))
+    print(
+        f"FC-DPM saves {100 * result.fc_vs_asap_saving:.1f}% fuel vs ASAP-DPM "
+        f"(lifetime x{result.fc_vs_asap_lifetime:.2f})"
+    )
+    return 0
+
+
+def _cmd_fig2(args: argparse.Namespace) -> int:
+    data = fig2_stack_iv_curve()
+    print(ascii_plot(data["current"], data["voltage"], title="Fig 2: Vfc vs Ifc"))
+    print(ascii_plot(data["current"], data["power"], title="Fig 2: P vs Ifc"))
+    print(
+        f"max power point: {float(data['p_mpp']):.2f} W "
+        f"at {float(data['i_mpp']):.3f} A"
+    )
+    return 0
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    data = fig3_efficiency_curves()
+    for key in ("stack", "proportional", "onoff", "linear_fit"):
+        print(format_series(f"fig3/{key}", data["current"], data[key]))
+    print(ascii_plot(data["current"], data["proportional"],
+                     title="Fig 3(b): system efficiency (variable-speed fan)"))
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    result = fig4_motivational()
+    rows = [["setting", "fuel (A-s)"]]
+    for name, fuel in result.fuel.items():
+        rows.append([name, f"{fuel:.2f}"])
+    print(format_table(rows, title="Fig 4 / Section 3.2 motivational example"))
+    print(
+        f"FC-DPM vs Conv: {100 * result.fc_vs_conv_saving:.1f}% lower; "
+        f"vs ASAP: {100 * result.fc_vs_asap_saving:.1f}% lower"
+    )
+    return 0
+
+
+def _cmd_fig7(args: argparse.Namespace) -> int:
+    data = fig7_current_profiles(seed=args.seed)
+    for key in ("load", "asap-dpm", "fc-dpm"):
+        times, currents = data[key]
+        mids = [(times[i] + times[i + 1]) / 2 for i in range(len(currents))]
+        print(ascii_plot(mids, currents, title=f"Fig 7: {key} current (A)"))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    sweeps = {
+        "storage": storage_capacity_sweep,
+        "predictor": predictor_sweep,
+        "beta": efficiency_slope_sweep,
+        "recharge": recharge_threshold_sweep,
+    }
+    if args.name not in sweeps:
+        print(f"unknown sweep {args.name!r}; pick from {sorted(sweeps)}")
+        return 2
+    result = sweeps[args.name]()
+    rows = [["parameter", "value"]]
+    for key, value in result.items():
+        rows.append([str(key), repr(value)])
+    print(format_table(rows, title=f"sweep: {args.name}"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``fcdpm`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="fcdpm",
+        description="Regenerate the experiments of Zhuo et al., DAC 2007.",
+    )
+    parser.add_argument("--seed", type=int, default=2007, help="trace RNG seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name in ("table2", "table3", "fig2", "fig3", "fig4", "fig7"):
+        sub.add_parser(name, help=f"regenerate {name}")
+    sweep = sub.add_parser("sweep", help="run an ablation sweep")
+    sweep.add_argument("name", help="storage | predictor | beta | recharge")
+
+    sub.add_parser("report", help="run the full evaluation report")
+    export = sub.add_parser("export", help="write figure/table CSVs")
+    export.add_argument("directory", help="output directory for the CSVs")
+    sub.add_parser("lifetime", help="run-to-empty lifetime comparison")
+
+    args = parser.parse_args(argv)
+    if args.command in ("table2", "table3"):
+        return _cmd_table(args.command, args)
+    if args.command == "report":
+        from .analysis.experiments import full_report
+
+        print(full_report(seed=args.seed))
+        return 0
+    if args.command == "export":
+        from .analysis.export import export_all
+
+        paths = export_all(args.directory)
+        for path in paths:
+            print(f"wrote {path}")
+        return 0
+    if args.command == "lifetime":
+        from .core.manager import PowerManager
+        from .devices.camcorder import camcorder_device_params
+        from .sim.lifetime import lifetime_comparison
+        from .workload.mpeg import generate_mpeg_trace
+
+        trace = generate_mpeg_trace(duration_s=300.0, seed=args.seed)
+        dev = camcorder_device_params()
+        managers = [
+            PowerManager.conv_dpm(dev, storage_capacity=6.0, storage_initial=3.0),
+            PowerManager.asap_dpm(dev, storage_capacity=6.0, storage_initial=3.0),
+            PowerManager.fc_dpm(dev, storage_capacity=6.0, storage_initial=3.0),
+        ]
+        results = lifetime_comparison(managers, trace, tank_capacity=2000.0)
+        rows = [["policy", "lifetime (min)", "mean Ifc (A)"]]
+        for name, r in results.items():
+            rows.append([name, f"{r.lifetime / 60:.1f}",
+                         f"{r.average_fuel_rate:.3f}"])
+        print(format_table(rows, title="run-to-empty on a 2000 A-s reserve"))
+        return 0
+    handlers = {
+        "fig2": _cmd_fig2,
+        "fig3": _cmd_fig3,
+        "fig4": _cmd_fig4,
+        "fig7": _cmd_fig7,
+        "sweep": _cmd_sweep,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

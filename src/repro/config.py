@@ -1,0 +1,154 @@
+"""Frozen parameter sets taken verbatim from the paper.
+
+Everything a reader needs to re-run the paper's experiments is collected
+here, so that no magic number hides inside an algorithm.  Each constant
+cites the paper section it comes from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import units
+from .errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FCSystemConstants:
+    """Fuel-cell system parameters (paper Section 2).
+
+    Attributes
+    ----------
+    v_out:
+        Regulated DC-DC output voltage ``VF`` (V).  Paper: 12 V.
+    open_circuit_voltage:
+        FC stack open-circuit voltage ``Vo`` (V).  Paper: 18.2 V.
+    n_cells:
+        Number of cells in the stack.  Paper: 20.
+    alpha, beta:
+        Coefficients of the linear system-efficiency model
+        ``eta_s = alpha - beta * IF`` (Eq. 2).  Paper: 0.45 / 0.13.
+    zeta:
+        Gibbs-energy proportionality ``dE_Gibbs = zeta * Ifc`` (Eq. 1).
+        Paper: ~37.5 (W per A of stack current).
+    if_min, if_max:
+        Load-following range of the FC system output current (A).
+        Paper: [0.1, 1.2].
+    rated_power:
+        Stack rated power (W).  Paper: BCS 20 W stack.
+    """
+
+    v_out: float = 12.0
+    open_circuit_voltage: float = 18.2
+    n_cells: int = 20
+    alpha: float = 0.45
+    beta: float = 0.13
+    zeta: float = 37.5
+    if_min: float = 0.1
+    if_max: float = 1.2
+    rated_power: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0 or self.beta < 0:
+            raise ConfigurationError("alpha must be > 0 and beta >= 0")
+        if not 0 <= self.if_min < self.if_max:
+            raise ConfigurationError("need 0 <= if_min < if_max")
+        if self.alpha - self.beta * self.if_max <= 0:
+            raise ConfigurationError(
+                "efficiency model must stay positive over the load-following "
+                f"range: alpha - beta*if_max = {self.alpha - self.beta * self.if_max}"
+            )
+
+    @property
+    def k_fuel(self) -> float:
+        """Coefficient ``VF / zeta`` of the Ifc(IF) map (Eq. 4).  Paper: 0.32."""
+        return self.v_out / self.zeta
+
+
+@dataclass(frozen=True)
+class CamcorderConstants:
+    """DVD-camcorder power-state abstraction (paper Fig. 6, Section 5.1)."""
+
+    #: Load power (W) in the RUN state (DVD writer writing).
+    p_run: float = 14.65
+    #: Load power (W) in STANDBY (encoder working, writer idle).
+    p_standby: float = 4.84
+    #: Load power (W) in SLEEP (writer powered down).
+    p_sleep: float = 2.40
+    #: SLEEP entry/exit transition time (s) and power (W).
+    t_pd: float = 0.5
+    t_wu: float = 0.5
+    p_transition_sleep: float = 4.84
+    #: STANDBY <-> RUN transition times (s); power equals ``p_run``.
+    t_standby_to_run: float = 1.5
+    t_run_to_standby: float = 0.5
+    #: Buffer size (MB) and DVD 4x writing speed (MB/s) -> 3.03 s active slot.
+    buffer_mb: float = 16.0
+    write_rate_mb_s: float = 5.28
+    #: Idle-period range produced by the MPEG encoder (s).
+    idle_min: float = 8.0
+    idle_max: float = 20.0
+
+    @property
+    def active_length(self) -> float:
+        """Length of an active (writing) period: 16 MB / 5.28 MB/s = 3.03 s."""
+        return self.buffer_mb / self.write_rate_mb_s
+
+    @property
+    def break_even_time(self) -> float:
+        """DPM break-even time ``Tbe = tau_PD + tau_WU`` = 1 s (paper §5.1)."""
+        return self.t_pd + self.t_wu
+
+
+@dataclass(frozen=True)
+class Experiment1Constants:
+    """Experiment 1 setup (paper Section 5.1)."""
+
+    #: Total trace duration: a 28-minute MPEG encode/write session.
+    duration_s: float = 28 * 60.0
+    #: Exponential-average prediction factor for the idle period.
+    rho: float = 0.5
+    #: Supercapacitor storage: 1 F ~ "100 mA-min" at 12 V = 6 A-s usable.
+    storage_capacity: float = units.mA_min(100.0)
+    #: SLEEP transition currents: 4.65 W @ 12 V ~ 0.40 A plus base standby load
+    #: (paper Fig. 6 labels the transition 0.40 A / 4.65 W).
+    i_wu: float = 0.40
+    i_pd: float = 0.40
+
+
+@dataclass(frozen=True)
+class Experiment2Constants:
+    """Experiment 2 randomized-workload setup (paper Section 5.2)."""
+
+    idle_low: float = 5.0
+    idle_high: float = 25.0
+    active_low: float = 2.0
+    active_high: float = 4.0
+    p_active_low: float = 12.0
+    p_active_high: float = 16.0
+    t_pd: float = 1.0
+    t_wu: float = 1.0
+    i_pd: float = 1.2
+    i_wu: float = 1.2
+    break_even_time: float = 10.0
+    rho: float = 0.5
+    sigma: float = 0.5
+    #: Estimate used for the future active-period current (A).
+    i_active_estimate: float = 1.2
+    #: Number of task slots simulated (paper does not state it; the 28-min
+    #: Exp-1 trace has ~95 slots, we default to a comparable run length).
+    n_slots: int = 100
+
+
+@dataclass(frozen=True)
+class PaperConstants:
+    """Bundle of every parameter set in the paper."""
+
+    fc: FCSystemConstants = FCSystemConstants()
+    camcorder: CamcorderConstants = CamcorderConstants()
+    exp1: Experiment1Constants = Experiment1Constants()
+    exp2: Experiment2Constants = Experiment2Constants()
+
+
+#: The default, paper-faithful parameter bundle.
+PAPER = PaperConstants()

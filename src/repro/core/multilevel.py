@@ -1,0 +1,156 @@
+"""Discrete FC output levels: the ISLPED'06 setting (paper ref [11]).
+
+The DAC'07 paper assumes the FC output is continuously adjustable
+within the load-following range.  The authors' earlier ISLPED'06 work
+instead supports a *finite set of output levels* -- realistic when the
+fuel-flow controller has a few calibrated set-points.  This module
+solves the single-slot problem of Section 3 under that restriction:
+
+    min  Ifc(l_i)*Ti + Ifc(l_a)*Ta_eff
+    s.t. l_i, l_a in L  (the discrete level set)
+         storage stays in [0, Cmax]; end level as close to Cend as the
+         lattice permits.
+
+With |L| levels the search space is |L|^2 pairs -- solved exactly by
+enumeration, with infeasibility (deficit) excluded and residual
+imbalance penalized lexicographically after fuel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError, InfeasibleError
+from ..fuelcell.efficiency import SystemEfficiencyModel
+from .setting import SlotProblem, SlotSolution
+
+
+def default_levels(model: SystemEfficiencyModel, n_levels: int = 6) -> tuple[float, ...]:
+    """Evenly spaced output levels across the load-following range."""
+    if n_levels < 2:
+        raise ConfigurationError("need at least two levels")
+    return tuple(
+        float(x) for x in np.linspace(model.if_min, model.if_max, n_levels)
+    )
+
+
+@dataclass(frozen=True)
+class DiscreteSolution:
+    """Best discrete pair with its continuous-relaxation reference."""
+
+    solution: SlotSolution
+    #: Fuel of the continuous optimum (lower bound).
+    continuous_fuel: float
+    #: Fuel plus the replacement cost of any end-of-slot shortfall
+    #: (charged at the fuel map's steepest marginal rate).  This is the
+    #: apples-to-apples number against ``continuous_fuel``: a lattice
+    #: that under-delivers owes the missing coulombs to a later slot.
+    effective_fuel: float = 0.0
+
+    @property
+    def quantization_penalty(self) -> float:
+        """Extra (effective) fuel paid for the discrete lattice (>= 0)."""
+        return self.effective_fuel - self.continuous_fuel
+
+
+def solve_slot_discrete(
+    problem: SlotProblem,
+    model: SystemEfficiencyModel,
+    levels: tuple[float, ...] | None = None,
+    balance_weight: float | None = None,
+) -> DiscreteSolution:
+    """Exact enumeration of the discrete-level single-slot problem.
+
+    Candidate pairs that brown out the storage (deficit) are rejected;
+    among survivors the objective is fuel plus ``balance_weight`` times
+    the charge the slot ends *below* its target (the lattice rarely
+    hits ``Cend`` exactly).  The default weight is the fuel map's
+    steepest marginal rate ``dIfc/dIF`` at ``IF_max``: since the fuel
+    saved by under-delivering one coulomb can never exceed that
+    marginal, a greedy per-slot solver can never "profit" from silently
+    draining the storage below target.  Surplus over the target is not
+    penalized (its fuel cost is already in the objective); a tiny
+    tie-break keeps the end state near the target among equals.
+    Raises :class:`InfeasibleError` when every pair browns out.
+    """
+    from .optimizer import solve_slot
+
+    lv = levels if levels is not None else default_levels(model)
+    if any(not model.in_range(x) for x in lv):
+        raise ConfigurationError("levels must lie in the load-following range")
+    if balance_weight is None:
+        balance_weight = model.fc_current_derivative(model.if_max)
+    t_i, t_a = problem.t_idle, problem.t_active_eff
+
+    best: SlotSolution | None = None
+    best_score = float("inf")
+    for l_i in lv:
+        c_mid = problem.c_ini + (l_i - problem.i_idle) * t_i
+        bled_idle = max(c_mid - problem.c_max, 0.0)
+        if c_mid < -1e-9:
+            continue  # storage browns out during the idle period
+        c_mid = min(c_mid, problem.c_max)
+        for l_a in lv:
+            c_after = c_mid + l_a * t_a - problem.active_demand
+            bled_active = max(c_after - problem.c_max, 0.0)
+            if c_after < -1e-9:
+                continue  # browns out during the active period
+            c_after = min(c_after, problem.c_max)
+            fuel = model.fc_current(l_i) * t_i + model.fc_current(l_a) * t_a
+            shortfall = max(problem.c_end - c_after, 0.0)
+            score = (
+                fuel
+                + balance_weight * shortfall
+                + 1e-6 * abs(c_after - problem.c_end)
+            )
+            if score < best_score:
+                best_score = score
+                best = SlotSolution(
+                    if_idle=l_i,
+                    if_active=l_a,
+                    ifc_idle=model.fc_current(l_i),
+                    ifc_active=model.fc_current(l_a),
+                    fuel=fuel,
+                    c_after_idle=c_mid,
+                    c_after_slot=c_after,
+                    range_clamped=False,
+                    capacity_limited=bled_idle + bled_active > 0,
+                    bled=bled_idle + bled_active,
+                    deficit=0.0,
+                )
+    if best is None:
+        raise InfeasibleError(
+            "every discrete level pair browns out the storage; the level "
+            "lattice cannot carry this slot's load"
+        )
+    continuous = solve_slot(problem, model)
+    shortfall = max(problem.c_end - best.c_after_slot, 0.0)
+    return DiscreteSolution(
+        solution=best,
+        continuous_fuel=continuous.fuel,
+        effective_fuel=best.fuel + balance_weight * shortfall,
+    )
+
+
+def quantization_loss_curve(
+    problem: SlotProblem,
+    model: SystemEfficiencyModel,
+    level_counts=(3, 5, 9, 17, 33),
+) -> dict[int, float]:
+    """Extra fuel vs number of FC levels -- how many set-points suffice.
+
+    The ISLPED'06 design question: each additional calibrated level
+    costs controller complexity; this curve shows the diminishing
+    return.  The default counts are ``2**k + 1`` so consecutive
+    lattices are *nested* (every coarse level survives refinement),
+    which makes the penalty provably non-increasing; arbitrary counts
+    produce non-nested lattices whose penalties may wiggle.  Returns
+    ``{n_levels: quantization_penalty}``.
+    """
+    out: dict[int, float] = {}
+    for n in level_counts:
+        result = solve_slot_discrete(problem, model, default_levels(model, n))
+        out[n] = result.quantization_penalty
+    return out

@@ -1,0 +1,75 @@
+"""Clairvoyant FC-DPM: the prediction-error cost, isolated.
+
+FC-DPM differs from the per-slot optimum only through its predictions
+(``T'_i``, ``T'_a``, ``I'_ld,a``).  This controller is FC-DPM with the
+predictions replaced by the *actual* slot values (looked up from the
+trace by slot index), so
+
+    fuel(FC-DPM) - fuel(OracleFCDPM)   = the cost of prediction error,
+    fuel(OracleFCDPM) - offline bound  = the cost of per-slot planning.
+
+Together with :func:`repro.core.optimizer.solve_horizon` this decomposes
+FC-DPM's entire gap to the offline optimum into named pieces -- the
+predictor ablation bench reports all three.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..fuelcell.efficiency import SystemEfficiencyModel
+from ..workload.trace import LoadTrace
+from .baselines import SlotStart
+from .fc_dpm import FCDPMController
+from .optimizer import solve_slot
+from .setting import SlotProblem
+
+
+class OracleFCDPMController(FCDPMController):
+    """FC-DPM fed the true slot timings and currents.
+
+    Parameters
+    ----------
+    model:
+        System-efficiency model.
+    trace:
+        The exact trace that will be simulated; slot lookups use the
+        ``slot_index`` the simulator passes in.
+    device:
+        Sleep-transition overheads, as for
+        :class:`~repro.core.fc_dpm.FCDPMController`.
+    """
+
+    def __init__(
+        self,
+        model: SystemEfficiencyModel,
+        trace: LoadTrace,
+        device=None,
+    ) -> None:
+        super().__init__(model, device=device)
+        self.trace = trace
+        # The oracle neither needs nor should update the shared
+        # predictors; learning state is irrelevant to it.
+        self.observes_idle = False
+
+    def on_idle_start(self, start: SlotStart) -> None:
+        if not 0 <= start.slot_index < len(self.trace):
+            raise ConfigurationError(
+                f"slot index {start.slot_index} outside the oracle trace"
+            )
+        slot = self.trace[start.slot_index]
+        problem = SlotProblem(
+            t_idle=max(slot.t_idle, 1e-6),
+            t_active=slot.t_active,
+            i_idle=start.i_idle,
+            i_active=slot.i_active,
+            c_ini=start.storage_charge,
+            c_end=self._c_target,
+            c_max=self._c_max,
+            sleeping=start.sleeping,
+            **self._overheads(start.sleeping),
+        )
+        solution = solve_slot(problem, self.model)
+        self.solutions.append(solution)
+        self._if_idle = solution.if_idle
+        self._if_active = solution.if_active
+        self._active_planned = False

@@ -1,0 +1,227 @@
+"""Problem/solution records for the FC output-setting optimization.
+
+:class:`SlotProblem` captures one task slot exactly as Section 3 of the
+paper poses it -- idle and active durations, load currents, storage
+state and target, optional sleep-transition overheads.
+:class:`SlotSolution` is the solver's answer with full diagnostics.
+:class:`FCOutputPlan` is a piecewise-constant FC output schedule usable
+directly by figures and fuel accounting (paper Fig. 4 / Fig. 7 material).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from ..fuelcell.efficiency import SystemEfficiencyModel
+
+
+@dataclass(frozen=True)
+class SlotProblem:
+    """One task slot's fuel-optimal output-setting problem (Section 3.3).
+
+    Attributes
+    ----------
+    t_idle, t_active:
+        Idle / active period lengths ``Ti``, ``Ta`` (s).
+    i_idle, i_active:
+        Load currents ``Ild,i``, ``Ild,a`` (A).  ``i_idle`` is ``Isdb``
+        or ``Islp`` depending on the DPM decision.
+    c_ini:
+        Storage charge at slot start (A-s).
+    c_end:
+        Target storage charge at slot end (A-s); the paper keeps
+        ``Cend = Cini(1)`` for stability (Section 3.3.1).
+    c_max:
+        Storage capacity (A-s); ``inf`` recovers the unconstrained case.
+    sleeping:
+        The binary ``delta`` of Section 3.3.2 -- whether this idle
+        period hosts a SLEEP (adds the wake-up overhead) and the next
+        power-down is pre-paid (conservative assumption of the paper).
+    t_wu, t_pd, i_wu, i_pd:
+        Sleep-transition overheads; only used when ``sleeping``.
+    """
+
+    t_idle: float
+    t_active: float
+    i_idle: float
+    i_active: float
+    c_ini: float = 0.0
+    c_end: float = 0.0
+    c_max: float = float("inf")
+    sleeping: bool = False
+    t_wu: float = 0.0
+    t_pd: float = 0.0
+    i_wu: float = 0.0
+    i_pd: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.t_idle < 0 or self.t_active <= 0:
+            raise ConfigurationError("need t_idle >= 0 and t_active > 0")
+        if min(self.i_idle, self.i_active, self.i_wu, self.i_pd) < 0:
+            raise ConfigurationError("currents must be non-negative")
+        if self.t_wu < 0 or self.t_pd < 0:
+            raise ConfigurationError("transition delays must be non-negative")
+        if self.c_max <= 0:
+            raise ConfigurationError("storage capacity must be positive")
+        if not 0 <= self.c_ini <= self.c_max:
+            raise ConfigurationError("c_ini must lie in [0, c_max]")
+        if not 0 <= self.c_end <= self.c_max:
+            raise ConfigurationError("c_end must lie in [0, c_max]")
+
+    # -- derived quantities (Section 3.3.2 bookkeeping) ---------------------
+
+    @property
+    def delta(self) -> int:
+        """The paper's binary sleep indicator."""
+        return 1 if self.sleeping else 0
+
+    @property
+    def t_active_eff(self) -> float:
+        """Extended active length ``Ta + delta*tau_WU + tau_PD`` (s).
+
+        The paper absorbs the wake-up of this slot and (conservatively)
+        the power-down opening the *next* idle period into the active
+        period.  When not sleeping both vanish.
+        """
+        if not self.sleeping:
+            return self.t_active
+        return self.t_active + self.t_wu + self.t_pd
+
+    @property
+    def idle_demand(self) -> float:
+        """Load charge demanded during the idle period (A-s)."""
+        return self.i_idle * self.t_idle
+
+    @property
+    def active_demand(self) -> float:
+        """Load charge demanded during the (extended) active period (A-s).
+
+        Includes the transition charges ``delta*IWU*tauWU + IPD*tauPD``
+        exactly as in the Section 3.3.2 constraint.
+        """
+        base = self.i_active * self.t_active
+        if not self.sleeping:
+            return base
+        return base + self.i_wu * self.t_wu + self.i_pd * self.t_pd
+
+    @property
+    def total_demand(self) -> float:
+        """Whole-slot load charge (A-s)."""
+        return self.idle_demand + self.active_demand
+
+    @property
+    def total_time(self) -> float:
+        """Whole-slot duration ``Ti + Ta_eff`` (s)."""
+        return self.t_idle + self.t_active_eff
+
+
+@dataclass(frozen=True)
+class SlotSolution:
+    """Solver output for one slot.
+
+    ``fuel`` is the objective value: stack charge
+    ``Ifc,i*Ti + Ifc,a*Ta_eff`` (A-s).  The diagnostic flags record which
+    constraints were active; ``bled`` / ``deficit`` are nonzero only when
+    the load-following range forces charge to be wasted or the storage
+    cannot cover the shortfall.
+    """
+
+    if_idle: float
+    if_active: float
+    ifc_idle: float
+    ifc_active: float
+    fuel: float
+    c_after_idle: float
+    c_after_slot: float
+    range_clamped: bool = False
+    capacity_limited: bool = False
+    bled: float = 0.0
+    deficit: float = 0.0
+
+    @property
+    def is_flat(self) -> bool:
+        """True when idle and active outputs coincide (the ideal optimum)."""
+        return abs(self.if_idle - self.if_active) < 1e-9
+
+
+@dataclass(frozen=True)
+class PlanSegment:
+    """One constant-output interval of an FC schedule."""
+
+    duration: float
+    i_f: float
+    i_load: float = 0.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ConfigurationError("segment duration cannot be negative")
+        if self.i_f < 0 or self.i_load < 0:
+            raise ConfigurationError("segment currents must be non-negative")
+
+
+@dataclass
+class FCOutputPlan:
+    """A piecewise-constant FC output schedule with fuel accounting."""
+
+    segments: list[PlanSegment] = field(default_factory=list)
+
+    def append(
+        self, duration: float, i_f: float, i_load: float = 0.0, label: str = ""
+    ) -> None:
+        """Add a constant-output interval to the end of the plan."""
+        self.segments.append(PlanSegment(duration, i_f, i_load, label))
+
+    def extend(self, segments: Iterable[PlanSegment]) -> None:
+        """Append several segments."""
+        for s in segments:
+            self.segments.append(s)
+
+    def __iter__(self) -> Iterator[PlanSegment]:
+        return iter(self.segments)
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+    @property
+    def duration(self) -> float:
+        """Total schedule length (s)."""
+        return sum(s.duration for s in self.segments)
+
+    def fuel(self, model: SystemEfficiencyModel) -> float:
+        """Total stack charge of the schedule (A-s) under ``model``."""
+        return sum(model.fuel_charge(s.i_f, s.duration) for s in self.segments)
+
+    def delivered_charge(self) -> float:
+        """Total FC output charge (A-s)."""
+        return sum(s.i_f * s.duration for s in self.segments)
+
+    def load_charge(self) -> float:
+        """Total load charge (A-s)."""
+        return sum(s.i_load * s.duration for s in self.segments)
+
+    def storage_trajectory(self, c_ini: float = 0.0) -> list[float]:
+        """Storage level after each segment, ignoring capacity bounds."""
+        levels = []
+        c = c_ini
+        for s in self.segments:
+            c += (s.i_f - s.i_load) * s.duration
+            levels.append(c)
+        return levels
+
+    def series(self, t0: float = 0.0):
+        """Step-plot arrays ``(times, i_f, i_load)`` for figures.
+
+        Times have ``len(segments) + 1`` entries (segment boundaries);
+        the current arrays have one entry per segment.
+        """
+        times = [t0]
+        i_f = []
+        i_load = []
+        for s in self.segments:
+            times.append(times[-1] + s.duration)
+            i_f.append(s.i_f)
+            i_load.append(s.i_load)
+        return times, i_f, i_load

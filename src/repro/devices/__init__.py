@@ -1,0 +1,33 @@
+"""Embedded-system substrate: power-state machines and device models."""
+
+from .states import PowerState, Transition, PowerStateMachine, break_even_time
+from .device import DPMDevice, DeviceParams
+from .camcorder import (
+    dvd_camcorder,
+    camcorder_device_params,
+    randomized_device_params,
+)
+from .multidevice import (
+    MultiDeviceTask,
+    ScheduleEvaluation,
+    cluster_order,
+    evaluate_schedule,
+    compare_orderings,
+)
+
+__all__ = [
+    "PowerState",
+    "Transition",
+    "PowerStateMachine",
+    "break_even_time",
+    "DPMDevice",
+    "DeviceParams",
+    "dvd_camcorder",
+    "camcorder_device_params",
+    "randomized_device_params",
+    "MultiDeviceTask",
+    "ScheduleEvaluation",
+    "cluster_order",
+    "evaluate_schedule",
+    "compare_orderings",
+]

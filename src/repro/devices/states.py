@@ -1,0 +1,162 @@
+"""Power-state machine for DPM-enabled devices (paper Fig. 6, Table 1).
+
+A DPM device exposes a small set of power states (the paper uses RUN,
+STANDBY, SLEEP) connected by transitions that cost both time and energy.
+The classic DPM quantity derived from these costs is the **break-even
+time** ``Tbe``: the minimum idle-period length for which entering the
+low-power state saves energy (Benini et al., paper ref [4]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..errors import ConfigurationError, RangeError
+
+
+class PowerState(Enum):
+    """The paper's three device power modes."""
+
+    RUN = "run"
+    STANDBY = "standby"
+    SLEEP = "sleep"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A directed state transition with time and current overheads.
+
+    Attributes
+    ----------
+    source, target:
+        Endpoint states.
+    delay:
+        Transition latency (s) during which the device is unavailable.
+    current:
+        Load current drawn during the transition (A) on the 12 V rail.
+    """
+
+    source: PowerState
+    target: PowerState
+    delay: float
+    current: float
+
+    def __post_init__(self) -> None:
+        if self.source == self.target:
+            raise ConfigurationError("a transition must change state")
+        if self.delay < 0 or self.current < 0:
+            raise ConfigurationError("transition overheads must be non-negative")
+
+    @property
+    def charge(self) -> float:
+        """Charge consumed by the transition (A-s)."""
+        return self.current * self.delay
+
+
+@dataclass
+class PowerStateMachine:
+    """States, their load currents, and the legal transitions.
+
+    Parameters
+    ----------
+    state_currents:
+        Load current (A) of each state.  RUN current is workload
+        dependent; the value stored here is a default that task slots may
+        override.
+    transitions:
+        Legal directed transitions.
+    initial:
+        Starting state.
+    """
+
+    state_currents: dict[PowerState, float]
+    transitions: list[Transition] = field(default_factory=list)
+    initial: PowerState = PowerState.STANDBY
+
+    def __post_init__(self) -> None:
+        for state, current in self.state_currents.items():
+            if current < 0:
+                raise ConfigurationError(f"{state} current cannot be negative")
+        if self.initial not in self.state_currents:
+            raise ConfigurationError("initial state must have a defined current")
+        self._table: dict[tuple[PowerState, PowerState], Transition] = {}
+        for t in self.transitions:
+            key = (t.source, t.target)
+            if key in self._table:
+                raise ConfigurationError(f"duplicate transition {key}")
+            if t.source not in self.state_currents or t.target not in self.state_currents:
+                raise ConfigurationError(f"transition {key} references unknown state")
+            self._table[key] = t
+        self.state = self.initial
+
+    # -- queries -----------------------------------------------------------
+
+    def current_of(self, state: PowerState) -> float:
+        """Steady-state load current (A) of ``state``."""
+        try:
+            return self.state_currents[state]
+        except KeyError:
+            raise RangeError(f"state {state} not defined") from None
+
+    def transition(self, source: PowerState, target: PowerState) -> Transition:
+        """The transition record from ``source`` to ``target``."""
+        try:
+            return self._table[(source, target)]
+        except KeyError:
+            raise RangeError(f"no transition {source} -> {target}") from None
+
+    def can_transition(self, source: PowerState, target: PowerState) -> bool:
+        """True if the machine defines a ``source -> target`` edge."""
+        return (source, target) in self._table
+
+    # -- dynamics -----------------------------------------------------------
+
+    def move_to(self, target: PowerState) -> Transition:
+        """Execute a transition from the present state; returns its record."""
+        t = self.transition(self.state, target)
+        self.state = target
+        return t
+
+    def reset(self) -> None:
+        """Return to the initial state."""
+        self.state = self.initial
+
+
+def break_even_time(
+    t_pd: float,
+    t_wu: float,
+    i_pd: float,
+    i_wu: float,
+    i_high: float,
+    i_low: float,
+) -> float:
+    """DPM break-even time ``Tbe`` (Benini et al., ref [4]).
+
+    The idle length at which sleeping (paying the power-down / wake-up
+    overheads to sit at ``i_low``) costs exactly as much charge as
+    staying at ``i_high``:
+
+        Tbe = max(t_pd + t_wu,
+                  (t_pd*(i_pd - i_low) + t_wu*(i_wu - i_low))
+                  / (i_high - i_low))
+
+    The first term enforces feasibility: an idle period shorter than the
+    combined transition latency cannot host a sleep at all.  The paper
+    uses the simplified ``Tbe = t_pd + t_wu`` when the transition current
+    matches the standby current (Experiment 1) and quotes ``Tbe = 10 s``
+    for Experiment 2's heavier overheads.
+    """
+    if min(t_pd, t_wu, i_pd, i_wu, i_high, i_low) < 0:
+        raise ConfigurationError("break-even inputs must be non-negative")
+    if i_high <= i_low:
+        raise ConfigurationError(
+            "high-power state must draw more than the low-power state"
+        )
+    latency_floor = t_pd + t_wu
+    overhead_charge = t_pd * (i_pd - i_low) + t_wu * (i_wu - i_low)
+    energy_floor = overhead_charge / (i_high - i_low)
+    return max(latency_floor, energy_floor)

@@ -1,0 +1,34 @@
+"""Degenerate DPM policies: never sleep / always sleep.
+
+Bounding baselines for policy comparisons: ``AlwaysOnPolicy`` gives the
+no-DPM device energy, ``AlwaysSleepPolicy`` the maximally aggressive
+(and, below break-even, counterproductive) extreme.
+"""
+
+from __future__ import annotations
+
+from ..devices.device import DeviceParams
+from .policy import DPMPolicy, IdleDecision
+
+
+class AlwaysOnPolicy(DPMPolicy):
+    """Never sleeps; the device idles in STANDBY."""
+
+    def on_idle_start(self) -> IdleDecision:
+        return self._count(IdleDecision(sleep=False))
+
+
+class AlwaysSleepPolicy(DPMPolicy):
+    """Sleeps on every idle period that can physically host the transitions.
+
+    The feasibility check needs the *actual* idle length, which an online
+    policy does not have; like the paper's predictive scheme we commit
+    using the transition latency as the only guard -- the simulator
+    charges an aborted-sleep penalty if the period turns out too short.
+    """
+
+    def __init__(self, params: DeviceParams) -> None:
+        super().__init__(params)
+
+    def on_idle_start(self) -> IdleDecision:
+        return self._count(IdleDecision(sleep=True, sleep_after=0.0))

@@ -1,0 +1,44 @@
+"""Break-even analysis helpers (Benini et al., paper ref [4]).
+
+The canonical ``Tbe`` computation lives in
+:func:`repro.devices.states.break_even_time`; this module adds the
+derived quantities DPM studies need: the charge saved by a sleep of a
+given length, and the classic 2-competitive timeout result.
+"""
+
+from __future__ import annotations
+
+from ..devices.device import DeviceParams
+from ..devices.states import break_even_time
+from ..errors import RangeError
+
+__all__ = ["break_even_time", "sleep_saving", "worst_case_competitive_timeout"]
+
+
+def sleep_saving(params: DeviceParams, t_idle: float) -> float:
+    """Charge saved (A-s) by sleeping through an idle period vs STANDBY.
+
+    Negative when the idle period is shorter than the break-even point
+    (the overheads outweigh the low-power dwell).  Idle periods too
+    short to host the transitions at all return the full overhead loss
+    of an aborted attempt being impossible -- the policy simply cannot
+    sleep, so the "saving" is 0.
+    """
+    if t_idle < 0:
+        raise RangeError("idle length cannot be negative")
+    overhead = params.t_pd + params.t_wu
+    if t_idle < overhead:
+        return 0.0
+    standby_charge = params.i_sdb * t_idle
+    sleep_charge = params.idle_charge(t_idle, sleep=True)
+    return standby_charge - sleep_charge
+
+
+def worst_case_competitive_timeout(params: DeviceParams) -> float:
+    """The timeout value with the classic 2-competitive guarantee.
+
+    Setting the timeout equal to the break-even time guarantees the
+    policy never consumes more than twice the charge of the clairvoyant
+    optimum on any single idle period (the ski-rental argument).
+    """
+    return params.break_even

@@ -1,0 +1,35 @@
+"""Clairvoyant DPM policy: the offline lower bound.
+
+Knows each idle period's true length (primed by the simulator) and
+sleeps exactly when sleeping saves charge.  No online policy can beat it
+on device energy, which makes it the reference point for predictor
+ablations.
+"""
+
+from __future__ import annotations
+
+from ..devices.device import DeviceParams
+from ..errors import ConfigurationError
+from .breakeven import sleep_saving
+from .policy import DPMPolicy, IdleDecision
+
+
+class OraclePolicy(DPMPolicy):
+    """Sleeps iff the (revealed) idle period makes sleeping profitable."""
+
+    def __init__(self, params: DeviceParams) -> None:
+        super().__init__(params)
+        self._next_idle: float | None = None
+
+    def prime(self, t_idle: float) -> None:
+        """Reveal the true length of the coming idle period."""
+        if t_idle < 0:
+            raise ConfigurationError("idle length cannot be negative")
+        self._next_idle = t_idle
+
+    def on_idle_start(self) -> IdleDecision:
+        if self._next_idle is None:
+            raise ConfigurationError("OraclePolicy.on_idle_start before prime()")
+        t = self._next_idle
+        self._next_idle = None
+        return self._count(IdleDecision(sleep=sleep_saving(self.params, t) > 0))

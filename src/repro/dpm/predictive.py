@@ -1,0 +1,61 @@
+"""Predictive shutdown (Hwang-Wu, paper ref [1]) -- the policy FC-DPM builds on.
+
+At each idle-period start the predictor estimates ``T'_i``; if the
+estimate exceeds the break-even time the device powers down
+*immediately* (no timeout dwell).  The paper's Eq. 14 filter is the
+default predictor, but any :class:`~repro.prediction.base.Predictor`
+plugs in -- that is the predictor-ablation axis of the benchmarks.
+"""
+
+from __future__ import annotations
+
+from ..devices.device import DeviceParams
+from ..prediction.base import Predictor
+from ..prediction.exponential import ExponentialAveragePredictor
+from .policy import DPMPolicy, IdleDecision
+
+
+class PredictiveShutdownPolicy(DPMPolicy):
+    """Sleep immediately iff the predicted idle length exceeds ``Tbe``.
+
+    Parameters
+    ----------
+    params:
+        Device parameters (supplies the break-even threshold).
+    predictor:
+        Idle-length predictor; defaults to the paper's exponential
+        average with ``rho = 0.5``.
+    threshold:
+        Override of the sleep threshold (defaults to ``params.break_even``).
+    """
+
+    def __init__(
+        self,
+        params: DeviceParams,
+        predictor: Predictor | None = None,
+        threshold: float | None = None,
+    ) -> None:
+        super().__init__(params)
+        self.predictor = (
+            predictor
+            if predictor is not None
+            else ExponentialAveragePredictor(factor=0.5)
+        )
+        self.threshold = params.break_even if threshold is None else threshold
+        self.last_prediction: float | None = None
+
+    def on_idle_start(self) -> IdleDecision:
+        predicted = self.predictor.predict()
+        self.last_prediction = predicted
+        # A sleep also needs to physically fit the transitions.
+        fits = predicted >= self.params.t_pd + self.params.t_wu
+        sleep = predicted >= self.threshold and fits
+        return self._count(IdleDecision(sleep=sleep, sleep_after=0.0))
+
+    def on_idle_end(self, t_idle: float) -> None:
+        self.predictor.observe(t_idle)
+
+    def reset(self) -> None:
+        super().reset()
+        self.predictor.reset()
+        self.last_prediction = None

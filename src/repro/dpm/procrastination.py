@@ -1,0 +1,111 @@
+"""Idle-period aggregation by task procrastination (paper refs [6, 7]).
+
+Small idle slots defeat DPM: each is too short to amortize the sleep
+transitions.  The procrastination line (Jejurikar & Gupta [6]; Lu,
+Benini & De Micheli [7]) defers task execution within its slack so that
+several small idle gaps merge into one long one, which *can* host a
+profitable sleep.
+
+We implement the trace-level transformation: each task slot carries a
+deferral budget (how late its active period may start); consecutive
+slots whose budgets allow it are coalesced -- their active periods run
+back-to-back at the end, and their idle time pools at the front.
+
+The transformation preserves total active time, active charge, and
+total trace duration; only the *arrangement* changes.  The bench shows
+the resulting fuel win on a bursty workload where per-slot idles sit
+below the Experiment-2 break-even time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..workload.trace import LoadTrace, TaskSlot
+
+
+@dataclass(frozen=True)
+class ProcrastinationReport:
+    """What the transformation did."""
+
+    original_slots: int
+    merged_slots: int
+    original_mean_idle: float
+    merged_mean_idle: float
+
+    @property
+    def aggregation_factor(self) -> float:
+        """Mean idle-length gain (>= 1)."""
+        if self.original_mean_idle == 0:
+            return 1.0
+        return self.merged_mean_idle / self.original_mean_idle
+
+
+def procrastinate(
+    trace: LoadTrace,
+    max_defer: float,
+    name: str | None = None,
+) -> tuple[LoadTrace, ProcrastinationReport]:
+    """Merge consecutive task slots whose work can be deferred.
+
+    Parameters
+    ----------
+    trace:
+        The original slot sequence.
+    max_defer:
+        Uniform deferral budget (s): a slot's active period may start at
+        most this much later than in the original schedule.  Greedy
+        left-to-right merging: slot ``k+1`` is absorbed into the current
+        group while the accumulated delay of every deferred active
+        period stays within the budget.
+    """
+    if max_defer < 0:
+        raise ConfigurationError("deferral budget cannot be negative")
+
+    merged: list[TaskSlot] = []
+    group: list[TaskSlot] = []
+    group_delay = 0.0  # delay the *first* deferred active has accumulated
+
+    def flush() -> None:
+        if not group:
+            return
+        total_idle = sum(s.t_idle for s in group)
+        total_active = sum(s.t_active for s in group)
+        charge = sum(s.active_charge for s in group)
+        merged.append(
+            TaskSlot(
+                t_idle=total_idle,
+                t_active=total_active,
+                i_active=charge / total_active,
+            )
+        )
+        group.clear()
+
+    for slot in trace:
+        if not group:
+            group.append(slot)
+            group_delay = 0.0
+            continue
+        # Absorbing this slot defers every queued active period by the
+        # slot's idle gap; the earliest (first) one accumulates the most.
+        extra = slot.t_idle
+        if group_delay + extra <= max_defer:
+            group.append(slot)
+            group_delay += extra
+        else:
+            flush()
+            group.append(slot)
+            group_delay = 0.0
+    flush()
+
+    out = LoadTrace(
+        merged, name=name if name is not None else f"{trace.name}|procrastinated"
+    )
+    report = ProcrastinationReport(
+        original_slots=len(trace),
+        merged_slots=len(out),
+        original_mean_idle=trace.mean_idle(),
+        merged_mean_idle=out.mean_idle(),
+    )
+    return out, report

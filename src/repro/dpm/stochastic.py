@@ -1,0 +1,209 @@
+"""Stochastic DPM: optimal stopping under a fitted idle-length model.
+
+The stochastic-control DPM line (Benini et al., paper ref [4]; Rong &
+Pedram, ref [5]) models idle lengths probabilistically and derives the
+policy that minimizes *expected* charge.  We implement the classic
+renewal-theory version:
+
+* idle lengths are fitted with a **two-mode geometric mixture**
+  (hyper-geometric) -- short "bursty" idles and long "quiet" idles.
+  A single geometric is memoryless, making the optimal policy a
+  degenerate sleep-now-or-never choice; the mixture makes *elapsed*
+  idle time informative, which is where timeouts come from;
+* surviving ``t`` seconds of idleness updates the posterior over the
+  two modes (Bayes), giving the expected remaining idle length;
+* the optimal stopping rule sleeps at the first ``t`` where the
+  expected remaining idle exceeds the break-even time -- evaluated on a
+  discrete grid, yielding a concrete timeout;
+* :class:`StochasticDPMPolicy` refits the mixture online from observed
+  idle lengths and plugs the derived timeout into the standard policy
+  interface.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..devices.device import DeviceParams
+from ..errors import ConfigurationError, RangeError
+from .policy import DPMPolicy, IdleDecision
+
+
+@dataclass(frozen=True)
+class GeometricMixture:
+    """Two-mode exponential/geometric idle-length model.
+
+    ``P(T > t) = w * exp(-t / tau_short) + (1 - w) * exp(-t / tau_long)``
+
+    Attributes
+    ----------
+    w:
+        Weight of the short mode in [0, 1].
+    tau_short, tau_long:
+        Mean idle lengths of the two modes (s), ``tau_short <= tau_long``.
+    """
+
+    w: float
+    tau_short: float
+    tau_long: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.w <= 1:
+            raise ConfigurationError("mixture weight must be in [0, 1]")
+        if not 0 < self.tau_short <= self.tau_long:
+            raise ConfigurationError("need 0 < tau_short <= tau_long")
+
+    # -- distribution ----------------------------------------------------------
+
+    def survival(self, t: float) -> float:
+        """``P(T > t)``."""
+        if t < 0:
+            raise RangeError("time cannot be negative")
+        return self.w * math.exp(-t / self.tau_short) + (1 - self.w) * math.exp(
+            -t / self.tau_long
+        )
+
+    def posterior_long(self, t: float) -> float:
+        """``P(long mode | T > t)`` -- survival sharpens the belief."""
+        s = self.survival(t)
+        if s == 0:
+            return 1.0
+        return (1 - self.w) * math.exp(-t / self.tau_long) / s
+
+    def expected_remaining(self, t: float) -> float:
+        """``E[T - t | T > t]`` -- memoryless within each mode."""
+        p_long = self.posterior_long(t)
+        return p_long * self.tau_long + (1 - p_long) * self.tau_short
+
+    def mean(self) -> float:
+        """Unconditional mean idle length."""
+        return self.w * self.tau_short + (1 - self.w) * self.tau_long
+
+    # -- fitting -----------------------------------------------------------------
+
+    @classmethod
+    def fit(cls, idle_lengths, n_iterations: int = 50) -> "GeometricMixture":
+        """Fit by a small EM loop on observed idle lengths.
+
+        Degenerates gracefully: near-homogeneous samples produce two
+        nearly equal modes (the policy then behaves like the simple
+        expected-value rule).
+        """
+        x = np.asarray(list(idle_lengths), dtype=float)
+        if x.size < 2:
+            raise ConfigurationError("need at least two idle samples to fit")
+        if np.any(x < 0):
+            raise ConfigurationError("idle lengths cannot be negative")
+        x = np.maximum(x, 1e-6)
+        # Moment-based initialization: split at the median.
+        median = float(np.median(x))
+        short = x[x <= median]
+        long_ = x[x > median]
+        tau_s = max(float(short.mean()), 1e-3) if short.size else median
+        tau_l = max(float(long_.mean()), tau_s) if long_.size else tau_s
+        w = 0.5
+        for _ in range(n_iterations):
+            # E step: responsibility of the short mode per sample.
+            p_s = w / tau_s * np.exp(-x / tau_s)
+            p_l = (1 - w) / tau_l * np.exp(-x / tau_l)
+            total = p_s + p_l
+            total[total == 0] = 1e-300
+            r = p_s / total
+            # M step.
+            w = float(np.clip(r.mean(), 1e-6, 1 - 1e-6))
+            tau_s = max(float((r * x).sum() / max(r.sum(), 1e-12)), 1e-3)
+            tau_l = max(
+                float(((1 - r) * x).sum() / max((1 - r).sum(), 1e-12)), tau_s
+            )
+        return cls(w=w, tau_short=tau_s, tau_long=tau_l)
+
+
+def optimal_timeout(
+    mixture: GeometricMixture,
+    break_even: float,
+    horizon: float | None = None,
+    resolution: float = 0.1,
+) -> float | None:
+    """First elapsed time where sleeping becomes profitable in expectation.
+
+    Scans a grid and returns the first ``t`` with
+    ``E[remaining | survived t] >= break_even``, or ``None`` when no such
+    point exists within the horizon (never sleep).  ``t = 0`` means
+    sleep immediately -- the posterior mean already clears break-even.
+    """
+    if break_even < 0:
+        raise ConfigurationError("break-even time cannot be negative")
+    if resolution <= 0:
+        raise ConfigurationError("resolution must be positive")
+    top = horizon if horizon is not None else 4 * mixture.tau_long
+    t = 0.0
+    while t <= top:
+        if mixture.expected_remaining(t) >= break_even:
+            return t
+        t += resolution
+    return None
+
+
+class StochasticDPMPolicy(DPMPolicy):
+    """Online stochastic DPM: refit the mixture, derive the timeout.
+
+    Parameters
+    ----------
+    params:
+        Device parameters (break-even threshold).
+    refit_every:
+        Refit the mixture after this many observed idle periods.
+    warmup:
+        Before enough samples exist, fall back to a plain break-even
+        timeout (the 2-competitive choice).
+    """
+
+    def __init__(
+        self,
+        params: DeviceParams,
+        refit_every: int = 8,
+        warmup: int = 4,
+        resolution: float = 0.1,
+    ) -> None:
+        super().__init__(params)
+        if refit_every < 1 or warmup < 2:
+            raise ConfigurationError("refit_every >= 1 and warmup >= 2 required")
+        self.refit_every = refit_every
+        self.warmup = warmup
+        self.resolution = resolution
+        self._samples: list[float] = []
+        self._mixture: GeometricMixture | None = None
+        self._timeout: float | None = params.break_even
+
+    @property
+    def mixture(self) -> GeometricMixture | None:
+        """The current fitted idle-length model (None during warm-up)."""
+        return self._mixture
+
+    @property
+    def current_timeout(self) -> float | None:
+        """The timeout now in force (None = never sleep)."""
+        return self._timeout
+
+    def on_idle_start(self) -> IdleDecision:
+        if self._timeout is None:
+            return self._count(IdleDecision(sleep=False))
+        return self._count(IdleDecision(sleep=True, sleep_after=self._timeout))
+
+    def on_idle_end(self, t_idle: float) -> None:
+        self._samples.append(t_idle)
+        n = len(self._samples)
+        if n >= self.warmup and n % self.refit_every == 0:
+            self._mixture = GeometricMixture.fit(self._samples)
+            self._timeout = optimal_timeout(
+                self._mixture, self.params.break_even, resolution=self.resolution
+            )
+
+    def reset(self) -> None:
+        super().reset()
+        self._samples.clear()
+        self._mixture = None
+        self._timeout = self.params.break_even

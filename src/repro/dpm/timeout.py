@@ -1,0 +1,36 @@
+"""Fixed-timeout DPM policy.
+
+The oldest DPM heuristic: stay in STANDBY for ``timeout`` seconds, and
+if the idle period is still going, power down.  With the timeout set to
+the break-even time the policy is 2-competitive (see
+:func:`repro.dpm.breakeven.worst_case_competitive_timeout`).
+"""
+
+from __future__ import annotations
+
+from ..devices.device import DeviceParams
+from ..errors import ConfigurationError
+from .policy import DPMPolicy, IdleDecision
+
+
+class TimeoutPolicy(DPMPolicy):
+    """Sleep after a fixed STANDBY dwell.
+
+    Parameters
+    ----------
+    params:
+        Device parameters.
+    timeout:
+        STANDBY dwell before powering down (s); defaults to the device's
+        break-even time.
+    """
+
+    def __init__(self, params: DeviceParams, timeout: float | None = None) -> None:
+        super().__init__(params)
+        value = params.break_even if timeout is None else timeout
+        if value < 0:
+            raise ConfigurationError("timeout cannot be negative")
+        self.timeout = value
+
+    def on_idle_start(self) -> IdleDecision:
+        return self._count(IdleDecision(sleep=True, sleep_after=self.timeout))

@@ -1,0 +1,42 @@
+"""Fuel-cell-aware dynamic voltage scaling (the authors' prior work).
+
+The paper's introduction builds on two earlier results by the same
+group: DVS for an FC hybrid with a *fixed* FC output level (Zhuo et
+al., DAC 2006, paper ref [10]) and with *multiple* output levels
+(ISLPED 2006, ref [11]).  Their shared message -- maximize FC lifetime
+by minimizing the energy *delivered from the source*, not the energy
+the device consumes -- is the premise FC-DPM starts from, so this
+subpackage reproduces it:
+
+* :mod:`repro.dvs.cpu` -- a discrete frequency/voltage CPU model;
+* :mod:`repro.dvs.tasks` -- frame-based real-time task sets;
+* :mod:`repro.dvs.policies` -- no-DVS, CPU-energy-minimal DVS, and the
+  fuel-minimal FC-aware DVS;
+* :mod:`repro.dvs.sim` -- frame-by-frame simulation on the hybrid
+  source, comparable with the DPM experiments.
+"""
+
+from .cpu import CPULevel, CPUModel
+from .tasks import Frame, FrameTaskSet
+from .policies import (
+    DVSPolicy,
+    NoDVSPolicy,
+    EnergyMinimalDVS,
+    FuelAwareDVS,
+    JointLevelDVS,
+)
+from .sim import DVSSimulator, DVSResult
+
+__all__ = [
+    "CPULevel",
+    "CPUModel",
+    "Frame",
+    "FrameTaskSet",
+    "DVSPolicy",
+    "NoDVSPolicy",
+    "EnergyMinimalDVS",
+    "FuelAwareDVS",
+    "JointLevelDVS",
+    "DVSSimulator",
+    "DVSResult",
+]

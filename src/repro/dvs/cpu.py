@@ -1,0 +1,154 @@
+"""Discrete frequency/voltage CPU model for the DVS substrate.
+
+Dynamic power follows the classic alpha-power CMOS model
+``P_dyn = C_eff * V^2 * f``; a voltage-dependent leakage term makes
+race-to-idle attractive for *device* energy at low loads, which is
+exactly the regime where CPU-energy-minimal DVS and fuel-minimal DVS
+disagree (the prior-work claim this subpackage reproduces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, RangeError
+
+
+@dataclass(frozen=True)
+class CPULevel:
+    """One operating point of the processor.
+
+    Attributes
+    ----------
+    frequency:
+        Clock frequency (GHz, or any consistent cycle-rate unit).
+    voltage:
+        Supply voltage (V) at this frequency.
+    """
+
+    frequency: float
+    voltage: float
+
+    def __post_init__(self) -> None:
+        if self.frequency <= 0 or self.voltage <= 0:
+            raise ConfigurationError("frequency and voltage must be positive")
+
+
+class CPUModel:
+    """A DVS-capable processor on the regulated 12 V rail.
+
+    Parameters
+    ----------
+    levels:
+        Operating points, sorted by ascending frequency.
+    c_eff:
+        Effective switched capacitance (W / (V^2 * GHz)) -- scales
+        dynamic power.
+    leakage_per_volt:
+        Static power per volt of supply (W/V); modeled as ``k * V``.
+    p_platform:
+        Frequency-independent platform power while running (W) --
+        memory, buses, peripherals.
+    p_idle:
+        Platform power while idling between frames (W).
+    v_rail:
+        Rail voltage used to convert power to current.
+    """
+
+    def __init__(
+        self,
+        levels: list[CPULevel],
+        c_eff: float = 1.2,
+        leakage_per_volt: float = 0.8,
+        p_platform: float = 2.0,
+        p_idle: float = 2.4,
+        v_rail: float = 12.0,
+    ) -> None:
+        if not levels:
+            raise ConfigurationError("need at least one operating point")
+        freqs = [lv.frequency for lv in levels]
+        if freqs != sorted(freqs) or len(set(freqs)) != len(freqs):
+            raise ConfigurationError("levels must be strictly ascending in frequency")
+        volts = [lv.voltage for lv in levels]
+        if volts != sorted(volts):
+            raise ConfigurationError("voltage must be non-decreasing with frequency")
+        if min(c_eff, leakage_per_volt, p_platform, p_idle) < 0:
+            raise ConfigurationError("power coefficients must be non-negative")
+        if v_rail <= 0:
+            raise ConfigurationError("rail voltage must be positive")
+        self.levels = list(levels)
+        self.c_eff = c_eff
+        self.leakage_per_volt = leakage_per_volt
+        self.p_platform = p_platform
+        self.p_idle = p_idle
+        self.v_rail = v_rail
+
+    @classmethod
+    def xscale_like(cls) -> "CPUModel":
+        """An XScale-flavored 5-level processor (a common DVS testbed)."""
+        return cls(
+            levels=[
+                CPULevel(0.15, 0.75),
+                CPULevel(0.40, 1.00),
+                CPULevel(0.60, 1.30),
+                CPULevel(0.80, 1.60),
+                CPULevel(1.00, 1.80),
+            ],
+            c_eff=2.8,
+            leakage_per_volt=0.9,
+            p_platform=2.0,
+            p_idle=2.4,
+        )
+
+    # -- power/current ---------------------------------------------------------
+
+    @property
+    def f_max(self) -> float:
+        """Highest available frequency."""
+        return self.levels[-1].frequency
+
+    def run_power(self, level: CPULevel) -> float:
+        """Total power (W) while executing at ``level``."""
+        dynamic = self.c_eff * level.voltage**2 * level.frequency
+        leakage = self.leakage_per_volt * level.voltage
+        return dynamic + leakage + self.p_platform
+
+    def run_current(self, level: CPULevel) -> float:
+        """Rail current (A) while executing at ``level``."""
+        return self.run_power(level) / self.v_rail
+
+    @property
+    def idle_current(self) -> float:
+        """Rail current (A) while idling between frames."""
+        return self.p_idle / self.v_rail
+
+    # -- timing ------------------------------------------------------------
+
+    def execution_time(self, cycles: float, level: CPULevel) -> float:
+        """Seconds to retire ``cycles`` giga-cycles at ``level``."""
+        if cycles <= 0:
+            raise RangeError("cycle count must be positive")
+        return cycles / level.frequency
+
+    def feasible_levels(self, cycles: float, deadline: float) -> list[CPULevel]:
+        """Levels that finish ``cycles`` within ``deadline`` seconds."""
+        if deadline <= 0:
+            raise RangeError("deadline must be positive")
+        return [
+            lv for lv in self.levels if self.execution_time(cycles, lv) <= deadline
+        ]
+
+    def frame_charge(self, cycles: float, deadline: float, level: CPULevel) -> float:
+        """Device charge (A-s) of one frame: run at ``level``, then idle.
+
+        This is the quantity CPU-energy-minimal DVS minimizes.
+        """
+        t_run = self.execution_time(cycles, level)
+        if t_run > deadline:
+            raise RangeError(
+                f"level {level.frequency} GHz misses the deadline "
+                f"({t_run:.3f} s > {deadline:.3f} s)"
+            )
+        return self.run_current(level) * t_run + self.idle_current * (
+            deadline - t_run
+        )

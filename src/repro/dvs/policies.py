@@ -1,0 +1,197 @@
+"""DVS speed-selection policies.
+
+Three policies spanning the prior work's argument:
+
+* :class:`NoDVSPolicy` -- full speed, race-to-idle.
+* :class:`EnergyMinimalDVS` -- classic DVS: minimize the *device*
+  charge of each frame (slowest feasible level under a convex power
+  model).
+* :class:`FuelAwareDVS` -- ref [10]'s message: minimize the *fuel* of
+  each frame, accounting for the hybrid source (fuel-optimal FC setting
+  with the real, finite storage).  With ample storage this provably
+  coincides with :class:`EnergyMinimalDVS` (Jensen equality through the
+  flat FC optimum); with a small buffer, peaky schedules get
+  capacity-limited FC settings and the two diverge -- the test suite
+  demonstrates both regimes.
+* :class:`JointLevelDVS` -- ref [11]: the FC offers only discrete
+  output levels; jointly pick the CPU level and the FC level pair.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..core.multilevel import solve_slot_discrete
+from ..core.optimizer import solve_slot
+from ..core.setting import SlotProblem, SlotSolution
+from ..errors import ConfigurationError, InfeasibleError
+from ..fuelcell.efficiency import SystemEfficiencyModel
+from .cpu import CPULevel, CPUModel
+from .tasks import Frame
+
+
+@dataclass(frozen=True)
+class FrameDecision:
+    """Chosen operating point and FC plan for one frame."""
+
+    level: CPULevel
+    t_run: float
+    t_idle: float
+    i_run: float
+    i_idle: float
+    #: FC setting for the frame (None for device-only policies, filled
+    #: by the simulator using the fuel-optimal setting).
+    fc_plan: SlotSolution | None = None
+
+
+class DVSPolicy(ABC):
+    """Per-frame speed selection."""
+
+    def __init__(self, cpu: CPUModel) -> None:
+        self.cpu = cpu
+
+    @abstractmethod
+    def decide(self, frame: Frame, c_ini: float, c_target: float,
+               c_max: float) -> FrameDecision:
+        """Pick the operating point for ``frame`` given storage state."""
+
+    def _decision(self, frame: Frame, level: CPULevel) -> FrameDecision:
+        t_run = self.cpu.execution_time(frame.cycles, level)
+        return FrameDecision(
+            level=level,
+            t_run=t_run,
+            t_idle=frame.deadline - t_run,
+            i_run=self.cpu.run_current(level),
+            i_idle=self.cpu.idle_current,
+        )
+
+    def _feasible(self, frame: Frame) -> list[CPULevel]:
+        levels = self.cpu.feasible_levels(frame.cycles, frame.deadline)
+        if not levels:
+            raise InfeasibleError(
+                f"frame of {frame.cycles:.3f} Gcycles misses its "
+                f"{frame.deadline:.3f} s deadline even at "
+                f"{self.cpu.f_max:.2f} GHz"
+            )
+        return levels
+
+
+class NoDVSPolicy(DVSPolicy):
+    """Always full speed (race-to-idle)."""
+
+    def decide(self, frame, c_ini, c_target, c_max) -> FrameDecision:
+        return self._decision(frame, self._feasible(frame)[-1])
+
+
+class EnergyMinimalDVS(DVSPolicy):
+    """Minimize the frame's device charge (classic DVS objective)."""
+
+    def decide(self, frame, c_ini, c_target, c_max) -> FrameDecision:
+        best = min(
+            self._feasible(frame),
+            key=lambda lv: self.cpu.frame_charge(frame.cycles, frame.deadline, lv),
+        )
+        return self._decision(frame, best)
+
+
+class FuelAwareDVS(DVSPolicy):
+    """Minimize the frame's *fuel* under the hybrid source (ref [10]).
+
+    For every feasible CPU level the policy solves the Section-3 slot
+    problem (run period = active, slack = idle) against the real
+    storage state and picks the level with the least fuel.  The
+    difference from :class:`EnergyMinimalDVS` is precisely the storage
+    capacity term: with ``c_max = inf`` the two always agree.
+    """
+
+    def __init__(self, cpu: CPUModel, model: SystemEfficiencyModel) -> None:
+        super().__init__(cpu)
+        self.model = model
+
+    def _fc_problem(self, frame: Frame, level: CPULevel, c_ini: float,
+                    c_target: float, c_max: float) -> SlotProblem:
+        t_run = self.cpu.execution_time(frame.cycles, level)
+        t_idle = frame.deadline - t_run
+        return SlotProblem(
+            t_idle=max(t_idle, 0.0),
+            t_active=t_run,
+            i_idle=self.cpu.idle_current,
+            i_active=self.cpu.run_current(level),
+            c_ini=c_ini,
+            c_end=c_target,
+            c_max=c_max,
+        )
+
+    def decide(self, frame, c_ini, c_target, c_max) -> FrameDecision:
+        best_level: CPULevel | None = None
+        best_plan: SlotSolution | None = None
+        best_cost = float("inf")
+        for level in self._feasible(frame):
+            plan = solve_slot(
+                self._fc_problem(frame, level, c_ini, c_target, c_max), self.model
+            )
+            # Deficits mean the source cannot carry this level: hard-reject.
+            cost = plan.fuel if plan.deficit == 0 else float("inf")
+            if cost < best_cost:
+                best_cost = cost
+                best_level = level
+                best_plan = plan
+        if best_level is None:
+            raise InfeasibleError("no CPU level is feasible for the source")
+        decision = self._decision(frame, best_level)
+        return FrameDecision(
+            level=decision.level,
+            t_run=decision.t_run,
+            t_idle=decision.t_idle,
+            i_run=decision.i_run,
+            i_idle=decision.i_idle,
+            fc_plan=best_plan,
+        )
+
+
+class JointLevelDVS(FuelAwareDVS):
+    """Joint CPU level + discrete FC level choice (ref [11]).
+
+    Same search as :class:`FuelAwareDVS`, but the FC setting is
+    restricted to a finite level lattice.
+    """
+
+    def __init__(
+        self,
+        cpu: CPUModel,
+        model: SystemEfficiencyModel,
+        fc_levels: tuple[float, ...],
+    ) -> None:
+        super().__init__(cpu, model)
+        if len(fc_levels) < 2:
+            raise ConfigurationError("need at least two FC levels")
+        self.fc_levels = tuple(sorted(fc_levels))
+
+    def decide(self, frame, c_ini, c_target, c_max) -> FrameDecision:
+        best_level: CPULevel | None = None
+        best_plan: SlotSolution | None = None
+        best_cost = float("inf")
+        for level in self._feasible(frame):
+            problem = self._fc_problem(frame, level, c_ini, c_target, c_max)
+            try:
+                discrete = solve_slot_discrete(problem, self.model, self.fc_levels)
+            except InfeasibleError:
+                continue
+            if discrete.solution.fuel < best_cost:
+                best_cost = discrete.solution.fuel
+                best_level = level
+                best_plan = discrete.solution
+        if best_level is None:
+            raise InfeasibleError(
+                "no (CPU level, FC level) combination carries this frame"
+            )
+        decision = self._decision(frame, best_level)
+        return FrameDecision(
+            level=decision.level,
+            t_run=decision.t_run,
+            t_idle=decision.t_idle,
+            i_run=decision.i_run,
+            i_idle=decision.i_idle,
+            fc_plan=best_plan,
+        )

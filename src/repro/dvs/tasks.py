@@ -1,0 +1,129 @@
+"""Frame-based real-time task model for the DVS substrate.
+
+The prior-work DVS papers (refs [10, 11]) target frame-structured
+multimedia workloads: each frame carries a cycle demand and must finish
+by the frame deadline; slack may be spent running slower.  This module
+provides the frame container plus generators mirroring the workload
+families in :mod:`repro.workload.synthetic`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError, TraceError
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One frame of work.
+
+    Attributes
+    ----------
+    cycles:
+        Cycle demand in giga-cycles (so time = cycles / GHz).
+    deadline:
+        Time available for the frame (s); also the frame period.
+    """
+
+    cycles: float
+    deadline: float
+
+    def __post_init__(self) -> None:
+        if self.cycles <= 0:
+            raise TraceError("frame cycles must be positive")
+        if self.deadline <= 0:
+            raise TraceError("frame deadline must be positive")
+
+    def utilization(self, f_max: float) -> float:
+        """Fraction of the period the frame needs at frequency ``f_max``."""
+        if f_max <= 0:
+            raise TraceError("f_max must be positive")
+        return self.cycles / f_max / self.deadline
+
+
+class FrameTaskSet(Sequence[Frame]):
+    """An immutable sequence of frames with feasibility checks."""
+
+    def __init__(self, frames: Iterable[Frame], name: str = "frames") -> None:
+        self._frames = tuple(frames)
+        if not self._frames:
+            raise TraceError("a task set needs at least one frame")
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def __iter__(self) -> Iterator[Frame]:
+        return iter(self._frames)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return FrameTaskSet(self._frames[index], name=self.name)
+        return self._frames[index]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FrameTaskSet) and self._frames == other._frames
+
+    def __hash__(self) -> int:
+        return hash(self._frames)
+
+    @property
+    def duration(self) -> float:
+        """Total schedule length (sum of deadlines, s)."""
+        return sum(f.deadline for f in self._frames)
+
+    def max_utilization(self, f_max: float) -> float:
+        """Worst single-frame utilization at ``f_max``."""
+        return max(f.utilization(f_max) for f in self._frames)
+
+    def is_feasible(self, f_max: float) -> bool:
+        """True if every frame fits its deadline at full speed."""
+        return self.max_utilization(f_max) <= 1.0
+
+
+def mpeg_frames(
+    n_frames: int = 200,
+    deadline: float = 1 / 30.0 * 15,
+    mean_utilization: float = 0.45,
+    f_max: float = 1.0,
+    spread: float = 0.35,
+    seed: int = 2006,
+    name: str = "mpeg-gops",
+) -> FrameTaskSet:
+    """GOP-granularity MPEG encoding frames (the prior work's workload).
+
+    Cycle demands follow the same scene-complexity idea as the DPM
+    trace generator: lognormal variation around a mean utilization.
+    """
+    if n_frames < 1:
+        raise ConfigurationError("need at least one frame")
+    if not 0 < mean_utilization <= 1:
+        raise ConfigurationError("mean utilization must be in (0, 1]")
+    if not 0 <= spread < 1:
+        raise ConfigurationError("spread must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    sigma = spread
+    frames = []
+    for _ in range(n_frames):
+        u = mean_utilization * float(np.exp(rng.normal(0.0, sigma)))
+        u = min(max(u, 0.05), 1.0)
+        frames.append(Frame(cycles=u * f_max * deadline, deadline=deadline))
+    return FrameTaskSet(frames, name=name)
+
+
+def constant_frames(
+    n_frames: int,
+    utilization: float,
+    deadline: float = 0.5,
+    f_max: float = 1.0,
+    name: str = "constant",
+) -> FrameTaskSet:
+    """Identical frames -- the analytical sanity workload."""
+    if not 0 < utilization <= 1:
+        raise ConfigurationError("utilization must be in (0, 1]")
+    frame = Frame(cycles=utilization * f_max * deadline, deadline=deadline)
+    return FrameTaskSet([frame] * n_frames, name=name)

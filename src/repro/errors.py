@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro library.
+
+Every exception raised by this package derives from :class:`ReproError`,
+so callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigurationError(ReproError):
+    """A model or policy was constructed with inconsistent parameters."""
+
+
+class RangeError(ReproError, ValueError):
+    """A physical quantity is outside its valid domain.
+
+    Example: requesting stack voltage at a current beyond the maximum
+    power point, or an FC output outside the load-following range when
+    clamping is disabled.
+    """
+
+
+class InfeasibleError(ReproError):
+    """The optimization problem has no feasible solution.
+
+    Raised, e.g., when the load demands more charge over a slot than the
+    FC at its maximum load-following output plus a full storage element
+    can supply.
+    """
+
+
+class StorageError(ReproError):
+    """Charge-storage bookkeeping violated (overdraw without permission)."""
+
+
+class TraceError(ReproError):
+    """A load trace is malformed (negative durations, bad ordering...)."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state."""
+
+
+class DepletedError(SimulationError):
+    """The fuel tank (or storage in stand-alone mode) ran out mid-run."""

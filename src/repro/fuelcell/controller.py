@@ -1,0 +1,89 @@
+"""FC balance-of-plant controller models.
+
+The FC system's controller (paper Section 2.1) comprises a cathode air
+blow fan, a cooling fan, a purge-valve solenoid, and a microcontroller,
+all powered from the 12 V rail.  Its current draw ``Ictrl`` is overhead:
+the useful system output is ``IF = Idc - Ictrl``.
+
+Two configurations appear in the paper:
+
+* **on-off (constant-speed) fan** -- the configuration of the authors'
+  earlier DVS work [10, 11]; the cooling fan switches on above a load
+  threshold, producing the step in Fig. 3(c) and a roughly *constant*
+  system efficiency over the load-following range.
+* **proportional (variable-speed) fan** -- this paper's configuration;
+  fan speed (and hence controller current) scales with the load current,
+  giving the higher, gently *decreasing* efficiency of Fig. 3(b) that
+  the linear law ``eta_s = alpha - beta*IF`` captures.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, RangeError
+
+
+class FanController(ABC):
+    """Controller current draw as a function of the system output current."""
+
+    @abstractmethod
+    def current(self, i_f: float) -> float:
+        """Controller current ``Ictrl`` (A) at system output ``IF`` (A)."""
+
+
+@dataclass(frozen=True)
+class OnOffFanController(FanController):
+    """Constant-speed fan switched on above a load threshold.
+
+    Attributes
+    ----------
+    i_base:
+        Always-on draw: microcontroller + air-blow fan (A).
+    i_fan:
+        Cooling-fan draw when on (A).
+    threshold:
+        System output current above which the cooling fan runs (A).
+    """
+
+    i_base: float = 0.055
+    i_fan: float = 0.14
+    threshold: float = 0.55
+
+    def __post_init__(self) -> None:
+        if min(self.i_base, self.i_fan, self.threshold) < 0:
+            raise ConfigurationError("controller currents must be non-negative")
+
+    def current(self, i_f: float) -> float:
+        if i_f < 0:
+            raise RangeError("system output current cannot be negative")
+        return self.i_base + (self.i_fan if i_f > self.threshold else 0.0)
+
+
+@dataclass(frozen=True)
+class ProportionalFanController(FanController):
+    """Variable-speed fan: fan *speed* tracks the load current.
+
+    ``Ictrl = i_base + coeff * IF ** exponent``.  The paper drives fan
+    speed proportionally to load current; aerodynamic fan power scales
+    with the cube of speed, so the electrical draw is ~cubic in ``IF``.
+    That is what makes this configuration nearly free at light load
+    (Fig. 3(b) beats Fig. 3(c) most at low currents) while still paying a
+    substantial overhead at full load.
+    """
+
+    i_base: float = 0.003
+    coeff: float = 0.165
+    exponent: float = 3.0
+
+    def __post_init__(self) -> None:
+        if min(self.i_base, self.coeff) < 0:
+            raise ConfigurationError("controller parameters must be non-negative")
+        if self.exponent < 1:
+            raise ConfigurationError("fan-power exponent must be >= 1")
+
+    def current(self, i_f: float) -> float:
+        if i_f < 0:
+            raise RangeError("system output current cannot be negative")
+        return self.i_base + self.coeff * i_f**self.exponent

@@ -1,0 +1,135 @@
+"""Stack sizing: the hybridization argument of paper Section 2.2.
+
+"If we use the FC alone, the load following range ... has to be large
+enough to handle the peak load power, which results in a very
+pessimistic use of the FC stack in terms of weight and volume.  If,
+however, we utilize a hybrid power source ..., the FC size can be
+chosen based on the average load, which is a lot smaller."
+
+This module turns that paragraph into numbers: given a workload and a
+storage budget, the minimum FC output capability that keeps the storage
+from browning out, and the resulting downsizing factor versus a
+stand-alone stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..devices.device import DeviceParams
+from ..errors import ConfigurationError
+from ..workload.trace import LoadTrace
+
+
+@dataclass(frozen=True)
+class SizingResult:
+    """Stack requirements for one workload."""
+
+    #: Peak load current the source must survive (A).
+    peak_current: float
+    #: Whole-trace average load current (A).
+    average_current: float
+    #: Minimum FC output for a stand-alone source (= peak).
+    standalone_if_max: float
+    #: Minimum FC output with the given storage buffer (A).
+    hybrid_if_max: float
+    #: Storage capacity assumed (A-s).
+    storage_capacity: float
+
+    @property
+    def downsizing_factor(self) -> float:
+        """Stand-alone over hybrid requirement (the paper's argument)."""
+        if self.hybrid_if_max == 0:
+            return float("inf")
+        return self.standalone_if_max / self.hybrid_if_max
+
+
+def _load_profile(trace: LoadTrace, device: DeviceParams, sleep: bool):
+    """Piecewise-constant (duration, current) profile of the whole trace."""
+    segments: list[tuple[float, float]] = []
+    for slot in trace:
+        if sleep and slot.t_idle >= device.t_pd + device.t_wu:
+            segments.append((device.t_pd, device.i_pd))
+            segments.append(
+                (slot.t_idle - device.t_pd - device.t_wu, device.i_slp)
+            )
+            segments.append((device.t_wu, device.i_wu))
+        else:
+            segments.append((slot.t_idle, device.i_sdb))
+        duration = device.t_sdb_to_run + slot.t_active + device.t_run_to_sdb
+        segments.append((duration, slot.i_active))
+    return [(d, i) for d, i in segments if d > 0]
+
+
+def _feasible(profile, if_max: float, capacity: float, initial: float) -> bool:
+    """Can a flat-capped FC keep the storage non-negative?
+
+    The FC delivers ``min(needed, if_max)`` greedily (refill surplus up
+    to the capacity whenever the load allows) -- the most favorable
+    control, so this is the true feasibility frontier.
+    """
+    charge = initial
+    for duration, i_load in profile:
+        net = (if_max - i_load) * duration
+        charge = min(charge + net, capacity)
+        if charge < -1e-9:
+            return False
+    return True
+
+
+def required_fc_output(
+    trace: LoadTrace,
+    device: DeviceParams,
+    storage_capacity: float,
+    storage_initial: float | None = None,
+    sleep: bool = True,
+    tol: float = 1e-4,
+) -> SizingResult:
+    """Minimum flat FC output that carries the workload with the buffer.
+
+    Bisects on ``IF_max`` between the average load (charge balance lower
+    bound) and the peak load (always sufficient).
+    """
+    if storage_capacity < 0:
+        raise ConfigurationError("storage capacity cannot be negative")
+    initial = (
+        storage_capacity / 2 if storage_initial is None else storage_initial
+    )
+    if not 0 <= initial <= storage_capacity:
+        raise ConfigurationError("initial charge must fit the capacity")
+
+    profile = _load_profile(trace, device, sleep)
+    total_charge = sum(d * i for d, i in profile)
+    total_time = sum(d for d, _ in profile)
+    average = total_charge / total_time
+    peak = max(i for _, i in profile)
+
+    lo, hi = average, peak
+    if _feasible(profile, lo, storage_capacity, initial):
+        hi = lo
+    else:
+        while hi - lo > tol:
+            mid = 0.5 * (lo + hi)
+            if _feasible(profile, mid, storage_capacity, initial):
+                hi = mid
+            else:
+                lo = mid
+    return SizingResult(
+        peak_current=peak,
+        average_current=average,
+        standalone_if_max=peak,
+        hybrid_if_max=hi,
+        storage_capacity=storage_capacity,
+    )
+
+
+def downsizing_curve(
+    trace: LoadTrace,
+    device: DeviceParams,
+    capacities=(0.0, 1.0, 2.0, 4.0, 6.0, 12.0, 24.0),
+) -> dict[float, SizingResult]:
+    """Required FC output versus storage capacity (Section 2.2's curve)."""
+    return {
+        cap: required_fc_output(trace, device, storage_capacity=cap)
+        for cap in capacities
+    }

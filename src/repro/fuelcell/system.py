@@ -1,0 +1,125 @@
+"""The complete FC *system*: stack + DC-DC converter + controller.
+
+This is the "Fuel cell system" box of paper Fig. 1.  Its terminal
+behaviour, as seen by the rest of the hybrid source, is:
+
+* a regulated output voltage ``VF`` (12 V),
+* a commanded output current ``IF`` restricted to the load-following
+  range, and
+* a fuel consumption rate ``Ifc = (VF * IF) / (zeta * eta_s(IF))``
+  (Eq. 3) integrated against a :class:`~repro.fuelcell.fuel.FuelTank`.
+"""
+
+from __future__ import annotations
+
+from ..config import FCSystemConstants
+from ..errors import RangeError
+from .efficiency import LinearSystemEfficiency, SystemEfficiencyModel
+from .fuel import FuelTank, GibbsFuelModel
+
+
+class FCSystem:
+    """Controllable fuel-cell power system.
+
+    Parameters
+    ----------
+    efficiency_model:
+        System-efficiency law; defaults to the paper's calibrated linear
+        model (``alpha=0.45, beta=0.13``).
+    tank:
+        Fuel reserve; defaults to a bottomless metering tank.
+    allow_zero_output:
+        If True, ``IF = 0`` (system off) is accepted even though it lies
+        below the load-following minimum.  The paper's policies never
+        switch the FC off mid-trace, but sizing studies may.
+    """
+
+    def __init__(
+        self,
+        efficiency_model: SystemEfficiencyModel | None = None,
+        tank: FuelTank | None = None,
+        allow_zero_output: bool = False,
+    ) -> None:
+        self.model = (
+            efficiency_model
+            if efficiency_model is not None
+            else LinearSystemEfficiency()
+        )
+        self.tank = (
+            tank
+            if tank is not None
+            else FuelTank(model=GibbsFuelModel(zeta=self.model.zeta))
+        )
+        self.allow_zero_output = allow_zero_output
+        self._i_f = self.model.if_min
+
+    @classmethod
+    def paper_system(
+        cls, constants: FCSystemConstants | None = None, tank: FuelTank | None = None
+    ) -> "FCSystem":
+        """The paper's measured configuration (Section 2.3 constants)."""
+        c = constants if constants is not None else FCSystemConstants()
+        return cls(LinearSystemEfficiency.from_constants(c), tank=tank)
+
+    # -- output control ---------------------------------------------------------
+
+    @property
+    def v_out(self) -> float:
+        """Regulated output voltage ``VF`` (V)."""
+        return self.model.v_out
+
+    @property
+    def output_current(self) -> float:
+        """Currently commanded system output current ``IF`` (A)."""
+        return self._i_f
+
+    @property
+    def load_following_range(self) -> tuple[float, float]:
+        """``(IF_min, IF_max)`` in amperes."""
+        return self.model.if_min, self.model.if_max
+
+    def set_output(self, i_f: float, *, clamp: bool = True) -> float:
+        """Command a new output current, returning the value actually set.
+
+        With ``clamp=True`` out-of-range commands are clipped to the
+        load-following range (paper Section 3.3.1); otherwise they raise
+        :class:`RangeError`.
+        """
+        if i_f == 0.0 and self.allow_zero_output:
+            self._i_f = 0.0
+            return 0.0
+        if clamp:
+            self._i_f = self.model.clamp(i_f)
+        else:
+            if not self.model.in_range(i_f):
+                raise RangeError(
+                    f"IF={i_f:.3f} A outside load-following range "
+                    f"[{self.model.if_min}, {self.model.if_max}] A"
+                )
+            self._i_f = i_f
+        return self._i_f
+
+    # -- fuel dynamics -------------------------------------------------------
+
+    def fc_current(self, i_f: float | None = None) -> float:
+        """Stack current ``Ifc`` at output ``IF`` (current setting if None)."""
+        target = self._i_f if i_f is None else i_f
+        if target == 0.0:
+            return 0.0
+        return self.model.fc_current(target)
+
+    def run(self, dt: float, *, strict_fuel: bool = True) -> float:
+        """Hold the present output for ``dt`` seconds; burn and return fuel (A-s)."""
+        if dt < 0:
+            raise RangeError("dt cannot be negative")
+        return self.tank.draw(self.fc_current(), dt, strict=strict_fuel)
+
+    def output_power(self) -> float:
+        """Electrical output power ``VF * IF`` (W) at the present setting."""
+        return self.v_out * self._i_f
+
+    def efficiency(self) -> float:
+        """System efficiency at the present setting."""
+        if self._i_f == 0.0:
+            return 0.0
+        return self.model.efficiency(self._i_f)

@@ -1,0 +1,144 @@
+"""Stack thermal model: heat generation, fan cooling, temperature limits.
+
+The paper's balance-of-plant includes a cooling fan whose speed (on-off
+vs load-proportional) defines the two Fig-3 system configurations; this
+module closes the physical loop behind that choice.  A PEM stack
+converts only ``Vcell / E_thermo`` of the reaction enthalpy to
+electricity -- the rest is heat:
+
+    P_heat = (E_thermo - Vcell) * Ifc * n_cells,   E_thermo ~ 1.48 V
+
+A lumped thermal mass heats up under ``P_heat`` and is cooled by
+convection whose coefficient scales with fan speed.  The steady-state
+temperature determines whether a constant-speed fan is over- or
+under-cooling at a given load -- exactly the waste the proportional fan
+eliminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import units
+from ..errors import ConfigurationError, RangeError
+from .stack import FCStack
+
+#: Thermoneutral cell voltage (HHV): all enthalpy -> electricity at this V.
+THERMONEUTRAL_CELL_VOLTAGE = 1.481
+
+
+@dataclass(frozen=True)
+class ThermalParams:
+    """Lumped thermal parameters of a small air-cooled stack.
+
+    Attributes
+    ----------
+    thermal_mass:
+        Heat capacity of the stack (J/K).
+    h_natural:
+        Convective loss with the fan off (W/K).
+    h_fan_max:
+        Additional convective loss at full fan speed (W/K).
+    t_ambient:
+        Ambient temperature (K).
+    t_max:
+        Membrane temperature limit (K) -- dry-out above this.
+    """
+
+    thermal_mass: float = 350.0
+    h_natural: float = 0.08
+    h_fan_max: float = 0.9
+    t_ambient: float = units.ROOM_TEMPERATURE_K
+    t_max: float = 338.15  # 65 C for a low-temperature PEM
+
+    def __post_init__(self) -> None:
+        if min(self.thermal_mass, self.h_natural, self.h_fan_max) <= 0:
+            raise ConfigurationError("thermal parameters must be positive")
+        if self.t_max <= self.t_ambient:
+            raise ConfigurationError("t_max must exceed ambient")
+
+
+class StackThermalModel:
+    """First-order thermal dynamics of the stack.
+
+    ``C dT/dt = P_heat(Ifc) - h(fan) * (T - T_ambient)``
+    """
+
+    def __init__(
+        self,
+        stack: FCStack | None = None,
+        params: ThermalParams | None = None,
+    ) -> None:
+        self.stack = stack if stack is not None else FCStack.bcs_20w()
+        self.params = params if params is not None else ThermalParams()
+        self._temperature = self.params.t_ambient
+
+    @property
+    def temperature(self) -> float:
+        """Present stack temperature (K)."""
+        return self._temperature
+
+    def heat_power(self, i_fc: float) -> float:
+        """Waste heat (W) at stack current ``Ifc``.
+
+        ``(E_thermo * n - Vstack) * Ifc`` -- the enthalpy not converted
+        to electrical work.
+        """
+        if i_fc < 0:
+            raise RangeError("stack current cannot be negative")
+        if i_fc == 0:
+            return 0.0
+        v_thermo = THERMONEUTRAL_CELL_VOLTAGE * self.stack.n_cells
+        return (v_thermo - float(self.stack.voltage(i_fc))) * i_fc
+
+    def conductance(self, fan_speed: float) -> float:
+        """Convective loss coefficient (W/K) at ``fan_speed`` in [0, 1]."""
+        if not 0 <= fan_speed <= 1:
+            raise RangeError("fan speed must be in [0, 1]")
+        return self.params.h_natural + self.params.h_fan_max * fan_speed
+
+    def steady_state_temperature(self, i_fc: float, fan_speed: float) -> float:
+        """Equilibrium temperature at constant current and fan speed."""
+        return self.params.t_ambient + self.heat_power(i_fc) / self.conductance(
+            fan_speed
+        )
+
+    def required_fan_speed(self, i_fc: float, margin: float = 3.0) -> float:
+        """Minimum fan speed keeping steady state ``margin`` K under t_max.
+
+        Returns a value in [0, 1]; 1.0 means even full speed cannot hold
+        the limit (the operating point is thermally infeasible).
+        """
+        if margin < 0:
+            raise ConfigurationError("margin cannot be negative")
+        target = self.params.t_max - margin
+        needed = self.heat_power(i_fc) / (target - self.params.t_ambient)
+        speed = (needed - self.params.h_natural) / self.params.h_fan_max
+        return min(max(speed, 0.0), 1.0)
+
+    def step(self, i_fc: float, fan_speed: float, dt: float) -> float:
+        """Advance the temperature by ``dt`` seconds; returns the new T.
+
+        Exact integration of the linear first-order ODE over the step
+        (current and fan constant within it).
+        """
+        import math
+
+        if dt < 0:
+            raise RangeError("dt cannot be negative")
+        h = self.conductance(fan_speed)
+        t_inf = self.params.t_ambient + self.heat_power(i_fc) / h
+        tau = self.params.thermal_mass / h
+        self._temperature = t_inf + (self._temperature - t_inf) * math.exp(
+            -dt / tau
+        )
+        return self._temperature
+
+    @property
+    def over_limit(self) -> bool:
+        """True when the membrane limit is exceeded."""
+        return self._temperature > self.params.t_max
+
+    def reset(self) -> None:
+        """Cool back to ambient."""
+        self._temperature = self.params.t_ambient

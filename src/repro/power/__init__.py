@@ -1,0 +1,25 @@
+"""Power-electronics substrate: DC-DC converters, charge storage, hybrid source."""
+
+from .converter import (
+    ConverterModel,
+    IdealConverter,
+    PWMConverter,
+    PFMConverter,
+    PWMPFMConverter,
+)
+from .storage import ChargeStorage, SuperCapacitor, LiIonBattery, IdealStorage
+from .hybrid import HybridPowerSource, HybridStep
+
+__all__ = [
+    "ConverterModel",
+    "IdealConverter",
+    "PWMConverter",
+    "PFMConverter",
+    "PWMPFMConverter",
+    "ChargeStorage",
+    "SuperCapacitor",
+    "LiIonBattery",
+    "IdealStorage",
+    "HybridPowerSource",
+    "HybridStep",
+]

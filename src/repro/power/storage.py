@@ -1,0 +1,229 @@
+"""Charge-storage elements for the hybrid power source.
+
+The hybrid source (paper Fig. 1) buffers the difference between the FC
+system output ``IF`` and the embedded-system load ``Ild`` in a charge
+storage element -- "either a Li-ion battery or a super capacitor".  The
+paper's optimization assumes a lossless buffer (Section 3.3 assumption
+2); :class:`SuperCapacitor` defaults to that ideal behaviour and exposes
+loss knobs (coulombic efficiency, leakage) for ablation studies.
+:class:`LiIonBattery` additionally models the rate-capacity effect and
+charge recovery, the two non-linearities that battery-aware DPM work
+exploits and that FCs lack (paper Section 1).
+
+Sign convention: ``step(current, dt)`` with positive ``current`` charges
+the element, negative discharges it.  All charge is in ampere-seconds
+(coulombs) on the 12 V rail.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..errors import ConfigurationError, StorageError
+
+
+class ChargeStorage(ABC):
+    """Abstract charge buffer with bounded capacity.
+
+    Parameters
+    ----------
+    capacity:
+        Usable charge capacity ``Cmax`` (A-s).
+    initial_charge:
+        Starting level ``Cini`` (A-s); defaults to empty.
+    """
+
+    def __init__(self, capacity: float, initial_charge: float = 0.0) -> None:
+        if capacity <= 0:
+            raise ConfigurationError("capacity must be positive")
+        if not 0 <= initial_charge <= capacity:
+            raise ConfigurationError("initial charge must lie in [0, capacity]")
+        self.capacity = capacity
+        self._charge = initial_charge
+        #: Charge dissipated in the bleeder by-pass (overflow), A-s.
+        self.bled_charge = 0.0
+        #: Charge demanded but not available (underflow), A-s.
+        self.deficit_charge = 0.0
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def charge(self) -> float:
+        """Current stored charge (A-s)."""
+        return self._charge
+
+    @property
+    def soc(self) -> float:
+        """State of charge in [0, 1]."""
+        return self._charge / self.capacity
+
+    @property
+    def headroom(self) -> float:
+        """Charge that can still be accepted (A-s)."""
+        return self.capacity - self._charge
+
+    def reset(self, charge: float = 0.0) -> None:
+        """Reset to a given level and clear overflow/underflow counters."""
+        if not 0 <= charge <= self.capacity:
+            raise StorageError("reset level must lie in [0, capacity]")
+        self._charge = charge
+        self.bled_charge = 0.0
+        self.deficit_charge = 0.0
+
+    # -- dynamics ---------------------------------------------------------------
+
+    @abstractmethod
+    def step(self, current: float, dt: float, *, strict: bool = False) -> float:
+        """Apply ``current`` (A, +charge / -discharge) for ``dt`` seconds.
+
+        Returns the signed charge actually absorbed (+) or delivered (-).
+        With ``strict=True`` overflow raises :class:`StorageError` (the
+        paper instead dissipates excess in the bleeder by-pass, which is
+        the default behaviour) and underflow always raises.
+        """
+
+    def _apply(self, delta: float, *, strict: bool) -> float:
+        """Shared bounded-bucket bookkeeping used by concrete models."""
+        new = self._charge + delta
+        if new > self.capacity:
+            overflow = new - self.capacity
+            if strict:
+                raise StorageError(
+                    f"overflow of {overflow:.4f} A-s (capacity {self.capacity} A-s)"
+                )
+            self.bled_charge += overflow
+            absorbed = delta - overflow
+            self._charge = self.capacity
+            return absorbed
+        if new < 0:
+            shortfall = -new
+            if strict:
+                raise StorageError(
+                    f"underflow of {shortfall:.4f} A-s (had {self._charge:.4f} A-s)"
+                )
+            self.deficit_charge += shortfall
+            delivered = delta + shortfall  # = -self._charge
+            self._charge = 0.0
+            return delivered
+        self._charge = new
+        return delta
+
+
+class IdealStorage(ChargeStorage):
+    """Unbounded-in-practice lossless buffer (capacity set huge).
+
+    Used by the unconstrained optimizer tests and as the "unlimited
+    capacity" assumption of paper Section 3.3.1's first derivation.
+    """
+
+    def __init__(self, initial_charge: float = 0.0) -> None:
+        super().__init__(capacity=1e12, initial_charge=initial_charge)
+
+    def step(self, current: float, dt: float, *, strict: bool = False) -> float:
+        if dt < 0:
+            raise StorageError("dt cannot be negative")
+        return self._apply(current * dt, strict=strict)
+
+
+class SuperCapacitor(ChargeStorage):
+    """Supercapacitor buffer (paper Exp. 1: 1 F ~ 100 mA-min @ 12 V).
+
+    Defaults to the paper's lossless assumption.  Optional knobs:
+
+    * ``coulombic_efficiency`` -- fraction of incoming charge retained;
+    * ``leakage_current`` -- constant self-discharge (A).
+    """
+
+    def __init__(
+        self,
+        capacity: float,
+        initial_charge: float = 0.0,
+        coulombic_efficiency: float = 1.0,
+        leakage_current: float = 0.0,
+    ) -> None:
+        super().__init__(capacity, initial_charge)
+        if not 0 < coulombic_efficiency <= 1:
+            raise ConfigurationError("coulombic efficiency must be in (0, 1]")
+        if leakage_current < 0:
+            raise ConfigurationError("leakage current cannot be negative")
+        self.coulombic_efficiency = coulombic_efficiency
+        self.leakage_current = leakage_current
+
+    def step(self, current: float, dt: float, *, strict: bool = False) -> float:
+        if dt < 0:
+            raise StorageError("dt cannot be negative")
+        delta = current * dt
+        if delta > 0:
+            delta *= self.coulombic_efficiency
+        delta -= self.leakage_current * dt
+        return self._apply(delta, strict=strict)
+
+
+class LiIonBattery(ChargeStorage):
+    """Li-ion buffer with rate-capacity and recovery effects.
+
+    * **Rate-capacity** (Peukert-like): discharging at a rate above the
+      nominal ``rated_current`` wastes charge -- delivering ``I*dt`` to
+      the load removes ``(I / rated_current)**(peukert - 1)`` times more
+      from the store.
+    * **Recovery**: a fraction of that wasted charge is recoverable and
+      trickles back during idle (zero-current or charging) intervals with
+      time constant ``recovery_tau``.
+
+    These are exactly the non-linearities the paper notes that fuel cells
+    *lack* ("FCs have no recovery effect"), included so that
+    battery-aware baselines can be compared against FC-aware ones.
+    """
+
+    def __init__(
+        self,
+        capacity: float,
+        initial_charge: float = 0.0,
+        rated_current: float = 0.5,
+        peukert: float = 1.1,
+        recovery_fraction: float = 0.5,
+        recovery_tau: float = 60.0,
+    ) -> None:
+        super().__init__(capacity, initial_charge)
+        if rated_current <= 0:
+            raise ConfigurationError("rated current must be positive")
+        if peukert < 1:
+            raise ConfigurationError("Peukert exponent must be >= 1")
+        if not 0 <= recovery_fraction <= 1:
+            raise ConfigurationError("recovery fraction must be in [0, 1]")
+        if recovery_tau <= 0:
+            raise ConfigurationError("recovery time constant must be positive")
+        self.rated_current = rated_current
+        self.peukert = peukert
+        self.recovery_fraction = recovery_fraction
+        self.recovery_tau = recovery_tau
+        self._recoverable = 0.0
+
+    @property
+    def recoverable_charge(self) -> float:
+        """Charge parked in the recoverable pool (A-s)."""
+        return self._recoverable
+
+    def step(self, current: float, dt: float, *, strict: bool = False) -> float:
+        import math
+
+        if dt < 0:
+            raise StorageError("dt cannot be negative")
+        if current < 0:
+            rate = -current
+            factor = (
+                (rate / self.rated_current) ** (self.peukert - 1.0)
+                if rate > self.rated_current
+                else 1.0
+            )
+            demanded = rate * dt
+            drawn = demanded * factor
+            wasted = drawn - demanded
+            self._recoverable += wasted * self.recovery_fraction
+            return self._apply(-drawn, strict=strict)
+        # Idle or charging: part of the recoverable pool returns.
+        if self._recoverable > 0:
+            recovered = self._recoverable * (1.0 - math.exp(-dt / self.recovery_tau))
+            self._recoverable -= recovered
+            self._apply(recovered, strict=False)
+        return self._apply(current * dt, strict=strict)

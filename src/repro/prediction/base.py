@@ -1,0 +1,151 @@
+"""Predictor interface and trivial reference predictors.
+
+A predictor estimates the length of the *next* period (idle or active --
+the same machinery serves both, per paper Eq. 14/15) from the history of
+observed lengths.  The protocol is two calls per period:
+
+* :meth:`Predictor.predict` -- estimate before the period starts;
+* :meth:`Predictor.observe` -- feed back the actual length afterwards.
+
+Predictors also track their own accuracy so experiments can report
+prediction quality alongside fuel numbers.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..errors import ConfigurationError, RangeError
+
+
+class Predictor(ABC):
+    """Base class: history feeding, prediction, and error accounting."""
+
+    def __init__(self) -> None:
+        self._n_observed = 0
+        self._abs_error_sum = 0.0
+        self._error_sum = 0.0
+        self._last_prediction: float | None = None
+
+    # -- protocol ---------------------------------------------------------
+
+    @abstractmethod
+    def predict(self) -> float:
+        """Estimated length (s) of the next period."""
+
+    def observe(self, actual: float) -> None:
+        """Record the actual length of the period just finished."""
+        if actual < 0:
+            raise RangeError("observed length cannot be negative")
+        if self._last_prediction is not None:
+            err = self._last_prediction - actual
+            self._error_sum += err
+            self._abs_error_sum += abs(err)
+            self._n_observed += 1
+        self._update(actual)
+
+    @abstractmethod
+    def _update(self, actual: float) -> None:
+        """Model-specific history update."""
+
+    def reset(self) -> None:
+        """Forget all history and accuracy counters."""
+        self._n_observed = 0
+        self._abs_error_sum = 0.0
+        self._error_sum = 0.0
+        self._last_prediction = None
+
+    # -- bookkeeping helper for subclasses --------------------------------
+
+    def _remember(self, prediction: float) -> float:
+        self._last_prediction = prediction
+        return prediction
+
+    # -- accuracy reporting -------------------------------------------------
+
+    @property
+    def n_scored(self) -> int:
+        """Number of predict/observe pairs scored."""
+        return self._n_observed
+
+    @property
+    def mean_absolute_error(self) -> float:
+        """Mean |prediction - actual| over scored periods (s)."""
+        if self._n_observed == 0:
+            return 0.0
+        return self._abs_error_sum / self._n_observed
+
+    @property
+    def bias(self) -> float:
+        """Mean signed error; positive means over-prediction (s)."""
+        if self._n_observed == 0:
+            return 0.0
+        return self._error_sum / self._n_observed
+
+
+class ConstantPredictor(Predictor):
+    """Always predicts a fixed value.
+
+    The paper's Experiment 2 estimates the future active current as the
+    constant 1.2 A -- this class is that idea applied to lengths, and it
+    doubles as the degenerate baseline in predictor ablations.
+    """
+
+    def __init__(self, value: float) -> None:
+        super().__init__()
+        if value < 0:
+            raise ConfigurationError("constant prediction cannot be negative")
+        self.value = value
+
+    def predict(self) -> float:
+        return self._remember(self.value)
+
+    def _update(self, actual: float) -> None:
+        pass
+
+
+class LastValuePredictor(Predictor):
+    """Predicts the previous observation (a 1-step martingale)."""
+
+    def __init__(self, initial: float = 0.0) -> None:
+        super().__init__()
+        if initial < 0:
+            raise ConfigurationError("initial prediction cannot be negative")
+        self._value = initial
+        self._initial = initial
+
+    def predict(self) -> float:
+        return self._remember(self._value)
+
+    def _update(self, actual: float) -> None:
+        self._value = actual
+
+    def reset(self) -> None:
+        super().reset()
+        self._value = self._initial
+
+
+class PerfectPredictor(Predictor):
+    """Oracle: told the future via :meth:`prime`, then predicts it exactly.
+
+    Used to upper-bound what any online policy could achieve (the
+    offline-optimal comparisons in the ablation benches).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._next: float | None = None
+
+    def prime(self, next_value: float) -> None:
+        """Reveal the next period's true length to the oracle."""
+        if next_value < 0:
+            raise RangeError("length cannot be negative")
+        self._next = next_value
+
+    def predict(self) -> float:
+        if self._next is None:
+            raise ConfigurationError("PerfectPredictor.predict before prime()")
+        return self._remember(self._next)
+
+    def _update(self, actual: float) -> None:
+        self._next = None

@@ -1,0 +1,114 @@
+"""Ensemble predictor: online expert weighting over base predictors.
+
+A robustness extension for FC-DPM's prediction layer: run several base
+predictors in parallel and combine them with multiplicative-weights
+(exponentiated-gradient) updates on their recent absolute errors.  On
+workloads where one family dominates (scene-correlated vs heavy-tailed)
+the ensemble tracks the best expert without knowing it in advance.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+from .base import Predictor
+
+
+class EnsemblePredictor(Predictor):
+    """Multiplicative-weights combination of base predictors.
+
+    Parameters
+    ----------
+    experts:
+        The base predictors (at least two).
+    learning_rate:
+        Weight-update aggressiveness ``eta``: weights scale by
+        ``exp(-eta * |error| / scale)`` after each observation.
+    error_scale:
+        Normalization for errors (s); roughly the workload's idle
+        scale.  Adapted online to the running mean observation when
+        ``None``.
+    weight_floor:
+        Minimum weight of any expert, as a fraction of the current
+        maximum (the fixed-share idea): keeps a written-off expert able
+        to recover after a workload regime change.
+    """
+
+    def __init__(
+        self,
+        experts: list[Predictor],
+        learning_rate: float = 0.5,
+        error_scale: float | None = None,
+        weight_floor: float = 1e-3,
+    ) -> None:
+        super().__init__()
+        if len(experts) < 2:
+            raise ConfigurationError("an ensemble needs at least two experts")
+        if learning_rate <= 0:
+            raise ConfigurationError("learning rate must be positive")
+        if error_scale is not None and error_scale <= 0:
+            raise ConfigurationError("error scale must be positive")
+        if not 0 <= weight_floor < 1:
+            raise ConfigurationError("weight floor must be in [0, 1)")
+        self.experts = list(experts)
+        self.learning_rate = learning_rate
+        self.error_scale = error_scale
+        self.weight_floor = weight_floor
+        self._weights = [1.0] * len(experts)
+        self._last_expert_predictions: list[float] | None = None
+        self._running_mean = 0.0
+        self._n_obs = 0
+
+    @property
+    def weights(self) -> tuple[float, ...]:
+        """Normalized expert weights."""
+        total = sum(self._weights)
+        return tuple(w / total for w in self._weights)
+
+    @property
+    def best_expert(self) -> Predictor:
+        """The currently highest-weighted base predictor."""
+        k = max(range(len(self.experts)), key=lambda i: self._weights[i])
+        return self.experts[k]
+
+    def predict(self) -> float:
+        self._last_expert_predictions = [e.predict() for e in self.experts]
+        weights = self.weights
+        value = sum(
+            w * p for w, p in zip(weights, self._last_expert_predictions)
+        )
+        return self._remember(value)
+
+    def _update(self, actual: float) -> None:
+        self._n_obs += 1
+        self._running_mean += (actual - self._running_mean) / self._n_obs
+        scale = (
+            self.error_scale
+            if self.error_scale is not None
+            else max(self._running_mean, 1e-6)
+        )
+        if self._last_expert_predictions is not None:
+            for k, predicted in enumerate(self._last_expert_predictions):
+                loss = min(abs(predicted - actual) / scale, 10.0)
+                self._weights[k] *= math.exp(-self.learning_rate * loss)
+            # Renormalize and apply the recovery floor.
+            top = max(self._weights)
+            if top <= 0:
+                self._weights = [1.0] * len(self.experts)
+            else:
+                self._weights = [
+                    max(w / top, self.weight_floor) for w in self._weights
+                ]
+            self._last_expert_predictions = None
+        for expert in self.experts:
+            expert.observe(actual)
+
+    def reset(self) -> None:
+        super().reset()
+        self._weights = [1.0] * len(self.experts)
+        self._last_expert_predictions = None
+        self._running_mean = 0.0
+        self._n_obs = 0
+        for expert in self.experts:
+            expert.reset()

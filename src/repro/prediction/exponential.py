@@ -1,0 +1,54 @@
+"""Hwang-Wu exponential-average predictor (paper ref [1], Eq. 14/15).
+
+The paper's FC-DPM uses this filter for both the idle period,
+
+    T'_i(k) = rho * T'_i(k-1) + (1 - rho) * T_i(k-1),
+
+and (with factor ``sigma``) the active period.  It is the classic
+single-pole low-pass estimator: cheap, smooth, and biased toward recent
+history as the factor shrinks.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from .base import Predictor
+
+
+class ExponentialAveragePredictor(Predictor):
+    """Single-pole exponential average of period lengths.
+
+    Parameters
+    ----------
+    factor:
+        Smoothing factor (``rho`` for idle, ``sigma`` for active in the
+        paper; both 0.5 in the experiments).  ``factor = 0`` degenerates
+        to last-value prediction, ``factor -> 1`` to a frozen estimate.
+    initial:
+        Prediction before any observation (``T'(0)``).
+    """
+
+    def __init__(self, factor: float = 0.5, initial: float = 0.0) -> None:
+        super().__init__()
+        if not 0 <= factor < 1:
+            raise ConfigurationError("smoothing factor must be in [0, 1)")
+        if initial < 0:
+            raise ConfigurationError("initial estimate cannot be negative")
+        self.factor = factor
+        self._estimate = initial
+        self._initial = initial
+
+    @property
+    def estimate(self) -> float:
+        """Current internal estimate ``T'`` (s)."""
+        return self._estimate
+
+    def predict(self) -> float:
+        return self._remember(self._estimate)
+
+    def _update(self, actual: float) -> None:
+        self._estimate = self.factor * self._estimate + (1 - self.factor) * actual
+
+    def reset(self) -> None:
+        super().reset()
+        self._estimate = self._initial

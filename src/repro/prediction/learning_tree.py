@@ -1,0 +1,147 @@
+"""Adaptive learning-tree predictor (paper ref [3], Chung et al.).
+
+Chung, Benini & De Micheli's ICCAD'99 predictor quantizes recent idle
+periods into symbols and walks a tree keyed by the last ``depth``
+symbols; each leaf keeps per-symbol confidence counters that are
+rewarded or penalized as predictions succeed or fail.  The prediction is
+the representative length of the most confident next symbol.
+
+This captures workloads whose idle lengths follow *patterns* (e.g. the
+scene structure of an MPEG trace) that moment-based filters miss.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .base import Predictor
+
+
+class LearningTreePredictor(Predictor):
+    """Pattern-matching predictor over quantized period lengths.
+
+    Parameters
+    ----------
+    bin_edges:
+        Strictly increasing quantization edges (s).  A length in
+        ``(edges[j-1], edges[j]]`` maps to symbol ``j``; values above the
+        last edge map to the final symbol.
+    depth:
+        Context length (number of past symbols keyed on).
+    reward, penalty:
+        Confidence increments for correct / incorrect leaf predictions.
+    initial:
+        Prediction before any history exists.
+    """
+
+    def __init__(
+        self,
+        bin_edges,
+        depth: int = 2,
+        reward: float = 1.0,
+        penalty: float = 0.5,
+        initial: float = 0.0,
+    ) -> None:
+        super().__init__()
+        edges = np.asarray(bin_edges, dtype=float)
+        if edges.ndim != 1 or edges.size < 1:
+            raise ConfigurationError("need at least one bin edge")
+        if np.any(np.diff(edges) <= 0):
+            raise ConfigurationError("bin edges must be strictly increasing")
+        if np.any(edges <= 0):
+            raise ConfigurationError("bin edges must be positive")
+        if depth < 1:
+            raise ConfigurationError("depth must be >= 1")
+        if reward <= 0 or penalty < 0:
+            raise ConfigurationError("reward must be > 0 and penalty >= 0")
+        if initial < 0:
+            raise ConfigurationError("initial estimate cannot be negative")
+        self.edges = edges
+        self.n_symbols = edges.size + 1
+        self.depth = depth
+        self.reward = reward
+        self.penalty = penalty
+        self.initial = initial
+        # context tuple -> np.ndarray of per-symbol confidences
+        self._leaves: dict[tuple[int, ...], np.ndarray] = {}
+        self._context: deque[int] = deque(maxlen=depth)
+        self._pending: tuple[tuple[int, ...], int] | None = None
+        # Representative value per symbol: running mean of members.
+        self._symbol_sum = np.zeros(self.n_symbols)
+        self._symbol_count = np.zeros(self.n_symbols, dtype=int)
+
+    # -- quantization ---------------------------------------------------------
+
+    def symbol_of(self, length: float) -> int:
+        """Quantization symbol of a period length."""
+        return int(np.searchsorted(self.edges, length, side="left"))
+
+    def representative(self, symbol: int) -> float:
+        """Representative length (s) for a symbol.
+
+        The running mean of observed members, or the bin midpoint (edge
+        value for the open last bin) when empty.
+        """
+        if not 0 <= symbol < self.n_symbols:
+            raise ConfigurationError(f"symbol {symbol} out of range")
+        if self._symbol_count[symbol] > 0:
+            return float(self._symbol_sum[symbol] / self._symbol_count[symbol])
+        if symbol == 0:
+            return float(self.edges[0] / 2)
+        if symbol >= self.edges.size:
+            return float(self.edges[-1])
+        return float((self.edges[symbol - 1] + self.edges[symbol]) / 2)
+
+    # -- prediction -----------------------------------------------------------
+
+    def predict(self) -> float:
+        if len(self._context) < self.depth:
+            return self._remember(self.initial)
+        key = tuple(self._context)
+        leaf = self._leaves.get(key)
+        if leaf is None or not leaf.any():
+            # Unseen context: global most common symbol, else initial.
+            if self._symbol_count.sum() == 0:
+                return self._remember(self.initial)
+            best = int(np.argmax(self._symbol_count))
+            self._pending = (key, best)
+            return self._remember(self.representative(best))
+        best = int(np.argmax(leaf))
+        self._pending = (key, best)
+        return self._remember(self.representative(best))
+
+    def _update(self, actual: float) -> None:
+        symbol = self.symbol_of(actual)
+        self._symbol_sum[symbol] += actual
+        self._symbol_count[symbol] += 1
+        if self._pending is not None:
+            key, predicted = self._pending
+            leaf = self._leaves.setdefault(key, np.zeros(self.n_symbols))
+            if predicted == symbol:
+                leaf[symbol] += self.reward
+            else:
+                leaf[predicted] = max(leaf[predicted] - self.penalty, 0.0)
+                leaf[symbol] += self.reward / 2
+            self._pending = None
+        elif len(self._context) == self.depth:
+            # No prediction was scored, still learn the association.
+            key = tuple(self._context)
+            leaf = self._leaves.setdefault(key, np.zeros(self.n_symbols))
+            leaf[symbol] += self.reward / 2
+        self._context.append(symbol)
+
+    def reset(self) -> None:
+        super().reset()
+        self._leaves.clear()
+        self._context.clear()
+        self._pending = None
+        self._symbol_sum[:] = 0
+        self._symbol_count[:] = 0
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of distinct contexts learned."""
+        return len(self._leaves)

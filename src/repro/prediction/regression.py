@@ -1,0 +1,99 @@
+"""Sliding-window regression predictor (paper ref [2], Srivastava et al.).
+
+Srivastava's predictive shutdown fits the next idle period as a
+(regression) function of recent history.  We implement the standard
+formulation: ordinary least squares of ``T(k)`` against the previous
+``order`` period lengths over a sliding window -- an AR(order) one-step
+forecaster with ridge regularization for numerical safety.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .base import Predictor
+
+
+class RegressionPredictor(Predictor):
+    """AR(``order``) least-squares one-step forecaster.
+
+    Parameters
+    ----------
+    order:
+        Number of lagged periods used as features.
+    window:
+        Number of recent samples kept for the fit (must exceed
+        ``order + 1`` for the fit to be determined).
+    ridge:
+        Tikhonov regularization strength (keeps the normal equations
+        well-posed on constant histories).
+    initial:
+        Prediction issued before enough history accumulates.
+    """
+
+    def __init__(
+        self,
+        order: int = 2,
+        window: int = 32,
+        ridge: float = 1e-6,
+        initial: float = 0.0,
+    ) -> None:
+        super().__init__()
+        if order < 1:
+            raise ConfigurationError("order must be >= 1")
+        if window < order + 2:
+            raise ConfigurationError("window must be at least order + 2")
+        if ridge < 0:
+            raise ConfigurationError("ridge must be non-negative")
+        if initial < 0:
+            raise ConfigurationError("initial estimate cannot be negative")
+        self.order = order
+        self.window = window
+        self.ridge = ridge
+        self.initial = initial
+        self._history: deque[float] = deque(maxlen=window)
+
+    @property
+    def history(self) -> tuple[float, ...]:
+        """The retained sample window (oldest first)."""
+        return tuple(self._history)
+
+    def _fit_and_forecast(self) -> float:
+        h = np.asarray(self._history, dtype=float)
+        p = self.order
+        n = h.size - p
+        if n < 2:
+            # Not enough rows to fit: fall back to the window mean.
+            return float(h.mean())
+        # Rows: [1, T(k-1), ..., T(k-p)] -> T(k)
+        x = np.empty((n, p + 1))
+        x[:, 0] = 1.0
+        for j in range(p):
+            x[:, j + 1] = h[p - 1 - j : p - 1 - j + n]
+        y = h[p:]
+        gram = x.T @ x + self.ridge * np.eye(p + 1)
+        coef = np.linalg.solve(gram, x.T @ y)
+        features = np.concatenate(([1.0], h[-1 : -p - 1 : -1]))
+        forecast = float(features @ coef)
+        # An explosive AR fit (e.g. on near-geometric inputs) must not
+        # commit a DPM policy to absurd horizons: clip the forecast to
+        # twice the largest observed period.
+        return float(np.clip(forecast, 0.0, 2.0 * h.max()))
+
+    def predict(self) -> float:
+        if len(self._history) <= self.order:
+            value = self.initial if not self._history else float(
+                np.mean(self._history)
+            )
+            return self._remember(value)
+        return self._remember(self._fit_and_forecast())
+
+    def _update(self, actual: float) -> None:
+        self._history.append(actual)
+
+    def reset(self) -> None:
+        super().reset()
+        self._history.clear()

@@ -1,0 +1,43 @@
+"""Simulation substrate: slot-level and event-driven trace simulators."""
+
+from .recorder import Recorder, Sample
+from .metrics import (
+    RunMetrics,
+    normalized_fuel,
+    lifetime_extension,
+    fuel_saving,
+    compare,
+)
+from .slotsim import SlotSimulator, SimulationResult, SlotResult, simulate_policies
+from .engine import Engine, Event
+from .eventsim import EventDrivenSimulator
+from .montecarlo import SeedSummary, run_seeds, summarize, table2_metrics
+from .faults import DegradedEfficiency, FadedStorage, NoisyPredictor
+from .lifetime import LifetimeResult, lifetime_comparison, run_until_empty
+
+__all__ = [
+    "Recorder",
+    "Sample",
+    "RunMetrics",
+    "normalized_fuel",
+    "lifetime_extension",
+    "fuel_saving",
+    "compare",
+    "SlotSimulator",
+    "SimulationResult",
+    "SlotResult",
+    "simulate_policies",
+    "Engine",
+    "Event",
+    "EventDrivenSimulator",
+    "SeedSummary",
+    "run_seeds",
+    "summarize",
+    "table2_metrics",
+    "DegradedEfficiency",
+    "FadedStorage",
+    "NoisyPredictor",
+    "LifetimeResult",
+    "lifetime_comparison",
+    "run_until_empty",
+]

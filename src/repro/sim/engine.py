@@ -1,0 +1,107 @@
+"""Minimal discrete-event simulation core.
+
+A classic calendar-queue engine: events are ``(time, priority, seq)``
+ordered callbacks.  The slot simulator integrates closed-form per
+segment; this engine exists for *event-driven* models (request
+arrivals, timers, state-machine transitions) and is used by
+:class:`~repro.sim.eventsim.EventDrivenSimulator` to cross-validate the
+slot-level results -- two independently coded simulators agreeing on
+fuel numbers is the repository's main correctness check.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback; comparison order is (time, priority, seq)."""
+
+    time: float
+    priority: int
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it."""
+        self.cancelled = True
+
+
+class Engine:
+    """Event loop with monotonic simulated time."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._seq = 0
+        self._now = 0.0
+        self._running = False
+        self.n_dispatched = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (s)."""
+        return self._now
+
+    def schedule(
+        self, delay: float, action: Callable[[], None], priority: int = 0
+    ) -> Event:
+        """Schedule ``action`` to run ``delay`` seconds from now.
+
+        Lower ``priority`` runs first among simultaneous events.
+        Returns the event handle (cancellable).
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: delay={delay}")
+        self._seq += 1
+        event = Event(self._now + delay, priority, self._seq, action)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(
+        self, time: float, action: Callable[[], None], priority: int = 0
+    ) -> Event:
+        """Schedule ``action`` at an absolute simulated time."""
+        return self.schedule(time - self._now, action, priority)
+
+    def run(self, until: float | None = None) -> float:
+        """Dispatch events in order until the queue drains or ``until``.
+
+        Returns the final simulated time.  Re-entrant calls are
+        rejected (an action must not call ``run``).
+        """
+        if self._running:
+            raise SimulationError("engine.run is not re-entrant")
+        self._running = True
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                self.n_dispatched += 1
+                event.action()
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def peek(self) -> float | None:
+        """Time of the next pending event, or None."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (non-cancelled) events."""
+        return sum(not e.cancelled for e in self._queue)

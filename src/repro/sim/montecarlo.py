@@ -1,0 +1,114 @@
+"""Monte-Carlo experiment runner: seeds, summary statistics, intervals.
+
+The paper reports single-trace numbers; a reproduction should show how
+stable they are.  :func:`run_seeds` executes a policy-comparison
+experiment across many trace seeds and reduces each policy's normalized
+fuel to mean / standard deviation / a t-interval.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+#: Two-sided 95 % Student-t critical values by degrees of freedom (1-30);
+#: falls back to the normal 1.96 beyond the table.
+_T95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+    7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179,
+    13: 2.160, 14: 2.145, 15: 2.131, 16: 2.120, 17: 2.110, 18: 2.101,
+    19: 2.093, 20: 2.086, 21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064,
+    25: 2.060, 26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+}
+
+
+@dataclass(frozen=True)
+class SeedSummary:
+    """Summary statistics of one metric across seeds."""
+
+    name: str
+    n: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+
+    @property
+    def ci95_halfwidth(self) -> float:
+        """Half-width of the 95 % t-interval for the mean."""
+        if self.n < 2:
+            return float("inf")
+        t = _T95.get(self.n - 1, 1.96)
+        return t * self.stdev / math.sqrt(self.n)
+
+    @property
+    def ci95(self) -> tuple[float, float]:
+        """The 95 % confidence interval for the mean."""
+        h = self.ci95_halfwidth
+        return self.mean - h, self.mean + h
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.name}: {self.mean:.4f} +- {self.ci95_halfwidth:.4f} "
+            f"(n={self.n}, range [{self.minimum:.4f}, {self.maximum:.4f}])"
+        )
+
+
+def summarize(name: str, values) -> SeedSummary:
+    """Reduce a sample of metric values to a :class:`SeedSummary`."""
+    data = [float(v) for v in values]
+    if not data:
+        raise ConfigurationError("cannot summarize an empty sample")
+    return SeedSummary(
+        name=name,
+        n=len(data),
+        mean=statistics.fmean(data),
+        stdev=statistics.stdev(data) if len(data) > 1 else 0.0,
+        minimum=min(data),
+        maximum=max(data),
+    )
+
+
+def run_seeds(
+    experiment: Callable[[int], dict[str, float]],
+    seeds,
+) -> dict[str, SeedSummary]:
+    """Run ``experiment(seed) -> {metric: value}`` across ``seeds``.
+
+    Every run must return the same metric keys.  Returns a summary per
+    metric.
+    """
+    seed_list = list(seeds)
+    if not seed_list:
+        raise ConfigurationError("need at least one seed")
+    samples: dict[str, list[float]] = {}
+    keys: set[str] | None = None
+    for seed in seed_list:
+        result = experiment(int(seed))
+        if keys is None:
+            keys = set(result)
+        elif set(result) != keys:
+            raise ConfigurationError(
+                f"seed {seed} returned metrics {sorted(result)}, "
+                f"expected {sorted(keys)}"
+            )
+        for key, value in result.items():
+            samples.setdefault(key, []).append(float(value))
+    return {key: summarize(key, values) for key, values in samples.items()}
+
+
+def table2_metrics(seed: int) -> dict[str, float]:
+    """Experiment-1 normalized fuel + FC-vs-ASAP saving for one seed.
+
+    The canonical experiment closure for :func:`run_seeds`.
+    """
+    from ..analysis.tables import table2
+
+    result = table2(seed=seed)
+    out = dict(result.normalized)
+    out["fc_saving_vs_asap"] = result.fc_vs_asap_saving
+    return out

@@ -1,0 +1,93 @@
+"""Time-series recorder for simulation runs (feeds the Fig. 7 plots)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Sample:
+    """State over one constant-current interval ``[t, t + dt)``."""
+
+    t: float
+    dt: float
+    i_load: float
+    i_f: float
+    i_fc: float
+    storage_charge: float
+    fuel_cumulative: float
+    kind: str = ""
+
+
+class Recorder:
+    """Accumulates piecewise-constant samples and exports plot arrays."""
+
+    def __init__(self) -> None:
+        self._samples: list[Sample] = []
+
+    def add(self, sample: Sample) -> None:
+        """Append a sample; time must not run backwards."""
+        if self._samples and sample.t < self._samples[-1].t - 1e-9:
+            raise SimulationError(
+                f"time went backwards: {sample.t} after {self._samples[-1].t}"
+            )
+        self._samples.append(sample)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> tuple[Sample, ...]:
+        """All recorded samples."""
+        return tuple(self._samples)
+
+    @property
+    def duration(self) -> float:
+        """Covered time span (s)."""
+        if not self._samples:
+            return 0.0
+        last = self._samples[-1]
+        return last.t + last.dt - self._samples[0].t
+
+    def step_series(self, field: str, t_max: float | None = None):
+        """Step-plot arrays ``(times, values)`` for ``field``.
+
+        ``times`` has one more entry than ``values`` (interval edges).
+        ``t_max`` truncates the series (Fig. 7 shows the first 300 s).
+        """
+        times: list[float] = []
+        values: list[float] = []
+        for s in self._samples:
+            if t_max is not None and s.t >= t_max:
+                break
+            if not times:
+                times.append(s.t)
+            times.append(s.t + s.dt)
+            values.append(getattr(s, field))
+        return np.asarray(times), np.asarray(values)
+
+    def resample(self, field: str, dt: float, t_max: float | None = None):
+        """Uniform-grid arrays ``(times, values)`` sampled every ``dt`` s."""
+        if dt <= 0:
+            raise SimulationError("resample dt must be positive")
+        if not self._samples:
+            return np.empty(0), np.empty(0)
+        end = self.duration if t_max is None else min(self.duration, t_max)
+        grid = np.arange(self._samples[0].t, end, dt)
+        edges, vals = self.step_series(field)
+        idx = np.clip(np.searchsorted(edges, grid, side="right") - 1, 0, len(vals) - 1)
+        return grid, np.asarray(vals)[idx]
+
+    def to_csv(self) -> str:
+        """Export all samples as CSV."""
+        lines = ["t_s,dt_s,i_load_a,i_f_a,i_fc_a,storage_as,fuel_as,kind"]
+        for s in self._samples:
+            lines.append(
+                f"{s.t!r},{s.dt!r},{s.i_load!r},{s.i_f!r},{s.i_fc!r},"
+                f"{s.storage_charge!r},{s.fuel_cumulative!r},{s.kind}"
+            )
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,138 @@
+"""Unit conversions and physical constants used throughout the library.
+
+The paper (Zhuo et al., DAC 2007) works in a small set of engineering
+units -- volts, amperes, seconds, watts, and "A-s" (ampere-seconds, i.e.
+coulombs) for stored charge and fuel consumption.  This module centralizes
+the conversions so the rest of the code never multiplies by a bare
+``3600`` or ``0.001``.
+
+All library-internal quantities use SI base units:
+
+* current    -- ampere (A)
+* voltage    -- volt (V)
+* power      -- watt (W)
+* time       -- second (s)
+* charge     -- coulomb (C), printed as "A-s" to match the paper
+* energy     -- joule (J)
+* fuel       -- expressed as FC-stack charge (A-s); see :mod:`repro.fuelcell.fuel`
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# Physical constants
+# ---------------------------------------------------------------------------
+
+#: Faraday constant (C/mol) -- charge carried by one mole of electrons.
+FARADAY = 96485.33212
+
+#: Universal gas constant (J/(mol*K)).
+GAS_CONSTANT = 8.31446
+
+#: Standard temperature used by the room-temperature stack model (K).
+ROOM_TEMPERATURE_K = 298.15
+
+#: Gibbs free energy of the H2 + 1/2 O2 -> H2O(l) reaction at 25 C (J/mol).
+#: Larminie & Dicks, "Fuel Cell Systems Explained" (paper ref [12]).
+GIBBS_ENERGY_H2_LHV = 228_600.0
+GIBBS_ENERGY_H2_HHV = 237_100.0
+
+#: Electrons transferred per H2 molecule.
+ELECTRONS_PER_H2 = 2
+
+#: Ideal (thermodynamic) cell voltage E = dG / (n F) at 25 C, liquid water.
+IDEAL_CELL_VOLTAGE = GIBBS_ENERGY_H2_HHV / (ELECTRONS_PER_H2 * FARADAY)
+
+
+# ---------------------------------------------------------------------------
+# Time conversions
+# ---------------------------------------------------------------------------
+
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3600.0
+
+
+def minutes(value: float) -> float:
+    """Convert minutes to seconds."""
+    return value * SECONDS_PER_MINUTE
+
+
+def hours(value: float) -> float:
+    """Convert hours to seconds."""
+    return value * SECONDS_PER_HOUR
+
+
+def to_minutes(seconds: float) -> float:
+    """Convert seconds to minutes."""
+    return seconds / SECONDS_PER_MINUTE
+
+
+# ---------------------------------------------------------------------------
+# Charge conversions
+# ---------------------------------------------------------------------------
+
+
+def mAh(value: float) -> float:
+    """Convert milliamp-hours to coulombs (A-s)."""
+    return value * 1e-3 * SECONDS_PER_HOUR
+
+
+def mA_min(value: float) -> float:
+    """Convert milliamp-minutes to coulombs (A-s).
+
+    The paper sizes the supercapacitor as "100 mA-min" (~= 6 A-s).
+    """
+    return value * 1e-3 * SECONDS_PER_MINUTE
+
+
+def capacitor_charge(capacitance_f: float, voltage_v: float) -> float:
+    """Usable charge (A-s) of a capacitor charged to ``voltage_v``.
+
+    ``Q = C * V``.  The paper equates a 1 F supercap at 12 V with a
+    "100 mA-min" storage element; note ``1 F * 12 V = 12 A-s`` while
+    ``100 mA-min = 6 A-s`` -- the paper assumes only the top half of the
+    capacitor voltage swing is usable by the converter, i.e. the usable
+    charge is ``C * V / 2``.
+    """
+    if capacitance_f < 0 or voltage_v < 0:
+        raise ValueError("capacitance and voltage must be non-negative")
+    return capacitance_f * voltage_v
+
+
+# ---------------------------------------------------------------------------
+# Power / current helpers
+# ---------------------------------------------------------------------------
+
+
+def power_to_current(power_w: float, voltage_v: float) -> float:
+    """Load current (A) drawn by a ``power_w`` load on a ``voltage_v`` rail."""
+    if voltage_v <= 0:
+        raise ValueError(f"rail voltage must be positive, got {voltage_v}")
+    return power_w / voltage_v
+
+
+def current_to_power(current_a: float, voltage_v: float) -> float:
+    """Power (W) delivered at ``current_a`` on a ``voltage_v`` rail."""
+    if voltage_v <= 0:
+        raise ValueError(f"rail voltage must be positive, got {voltage_v}")
+    return current_a * voltage_v
+
+
+def coulombs_to_mol_h2(charge_c: float) -> float:
+    """Moles of H2 consumed to push ``charge_c`` coulombs through the stack.
+
+    Each H2 molecule supplies :data:`ELECTRONS_PER_H2` electrons.
+    """
+    return charge_c / (ELECTRONS_PER_H2 * FARADAY)
+
+
+def mol_h2_to_norm_liters(mol: float) -> float:
+    """Moles of H2 to normal liters (22.414 L/mol at STP)."""
+    return mol * 22.414
+
+
+def isclose(a: float, b: float, rel: float = 1e-9, abs_tol: float = 1e-12) -> bool:
+    """Convenience float comparison with library-wide defaults."""
+    return math.isclose(a, b, rel_tol=rel, abs_tol=abs_tol)

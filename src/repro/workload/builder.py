@@ -1,0 +1,84 @@
+"""Fluent trace construction for tests, examples and custom studies.
+
+``LoadTrace`` is immutable by design; :class:`TraceBuilder` is the
+ergonomic way to compose one: chain slot-appending calls, repeat blocks,
+splice whole traces, then ``build()``.
+
+Example::
+
+    trace = (TraceBuilder("session")
+             .slot(idle=12.0, active=3.0, current=1.2)
+             .repeat(5)
+             .burst(n=4, idle=2.0, active=1.0, current=0.9)
+             .quiet(60.0)
+             .build())
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError, TraceError
+from .trace import LoadTrace, TaskSlot
+
+
+class TraceBuilder:
+    """Chainable builder of :class:`~repro.workload.trace.LoadTrace`."""
+
+    def __init__(self, name: str = "built") -> None:
+        self.name = name
+        self._slots: list[TaskSlot] = []
+        self._pending_idle = 0.0
+
+    # -- composition -----------------------------------------------------------
+
+    def slot(self, idle: float, active: float, current: float) -> "TraceBuilder":
+        """Append one task slot (any pending quiet time extends its idle)."""
+        self._slots.append(
+            TaskSlot(idle + self._pending_idle, active, current)
+        )
+        self._pending_idle = 0.0
+        return self
+
+    def burst(
+        self, n: int, idle: float, active: float, current: float
+    ) -> "TraceBuilder":
+        """Append ``n`` identical closely spaced slots."""
+        if n < 1:
+            raise ConfigurationError("burst needs at least one slot")
+        for _ in range(n):
+            self.slot(idle, active, current)
+        return self
+
+    def quiet(self, duration: float) -> "TraceBuilder":
+        """Insert request-free time, absorbed into the next slot's idle."""
+        if duration < 0:
+            raise ConfigurationError("quiet time cannot be negative")
+        self._pending_idle += duration
+        return self
+
+    def repeat(self, times: int) -> "TraceBuilder":
+        """Repeat everything built so far ``times`` times total."""
+        if times < 1:
+            raise ConfigurationError("repeat count must be >= 1")
+        if self._pending_idle:
+            raise ConfigurationError("cannot repeat with pending quiet time")
+        self._slots = self._slots * times
+        return self
+
+    def splice(self, trace: LoadTrace) -> "TraceBuilder":
+        """Append every slot of an existing trace."""
+        for s in trace:
+            self.slot(s.t_idle, s.t_active, s.i_active)
+        return self
+
+    # -- finalization -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def build(self) -> LoadTrace:
+        """Materialize the trace (pending quiet time is an error)."""
+        if self._pending_idle:
+            raise TraceError(
+                "trailing quiet time has no following slot to attach to"
+            )
+        return LoadTrace(self._slots, name=self.name)

@@ -1,0 +1,163 @@
+"""Synthetic slot generators: Experiment 2 and extra workload families.
+
+Experiment 2 (paper Section 5.2) randomizes the camcorder profile:
+idle ~ U[5, 25] s, active ~ U[2, 4] s, active power ~ U[12, 16] W.
+The additional exponential / Pareto / bursty families are used by the
+ablation and robustness studies (they stress the predictor in ways the
+uniform workload cannot).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import Experiment2Constants
+from ..errors import ConfigurationError
+from .trace import LoadTrace, TaskSlot
+
+
+def _rng(seed) -> np.random.Generator:
+    return seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+
+
+def uniform_slots(
+    n_slots: int,
+    idle_range: tuple[float, float],
+    active_range: tuple[float, float],
+    current_range: tuple[float, float],
+    seed=0,
+    name: str = "uniform",
+) -> LoadTrace:
+    """Slots with independently uniform idle/active lengths and currents."""
+    if n_slots < 1:
+        raise ConfigurationError("need at least one slot")
+    for lo, hi in (idle_range, active_range, current_range):
+        if not 0 <= lo <= hi:
+            raise ConfigurationError("ranges must satisfy 0 <= low <= high")
+    rng = _rng(seed)
+    slots = [
+        TaskSlot(
+            t_idle=float(rng.uniform(*idle_range)),
+            t_active=float(rng.uniform(*active_range)),
+            i_active=float(rng.uniform(*current_range)),
+        )
+        for _ in range(n_slots)
+    ]
+    return LoadTrace(slots, name=name)
+
+
+def experiment2_trace(
+    constants: Experiment2Constants | None = None,
+    seed: int = 2007,
+    n_slots: int | None = None,
+    v_rail: float = 12.0,
+) -> LoadTrace:
+    """The paper's Experiment-2 randomized workload.
+
+    Idle U[5, 25] s, active U[2, 4] s, active power U[12, 16] W on the
+    12 V rail (currents 1.0-1.333 A).
+    """
+    e = constants if constants is not None else Experiment2Constants()
+    n = e.n_slots if n_slots is None else n_slots
+    return uniform_slots(
+        n_slots=n,
+        idle_range=(e.idle_low, e.idle_high),
+        active_range=(e.active_low, e.active_high),
+        current_range=(e.p_active_low / v_rail, e.p_active_high / v_rail),
+        seed=seed,
+        name="experiment2",
+    )
+
+
+def exponential_slots(
+    n_slots: int,
+    mean_idle: float,
+    mean_active: float,
+    i_active: float,
+    min_active: float = 0.1,
+    seed=0,
+    name: str = "exponential",
+) -> LoadTrace:
+    """Memoryless (Poisson-arrival-like) idle and active periods.
+
+    The exponential-average predictor is unbiased but high-variance on
+    this family -- a classic DPM stress case.
+    """
+    if min(mean_idle, mean_active, i_active) <= 0:
+        raise ConfigurationError("means and current must be positive")
+    rng = _rng(seed)
+    slots = [
+        TaskSlot(
+            t_idle=float(rng.exponential(mean_idle)),
+            t_active=float(max(rng.exponential(mean_active), min_active)),
+            i_active=i_active,
+        )
+        for _ in range(n_slots)
+    ]
+    return LoadTrace(slots, name=name)
+
+
+def pareto_slots(
+    n_slots: int,
+    idle_scale: float,
+    idle_shape: float,
+    t_active: float,
+    i_active: float,
+    idle_cap: float | None = None,
+    seed=0,
+    name: str = "pareto",
+) -> LoadTrace:
+    """Heavy-tailed idle periods (Pareto), fixed active periods.
+
+    Heavy tails reward aggressive sleeping on the long idles while
+    punishing mispredicted short ones.
+    """
+    if idle_shape <= 0 or idle_scale <= 0:
+        raise ConfigurationError("Pareto scale and shape must be positive")
+    if t_active <= 0 or i_active < 0:
+        raise ConfigurationError("bad active parameters")
+    rng = _rng(seed)
+    slots = []
+    for _ in range(n_slots):
+        t_idle = idle_scale * float(1.0 + rng.pareto(idle_shape))
+        if idle_cap is not None:
+            t_idle = min(t_idle, idle_cap)
+        slots.append(TaskSlot(t_idle, t_active, i_active))
+    return LoadTrace(slots, name=name)
+
+
+def bursty_slots(
+    n_bursts: int,
+    burst_length: int,
+    idle_in_burst: float,
+    idle_between_bursts: float,
+    t_active: float,
+    i_active: float,
+    jitter: float = 0.1,
+    seed=0,
+    name: str = "bursty",
+) -> LoadTrace:
+    """Alternating dense bursts and long quiet gaps.
+
+    Models interactive devices: rapid task arrivals during use, long
+    idle stretches between sessions.  Exercises the aggregation
+    argument of DPM refs [6, 7].
+    """
+    if n_bursts < 1 or burst_length < 1:
+        raise ConfigurationError("need at least one burst with one slot")
+    if min(idle_in_burst, idle_between_bursts, t_active) <= 0 or i_active < 0:
+        raise ConfigurationError("bad burst parameters")
+    if not 0 <= jitter < 1:
+        raise ConfigurationError("jitter must be in [0, 1)")
+    rng = _rng(seed)
+
+    def jittered(x: float) -> float:
+        return float(x * (1.0 + rng.uniform(-jitter, jitter)))
+
+    slots = []
+    for b in range(n_bursts):
+        for k in range(burst_length):
+            first = b > 0 and k == 0
+            base = idle_between_bursts if first else idle_in_burst
+            slots.append(TaskSlot(jittered(base), jittered(t_active), i_active))
+    return LoadTrace(slots, name=name)

@@ -1,0 +1,234 @@
+"""Task-slot load traces (paper Section 3.1).
+
+The paper describes the load timing profile as "a sequence of task
+slots; each task slot consists of an idle period (no task request)
+followed by an active period (with task request)".  :class:`TaskSlot`
+captures one such slot -- idle length ``Ti``, active length ``Ta`` and
+the active-period load current ``Ild,a``.  The *idle* current is not a
+trace property: it depends on the DPM decision (STANDBY vs SLEEP) and
+comes from the device model.
+
+:class:`LoadTrace` is an immutable sequence of slots with summary
+statistics and CSV/JSON round-tripping.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import statistics
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+
+from ..errors import TraceError
+
+
+@dataclass(frozen=True)
+class TaskSlot:
+    """One idle-then-active task slot.
+
+    Attributes
+    ----------
+    t_idle:
+        Idle-period length ``Ti`` (s).
+    t_active:
+        Active-period length ``Ta`` (s).
+    i_active:
+        Load current during the active period ``Ild,a`` (A).
+    """
+
+    t_idle: float
+    t_active: float
+    i_active: float
+
+    def __post_init__(self) -> None:
+        if self.t_idle < 0:
+            raise TraceError(f"negative idle length: {self.t_idle}")
+        if self.t_active <= 0:
+            raise TraceError(f"active length must be positive: {self.t_active}")
+        if self.i_active < 0:
+            raise TraceError(f"negative active current: {self.i_active}")
+
+    @property
+    def length(self) -> float:
+        """Total slot length ``Ti + Ta`` (s)."""
+        return self.t_idle + self.t_active
+
+    @property
+    def active_charge(self) -> float:
+        """Active-period load charge ``Ild,a * Ta`` (A-s)."""
+        return self.i_active * self.t_active
+
+
+class LoadTrace(Sequence[TaskSlot]):
+    """An immutable sequence of task slots with summary statistics."""
+
+    def __init__(self, slots: Iterable[TaskSlot], name: str = "trace") -> None:
+        self._slots = tuple(slots)
+        if not self._slots:
+            raise TraceError("a trace needs at least one slot")
+        self.name = name
+
+    # -- sequence protocol -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __iter__(self) -> Iterator[TaskSlot]:
+        return iter(self._slots)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return LoadTrace(self._slots[index], name=f"{self.name}[{index}]")
+        return self._slots[index]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LoadTrace) and self._slots == other._slots
+
+    def __hash__(self) -> int:
+        return hash(self._slots)
+
+    def __repr__(self) -> str:
+        return (
+            f"LoadTrace({self.name!r}, {len(self)} slots, "
+            f"{self.duration:.1f} s)"
+        )
+
+    # -- statistics ---------------------------------------------------------
+
+    @property
+    def duration(self) -> float:
+        """Total trace length (s)."""
+        return sum(s.length for s in self._slots)
+
+    @property
+    def idle_time(self) -> float:
+        """Total idle time (s)."""
+        return sum(s.t_idle for s in self._slots)
+
+    @property
+    def active_time(self) -> float:
+        """Total active time (s)."""
+        return sum(s.t_active for s in self._slots)
+
+    @property
+    def duty_cycle(self) -> float:
+        """Fraction of time spent active."""
+        return self.active_time / self.duration
+
+    @property
+    def peak_current(self) -> float:
+        """Largest active-period current in the trace (A)."""
+        return max(s.i_active for s in self._slots)
+
+    def mean_idle(self) -> float:
+        """Mean idle-period length (s)."""
+        return statistics.fmean(s.t_idle for s in self._slots)
+
+    def mean_active(self) -> float:
+        """Mean active-period length (s)."""
+        return statistics.fmean(s.t_active for s in self._slots)
+
+    def mean_active_current(self) -> float:
+        """Time-weighted mean active current (A)."""
+        return sum(s.active_charge for s in self._slots) / self.active_time
+
+    def average_current(self, i_idle: float) -> float:
+        """Whole-trace average load current given a flat idle current (A).
+
+        Useful for sizing: the paper notes the FC can be sized for the
+        *average* load once a hybrid buffer absorbs the peaks.
+        """
+        if i_idle < 0:
+            raise TraceError("idle current cannot be negative")
+        charge = sum(s.active_charge for s in self._slots) + i_idle * self.idle_time
+        return charge / self.duration
+
+    # -- manipulation ----------------------------------------------------------
+
+    def truncate(self, max_duration: float) -> "LoadTrace":
+        """Prefix of the trace with total length <= ``max_duration``.
+
+        Keeps whole slots only; raises if not even the first slot fits.
+        """
+        kept: list[TaskSlot] = []
+        elapsed = 0.0
+        for s in self._slots:
+            if elapsed + s.length > max_duration:
+                break
+            kept.append(s)
+            elapsed += s.length
+        if not kept:
+            raise TraceError(
+                f"no whole slot fits in {max_duration} s "
+                f"(first slot is {self._slots[0].length} s)"
+            )
+        return LoadTrace(kept, name=f"{self.name}|<={max_duration:g}s")
+
+    def scaled(self, idle: float = 1.0, active: float = 1.0, current: float = 1.0):
+        """Return a copy with idle/active lengths and currents scaled."""
+        if min(idle, active, current) <= 0:
+            raise TraceError("scale factors must be positive")
+        return LoadTrace(
+            (
+                TaskSlot(s.t_idle * idle, s.t_active * active, s.i_active * current)
+                for s in self._slots
+            ),
+            name=f"{self.name}|scaled",
+        )
+
+    # -- serialization ----------------------------------------------------------
+
+    def to_csv(self) -> str:
+        """Serialize as CSV with a header row."""
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(["t_idle_s", "t_active_s", "i_active_a"])
+        for s in self._slots:
+            writer.writerow([repr(s.t_idle), repr(s.t_active), repr(s.i_active)])
+        return buf.getvalue()
+
+    @classmethod
+    def from_csv(cls, text: str, name: str = "csv-trace") -> "LoadTrace":
+        """Parse a trace written by :meth:`to_csv`."""
+        reader = csv.reader(io.StringIO(text))
+        rows = [row for row in reader if row]
+        if not rows or rows[0][:3] != ["t_idle_s", "t_active_s", "i_active_a"]:
+            raise TraceError("missing or malformed CSV header")
+        slots = []
+        for lineno, row in enumerate(rows[1:], start=2):
+            try:
+                slots.append(TaskSlot(float(row[0]), float(row[1]), float(row[2])))
+            except (IndexError, ValueError) as exc:
+                raise TraceError(f"bad CSV row {lineno}: {row!r}") from exc
+        return cls(slots, name=name)
+
+    def to_json(self) -> str:
+        """Serialize as a JSON document."""
+        return json.dumps(
+            {
+                "name": self.name,
+                "slots": [
+                    {
+                        "t_idle": s.t_idle,
+                        "t_active": s.t_active,
+                        "i_active": s.i_active,
+                    }
+                    for s in self._slots
+                ],
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "LoadTrace":
+        """Parse a trace written by :meth:`to_json`."""
+        try:
+            doc = json.loads(text)
+            slots = [
+                TaskSlot(d["t_idle"], d["t_active"], d["i_active"])
+                for d in doc["slots"]
+            ]
+            return cls(slots, name=doc.get("name", "json-trace"))
+        except (KeyError, TypeError, json.JSONDecodeError) as exc:
+            raise TraceError(f"malformed trace JSON: {exc}") from exc

@@ -1,0 +1,59 @@
+"""Battery-vs-FC load-shaping contrast tests (Section-1 claim)."""
+
+import pytest
+
+from repro.analysis.battery_contrast import (
+    battery_shaping_cost,
+    fc_shaping_cost,
+    shaping_contrast,
+)
+from repro.errors import ConfigurationError
+from repro.fuelcell.efficiency import ConstantSystemEfficiency
+
+
+class TestBatteryShaping:
+    def test_pulsed_wins_with_strong_recovery(self):
+        cost = battery_shaping_cost(avg_current=0.6, duty=0.4)
+        assert cost.prefers_pulsed
+
+    def test_flat_at_rated_current_is_lossless(self):
+        # Average at/below the rated current: flat pays no penalty.
+        cost = battery_shaping_cost(avg_current=0.4, duty=0.5)
+        assert cost.flat == pytest.approx(1.0, abs=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            battery_shaping_cost(avg_current=0.6, duty=1.0)
+        with pytest.raises(ConfigurationError):
+            battery_shaping_cost(avg_current=0.0)
+
+
+class TestFCShaping:
+    def test_flat_always_wins(self):
+        # Jensen on the convex fuel map: pulsing never helps the FC.
+        for avg in (0.3, 0.6, 0.9):
+            for duty in (0.3, 0.5, 0.7):
+                cost = fc_shaping_cost(avg_current=avg, duty=duty)
+                assert not cost.prefers_pulsed, (avg, duty)
+
+    def test_constant_efficiency_makes_shaping_irrelevant(self):
+        # With a flat efficiency law the fuel map is linear: costs equal
+        # up to the range clamp.
+        m = ConstantSystemEfficiency(eta=0.33)
+        cost = fc_shaping_cost(avg_current=0.5, duty=0.5, model=m)
+        assert cost.pulsed == pytest.approx(cost.flat, rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            fc_shaping_cost(avg_current=-1.0)
+        with pytest.raises(ConfigurationError):
+            fc_shaping_cost(avg_current=0.5, duty=0.0)
+
+
+class TestHeadlineContrast:
+    def test_preference_flips_between_sources(self):
+        """The paper's Section-1 claim, quantified: the schedule a
+        battery-aware policy produces is the one the FC punishes."""
+        contrast = shaping_contrast()
+        assert contrast["battery"].prefers_pulsed
+        assert not contrast["fc"].prefers_pulsed

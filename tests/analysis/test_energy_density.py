@@ -1,0 +1,64 @@
+"""Energy-density claim-check tests (the intro's 4-10x)."""
+
+import pytest
+
+from repro.analysis.energy_density import (
+    FC_PACK_HIGH,
+    FC_PACK_LOW,
+    LI_ION_PACK,
+    PackModel,
+    camcorder_comparison,
+    compare_packs,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPackModel:
+    def test_usable_energy(self):
+        pack = PackModel(specific_energy_wh_kg=150.0, usable_fraction=0.8)
+        assert pack.usable_energy_wh(0.5) == pytest.approx(60.0)
+
+    def test_runtime(self):
+        pack = PackModel(specific_energy_wh_kg=150.0, usable_fraction=0.8)
+        assert pack.runtime_hours(0.5, load_power_w=6.0) == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PackModel(specific_energy_wh_kg=0.0, usable_fraction=0.5)
+        with pytest.raises(ConfigurationError):
+            PackModel(specific_energy_wh_kg=100.0, usable_fraction=0.0)
+        pack = PackModel(specific_energy_wh_kg=100.0, usable_fraction=0.5)
+        with pytest.raises(ConfigurationError):
+            pack.usable_energy_wh(0.0)
+        with pytest.raises(ConfigurationError):
+            pack.runtime_hours(0.5, 0.0)
+
+
+class TestComparison:
+    def test_fc_outlasts_battery(self):
+        c = compare_packs(load_power_w=6.0)
+        assert c.fc_low_hours > c.battery_hours
+        assert c.fc_high_hours > c.fc_low_hours
+
+    def test_advantage_band_covers_papers_claim(self):
+        # The intro's "4 to 10X" must intersect [advantage_low, advantage_high].
+        c = compare_packs(load_power_w=6.0)
+        assert c.matches_paper_band
+        assert 1.5 < c.advantage_low < 4.5
+        assert 4.0 < c.advantage_high < 12.0
+
+    def test_mass_cancels_in_ratio(self):
+        a = compare_packs(load_power_w=6.0, mass_kg=0.25)
+        b = compare_packs(load_power_w=6.0, mass_kg=1.0)
+        assert a.advantage_low == pytest.approx(b.advantage_low)
+
+    def test_camcorder_average_power_plausible(self):
+        c = camcorder_comparison()
+        # ~6 W average -> a 0.5 kg Li-ion pack lasts ~8-14 h.
+        assert 5.0 < c.battery_hours < 20.0
+        assert c.matches_paper_band
+
+    def test_reference_packs_sane(self):
+        assert LI_ION_PACK.specific_energy_wh_kg == 150.0
+        assert FC_PACK_LOW.usable_fraction < LI_ION_PACK.usable_fraction
+        assert FC_PACK_HIGH.specific_energy_wh_kg > FC_PACK_LOW.specific_energy_wh_kg

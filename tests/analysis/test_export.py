@@ -1,0 +1,42 @@
+"""CSV export tests."""
+
+import csv
+
+import pytest
+
+from repro.analysis.export import export_all, export_fig2, export_tables
+from repro.errors import ConfigurationError
+
+
+class TestExport:
+    def test_fig2_csv_roundtrips(self, tmp_path):
+        path = export_fig2(tmp_path)
+        with open(path) as f:
+            rows = list(csv.reader(f))
+        assert rows[0] == ["i_fc_a", "v_fc_v", "p_w"]
+        assert len(rows) > 100
+        first = [float(x) for x in rows[1]]
+        assert first[1] == pytest.approx(18.2, abs=0.01)  # Voc
+
+    def test_tables_csv(self, tmp_path):
+        path = export_tables(tmp_path)
+        with open(path) as f:
+            rows = list(csv.reader(f))
+        assert rows[0] == ["table", "policy", "measured", "paper"]
+        assert len(rows) == 7  # header + 2 tables x 3 policies
+        by_key = {(r[0], r[1]): float(r[2]) for r in rows[1:]}
+        assert by_key[("table2", "conv-dpm")] == 1.0
+        assert by_key[("table2", "fc-dpm")] < by_key[("table2", "asap-dpm")]
+
+    def test_export_all_writes_five_files(self, tmp_path):
+        paths = export_all(tmp_path / "artifacts")
+        assert len(paths) == 5
+        for path in paths:
+            assert path.exists()
+            assert path.stat().st_size > 50
+
+    def test_rejects_file_as_directory(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        with pytest.raises(ConfigurationError):
+            export_all(blocker)

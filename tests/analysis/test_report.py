@@ -1,0 +1,62 @@
+"""Text-rendering helper tests."""
+
+import pytest
+
+from repro.analysis.report import ascii_plot, format_series, format_table
+from repro.errors import RangeError
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table([["name", "value"], ["fc-dpm", "0.308"]])
+        lines = text.split("\n")
+        assert "name" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+        assert "fc-dpm" in lines[2]
+
+    def test_title(self):
+        text = format_table([["a"]], title="Table 2")
+        assert text.startswith("Table 2")
+
+    def test_empty_rejected(self):
+        with pytest.raises(RangeError):
+            format_table([])
+
+
+class TestFormatSeries:
+    def test_subsamples(self):
+        xs = list(range(100))
+        ys = [x * 2 for x in xs]
+        text = format_series("s", xs, ys, max_points=5)
+        assert text.startswith("s:")
+        assert text.count("(") == 5
+
+    def test_short_series(self):
+        text = format_series("s", [1, 2], [3, 4])
+        assert "(1, 3)" in text and "(2, 4)" in text
+
+
+class TestAsciiPlot:
+    def test_contains_marks_and_bounds(self):
+        xs = [0, 1, 2, 3, 4]
+        ys = [0.0, 1.0, 4.0, 9.0, 16.0]
+        text = ascii_plot(xs, ys, width=40, height=8, title="quad")
+        assert text.startswith("quad")
+        assert "*" in text
+        assert "16" in text
+
+    def test_flat_series_does_not_crash(self):
+        text = ascii_plot([0, 1, 2], [5.0, 5.0, 5.0])
+        assert "*" in text
+
+    def test_rejects_short_series(self):
+        with pytest.raises(RangeError):
+            ascii_plot([1], [1])
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(RangeError):
+            ascii_plot([1, 2, 3], [1, 2])
+
+    def test_y_label(self):
+        text = ascii_plot([0, 1], [0, 1], y_label="amps")
+        assert "[amps]" in text

@@ -1,0 +1,66 @@
+"""Parameter-sensitivity analysis tests."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    KNOBS,
+    sensitivity_analysis,
+    tornado_ranking,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    return sensitivity_analysis(relative=0.2)
+
+
+class TestAnalysis:
+    def test_covers_all_knobs(self, analysis):
+        assert set(analysis) == set(KNOBS)
+
+    def test_three_points_per_knob(self, analysis):
+        for points in analysis.values():
+            assert [p.factor for p in points] == [0.8, 1.0, 1.2]
+
+    def test_nominal_consistent_across_knobs(self, analysis):
+        nominals = {points[1].fc_normalized for points in analysis.values()}
+        assert len(nominals) == 1
+
+    def test_beta_increases_saving(self, analysis):
+        low, _, high = analysis["beta"]
+        assert high.fc_saving_vs_asap > low.fc_saving_vs_asap
+
+    def test_capacity_decreases_fuel(self, analysis):
+        low, _, high = analysis["storage_capacity"]
+        assert high.fc_normalized <= low.fc_normalized + 1e-9
+
+    def test_sleep_power_increases_fuel(self, analysis):
+        low, _, high = analysis["p_sleep"]
+        assert high.fc_normalized > low.fc_normalized
+
+    def test_longer_idles_reduce_normalized_fuel(self, analysis):
+        # More idle time lowers the average load relative to Conv-DPM's
+        # fixed burn.
+        low, _, high = analysis["idle_scale"]
+        assert high.fc_normalized < low.fc_normalized
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sensitivity_analysis(knobs=["nonsense"])
+
+    def test_bad_relative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sensitivity_analysis(relative=0.0)
+
+
+class TestTornado:
+    def test_ranking_sorted_descending(self, analysis):
+        ranking = tornado_ranking(analysis)
+        swings = [s for _, s in ranking]
+        assert swings == sorted(swings, reverse=True)
+
+    def test_rho_is_second_order(self, analysis):
+        # The prediction factor barely matters (the paper's robustness).
+        ranking = dict(tornado_ranking(analysis))
+        assert ranking["rho"] < 0.02

@@ -1,0 +1,81 @@
+"""FC slew-rate ablation tests."""
+
+import pytest
+
+from repro.analysis.slew import apply_slew_limit, slew_rate_sweep
+from repro.errors import ConfigurationError
+from repro.fuelcell.efficiency import LinearSystemEfficiency
+
+
+@pytest.fixture
+def model() -> LinearSystemEfficiency:
+    return LinearSystemEfficiency()
+
+
+#: A Fig-4-like commanded profile: low idle output, high active output.
+DURATIONS = [20.0, 10.0, 20.0, 10.0]
+COMMANDS = [0.2, 1.2, 0.2, 1.2]
+
+
+class TestApplySlew:
+    def test_infinite_rate_is_identity(self, model):
+        result = apply_slew_limit(DURATIONS, COMMANDS, model, slew_rate=1e6)
+        assert result.limited_fuel == pytest.approx(result.ideal_fuel, rel=1e-6)
+        assert result.charge_error == pytest.approx(0.0, abs=1e-5)
+
+    def test_constant_profile_unaffected(self, model):
+        result = apply_slew_limit([30.0], [0.5], model, slew_rate=0.01)
+        assert result.n_transitions == 0
+        assert result.limited_fuel == pytest.approx(result.ideal_fuel)
+
+    def test_slow_ramp_counts_transitions(self, model):
+        result = apply_slew_limit(DURATIONS, COMMANDS, model, slew_rate=0.2)
+        assert result.n_transitions == 3  # up, down, up
+
+    def test_up_ramp_underdelivers(self, model):
+        result = apply_slew_limit([10.0, 10.0], [0.2, 1.2], model,
+                                  slew_rate=0.1)
+        # Ramping 1 A at 0.1 A/s takes 10 s: mean level 0.7 instead of 1.2.
+        assert result.charge_error == pytest.approx((1.2 - 0.7) * 10.0)
+        assert result.worst_transition_shortfall == pytest.approx(5.0)
+
+    def test_balanced_square_wave_nets_to_zero_error(self, model):
+        # Equal numbers of up and down ramps: the per-transition
+        # shortfalls (+1.0 up, -1.0 down at 0.5 A/s) cancel in net.
+        result = apply_slew_limit(
+            [10.0, 10.0, 10.0, 10.0, 10.0], [0.2, 1.2, 0.2, 1.2, 0.2],
+            model, slew_rate=0.5,
+        )
+        assert result.n_transitions == 4
+        assert result.charge_error == pytest.approx(0.0, abs=1e-9)
+        assert result.worst_transition_shortfall == pytest.approx(1.0)
+
+    def test_ramp_fuel_below_ideal_on_up_transitions(self, model):
+        # While ramping up, the FC sits below the commanded level: the
+        # convex fuel map makes the ramp itself cheaper, but the energy
+        # not delivered must come from storage (the charge error).
+        result = apply_slew_limit([10.0, 10.0], [0.2, 1.2], model,
+                                  slew_rate=0.1)
+        assert result.limited_fuel < result.ideal_fuel
+        assert result.charge_error > 0
+
+    def test_validation(self, model):
+        with pytest.raises(ConfigurationError):
+            apply_slew_limit([1.0], [0.5, 0.6], model, slew_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            apply_slew_limit([1.0], [0.5], model, slew_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            apply_slew_limit([-1.0], [0.5], model, slew_rate=1.0)
+
+
+class TestSweep:
+    def test_shortfall_shrinks_with_rate(self, model):
+        sweep = slew_rate_sweep(DURATIONS, COMMANDS, model,
+                                rates=(0.05, 0.5, 5.0))
+        shortfalls = [r.worst_transition_shortfall for r in sweep.values()]
+        assert shortfalls == sorted(shortfalls, reverse=True)
+
+    def test_fast_rate_negligible_error(self, model):
+        sweep = slew_rate_sweep(DURATIONS, COMMANDS, model, rates=(5.0,))
+        assert abs(sweep[5.0].fuel_penalty) < 0.01
+        assert sweep[5.0].worst_transition_shortfall < 0.15

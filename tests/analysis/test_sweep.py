@@ -1,0 +1,78 @@
+"""Ablation-sweep tests (the DESIGN.md design-choice studies)."""
+
+import pytest
+
+from repro.analysis.sweep import (
+    efficiency_slope_sweep,
+    predictor_sweep,
+    recharge_threshold_sweep,
+    storage_capacity_sweep,
+)
+from repro.errors import ConfigurationError
+
+
+class TestStorageSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return storage_capacity_sweep(capacities=(2.0, 6.0, 24.0))
+
+    def test_fc_dpm_improves_with_capacity(self, sweep):
+        fc = [sweep[c]["fc-dpm"] for c in (2.0, 6.0, 24.0)]
+        assert fc[-1] <= fc[0] + 1e-6
+
+    def test_fc_beats_asap_at_every_capacity(self, sweep):
+        for c, row in sweep.items():
+            assert row["fc-dpm"] < row["asap-dpm"], f"capacity {c}"
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            storage_capacity_sweep(capacities=(0.0,))
+
+
+class TestPredictorSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return predictor_sweep()
+
+    def test_all_predictors_present(self, sweep):
+        assert set(sweep) == {
+            "fc-exponential",
+            "fc-lastvalue",
+            "fc-regression",
+            "fc-learningtree",
+        }
+
+    def test_all_beat_half_of_conv(self, sweep):
+        # Any sane predictor keeps FC-DPM far below Conv-DPM.
+        for name, value in sweep.items():
+            assert value < 0.5, name
+
+    def test_spread_is_small(self, sweep):
+        # Predictor choice is a second-order effect on this workload.
+        values = list(sweep.values())
+        assert max(values) - min(values) < 0.05
+
+
+class TestEfficiencySlopeSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return efficiency_slope_sweep(betas=(0.0, 0.13, 0.24))
+
+    def test_no_saving_without_slope(self, sweep):
+        # beta = 0: linear fuel map, flattening buys (almost) nothing.
+        assert abs(sweep[0.0]) < 0.02
+
+    def test_saving_grows_with_slope(self, sweep):
+        assert sweep[0.0] < sweep[0.13] < sweep[0.24]
+
+    def test_paper_beta_gives_double_digit_saving(self, sweep):
+        assert sweep[0.13] > 0.10
+
+
+class TestRechargeSweep:
+    def test_threshold_effect_is_mild(self):
+        sweep = recharge_threshold_sweep(thresholds=(0.1, 0.5, 0.9))
+        values = list(sweep.values())
+        assert max(values) - min(values) < 0.10
+        # All remain far below Conv-DPM.
+        assert all(v < 0.7 for v in values)

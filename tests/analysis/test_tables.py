@@ -1,0 +1,86 @@
+"""Table 2 / Table 3 reproduction tests (paper-number acceptance bands)."""
+
+import pytest
+
+from repro.analysis.tables import PAPER_TABLE2, PAPER_TABLE3, table2, table3
+
+
+@pytest.fixture(scope="module")
+def t2():
+    return table2()
+
+
+@pytest.fixture(scope="module")
+def t3():
+    return table3()
+
+
+class TestTable2:
+    def test_ordering(self, t2):
+        n = t2.normalized
+        assert n["conv-dpm"] == 1.0
+        assert n["fc-dpm"] < n["asap-dpm"] < n["conv-dpm"]
+
+    def test_asap_close_to_paper(self, t2):
+        # Paper: 40.8 %.  Accept +-6 points (synthetic trace substitution).
+        assert t2.normalized["asap-dpm"] == pytest.approx(0.408, abs=0.06)
+
+    def test_fc_close_to_paper(self, t2):
+        # Paper: 30.8 %.
+        assert t2.normalized["fc-dpm"] == pytest.approx(0.308, abs=0.06)
+
+    def test_fc_saving_vs_asap_positive_double_digit(self, t2):
+        # Paper: 24.4 %.  The shape requirement: double-digit saving.
+        assert 0.10 <= t2.fc_vs_asap_saving <= 0.35
+
+    def test_lifetime_extension_above_1_1(self, t2):
+        # Paper: 1.32x.
+        assert t2.fc_vs_asap_lifetime > 1.1
+
+    def test_no_deficit(self, t2):
+        for r in t2.results.values():
+            assert r.deficit < 0.05 * r.load_charge
+
+    def test_rows_format(self, t2):
+        rows = t2.rows()
+        assert rows[0][0] == "DPM policy"
+        assert len(rows) == 4
+
+    def test_paper_reference_values_included(self, t2):
+        assert t2.paper == PAPER_TABLE2
+
+
+class TestTable3:
+    def test_ordering(self, t3):
+        n = t3.normalized
+        assert n["fc-dpm"] < n["asap-dpm"] < n["conv-dpm"] == 1.0
+
+    def test_asap_close_to_paper(self, t3):
+        # Paper: 49.1 %.
+        assert t3.normalized["asap-dpm"] == pytest.approx(0.491, abs=0.08)
+
+    def test_fc_close_to_paper(self, t3):
+        # Paper: 41.5 %.
+        assert t3.normalized["fc-dpm"] == pytest.approx(0.415, abs=0.08)
+
+    def test_paper_reference_values_included(self, t3):
+        assert t3.paper == PAPER_TABLE3
+
+
+class TestCrossExperiment:
+    def test_exp2_saving_smaller_than_exp1(self, t2, t3):
+        # Paper Section 5.2 explains why the Exp-2 saving (15.5 %) is
+        # smaller than Exp-1's (24.4 %): less idle-current contrast and
+        # higher average currents.  The reproduction must preserve that.
+        assert t3.fc_vs_asap_saving < t2.fc_vs_asap_saving
+
+    def test_exp2_normalized_fuel_higher(self, t2, t3):
+        # Both non-conv policies burn relatively more fuel in Exp 2.
+        assert t3.normalized["asap-dpm"] > t2.normalized["asap-dpm"]
+        assert t3.normalized["fc-dpm"] > t2.normalized["fc-dpm"]
+
+    def test_seed_robustness(self):
+        # The qualitative result must not depend on the trace seed.
+        for seed in (1, 99):
+            r = table2(seed=seed)
+            assert r.normalized["fc-dpm"] < r.normalized["asap-dpm"]

@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import FCSystemConstants
+from repro.core.manager import PowerManager
+from repro.devices.camcorder import camcorder_device_params, randomized_device_params
+from repro.fuelcell.efficiency import LinearSystemEfficiency
+from repro.workload.trace import LoadTrace, TaskSlot
+
+
+@pytest.fixture
+def linear_model() -> LinearSystemEfficiency:
+    """The paper's calibrated efficiency model (alpha=0.45, beta=0.13)."""
+    return LinearSystemEfficiency.from_constants(FCSystemConstants())
+
+
+@pytest.fixture
+def camcorder_params():
+    """Experiment-1 DVD camcorder device parameters."""
+    return camcorder_device_params()
+
+
+@pytest.fixture
+def exp2_params():
+    """Experiment-2 randomized-system device parameters."""
+    return randomized_device_params()
+
+
+@pytest.fixture
+def small_trace() -> LoadTrace:
+    """A tiny deterministic trace for fast policy tests."""
+    return LoadTrace(
+        [
+            TaskSlot(t_idle=12.0, t_active=3.0, i_active=1.2),
+            TaskSlot(t_idle=9.0, t_active=3.0, i_active=1.1),
+            TaskSlot(t_idle=15.0, t_active=3.0, i_active=1.2),
+            TaskSlot(t_idle=10.0, t_active=3.0, i_active=1.0),
+            TaskSlot(t_idle=18.0, t_active=3.0, i_active=1.2),
+        ],
+        name="small",
+    )
+
+
+@pytest.fixture
+def managers(camcorder_params):
+    """The paper's three policy configurations over a 6 A-s supercap."""
+    kwargs = {"storage_capacity": 6.0, "storage_initial": 3.0}
+    return [
+        PowerManager.conv_dpm(camcorder_params, **kwargs),
+        PowerManager.asap_dpm(camcorder_params, **kwargs),
+        PowerManager.fc_dpm(camcorder_params, **kwargs),
+    ]

@@ -1,0 +1,88 @@
+"""Conv-DPM / ASAP-DPM source-controller tests."""
+
+import pytest
+
+from repro.core.baselines import (
+    ASAPDPMController,
+    ConvDPMController,
+    SegmentContext,
+    StaticController,
+)
+from repro.errors import ConfigurationError
+from repro.fuelcell.efficiency import LinearSystemEfficiency
+
+
+@pytest.fixture
+def model() -> LinearSystemEfficiency:
+    return LinearSystemEfficiency()
+
+
+def ctx(i_load=0.2, charge=3.0, capacity=6.0, phase="idle", kind="standby"):
+    return SegmentContext(
+        slot_index=0,
+        phase=phase,
+        kind=kind,
+        duration=10.0,
+        i_load=i_load,
+        storage_charge=charge,
+        storage_capacity=capacity,
+        phase_duration=10.0,
+        phase_demand=i_load * 10.0,
+    )
+
+
+class TestConvDPM:
+    def test_always_max_output(self, model):
+        c = ConvDPMController(model)
+        assert c.output(ctx(i_load=0.2)) == 1.2
+        assert c.output(ctx(i_load=1.2, phase="active", kind="run")) == 1.2
+
+
+class TestASAPDPM:
+    def test_follows_load_in_range(self, model):
+        c = ASAPDPMController(model)
+        assert c.output(ctx(i_load=0.4)) == pytest.approx(0.4)
+
+    def test_clamps_load_to_range(self, model):
+        c = ASAPDPMController(model)
+        assert c.output(ctx(i_load=1.3)) == 1.2
+        assert c.output(ctx(i_load=0.05)) == 0.1
+
+    def test_recharge_mode_below_half(self, model):
+        c = ASAPDPMController(model)
+        assert c.output(ctx(i_load=0.2, charge=2.0)) == 1.2  # < half of 6
+        assert c.recharging
+
+    def test_recharge_mode_persists_until_full(self, model):
+        # The paper recharges "to full capacity as soon as possible".
+        c = ASAPDPMController(model)
+        c.output(ctx(i_load=0.2, charge=2.0))
+        assert c.output(ctx(i_load=0.2, charge=4.5)) == 1.2
+        assert c.output(ctx(i_load=0.2, charge=6.0)) == pytest.approx(0.2)
+        assert not c.recharging
+
+    def test_threshold_configurable(self, model):
+        c = ASAPDPMController(model, recharge_threshold=0.25)
+        c.output(ctx(i_load=0.2, charge=2.0))  # soc 0.33 > 0.25
+        assert not c.recharging
+
+    def test_rejects_bad_thresholds(self, model):
+        with pytest.raises(ConfigurationError):
+            ASAPDPMController(model, recharge_threshold=0.9, full_level=0.5)
+
+    def test_reset_clears_recharge(self, model):
+        c = ASAPDPMController(model)
+        c.output(ctx(charge=1.0))
+        c.reset()
+        assert not c.recharging
+
+
+class TestStatic:
+    def test_holds_value(self, model):
+        c = StaticController(model, 0.7)
+        assert c.output(ctx()) == 0.7
+        assert c.output(ctx(phase="active", kind="run")) == 0.7
+
+    def test_rejects_out_of_range(self, model):
+        with pytest.raises(ConfigurationError):
+            StaticController(model, 1.5)

@@ -1,0 +1,64 @@
+"""PowerManager wiring tests."""
+
+import pytest
+
+from repro.core.baselines import ASAPDPMController, ConvDPMController
+from repro.core.fc_dpm import FCDPMController
+from repro.core.manager import PowerManager
+from repro.dpm.predictive import PredictiveShutdownPolicy
+from repro.fuelcell.efficiency import ConstantSystemEfficiency
+
+
+class TestFactories:
+    def test_conv_dpm(self, camcorder_params):
+        mgr = PowerManager.conv_dpm(camcorder_params)
+        assert mgr.name == "conv-dpm"
+        assert isinstance(mgr.controller, ConvDPMController)
+        assert isinstance(mgr.policy, PredictiveShutdownPolicy)
+
+    def test_asap_dpm(self, camcorder_params):
+        mgr = PowerManager.asap_dpm(camcorder_params, recharge_threshold=0.4)
+        assert isinstance(mgr.controller, ASAPDPMController)
+        assert mgr.controller.recharge_threshold == 0.4
+
+    def test_fc_dpm(self, camcorder_params):
+        mgr = PowerManager.fc_dpm(camcorder_params)
+        assert isinstance(mgr.controller, FCDPMController)
+
+    def test_fc_dpm_shares_idle_predictor(self, camcorder_params):
+        mgr = PowerManager.fc_dpm(camcorder_params)
+        assert mgr.controller.idle_length_predictor is mgr.policy.predictor
+        assert not mgr.controller.observes_idle
+
+    def test_storage_configuration(self, camcorder_params):
+        mgr = PowerManager.fc_dpm(
+            camcorder_params, storage_capacity=10.0, storage_initial=4.0
+        )
+        assert mgr.source.storage.capacity == 10.0
+        assert mgr.source.storage.charge == 4.0
+
+    def test_custom_model_propagates(self, camcorder_params):
+        model = ConstantSystemEfficiency(eta=0.33)
+        mgr = PowerManager.asap_dpm(camcorder_params, model=model)
+        assert mgr.controller.model is model
+        assert mgr.source.fc.model is model
+
+    def test_rho_propagates(self, camcorder_params):
+        mgr = PowerManager.conv_dpm(camcorder_params, rho=0.7)
+        assert mgr.policy.predictor.factor == 0.7
+
+    def test_active_estimate_propagates(self, camcorder_params):
+        mgr = PowerManager.fc_dpm(camcorder_params, active_current_estimate=1.2)
+        assert mgr.controller.active_current_estimate == 1.2
+
+
+class TestReset:
+    def test_reset_restores_everything(self, camcorder_params):
+        mgr = PowerManager.fc_dpm(camcorder_params, storage_initial=3.0)
+        mgr.policy.on_idle_start()
+        mgr.source.set_fc_output(1.0)
+        mgr.source.step(0.5, 10.0)
+        mgr.reset(storage_charge=3.0)
+        assert mgr.policy.n_decisions == 0
+        assert mgr.source.total_fuel == 0.0
+        assert mgr.source.storage.charge == 3.0

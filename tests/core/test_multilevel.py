@@ -1,0 +1,107 @@
+"""Discrete FC output level tests (ISLPED'06 setting)."""
+
+import pytest
+
+from repro.core.multilevel import (
+    default_levels,
+    quantization_loss_curve,
+    solve_slot_discrete,
+)
+from repro.core.optimizer import solve_slot
+from repro.core.setting import SlotProblem
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.fuelcell.efficiency import LinearSystemEfficiency
+
+
+@pytest.fixture
+def model() -> LinearSystemEfficiency:
+    return LinearSystemEfficiency()
+
+
+@pytest.fixture
+def problem() -> SlotProblem:
+    return SlotProblem(t_idle=20, t_active=10, i_idle=0.2, i_active=1.2,
+                       c_ini=3.0, c_end=3.0, c_max=200.0)
+
+
+class TestDefaultLevels:
+    def test_spans_load_following_range(self, model):
+        levels = default_levels(model, 6)
+        assert levels[0] == model.if_min
+        assert levels[-1] == model.if_max
+        assert len(levels) == 6
+
+    def test_rejects_single_level(self, model):
+        with pytest.raises(ConfigurationError):
+            default_levels(model, 1)
+
+
+class TestSolveDiscrete:
+    def test_discrete_never_beats_continuous(self, model, problem):
+        # Effective fuel (fuel + replacement cost of any end-of-slot
+        # shortfall) can never beat the exact-balance continuous optimum.
+        result = solve_slot_discrete(problem, model, default_levels(model, 6))
+        assert result.effective_fuel >= result.continuous_fuel - 1e-9
+        assert result.quantization_penalty >= -1e-9
+
+    def test_levels_come_from_lattice(self, model, problem):
+        levels = default_levels(model, 4)
+        result = solve_slot_discrete(problem, model, levels)
+        assert result.solution.if_idle in levels
+        assert result.solution.if_active in levels
+
+    def test_dense_lattice_approaches_continuous(self, model, problem):
+        coarse = solve_slot_discrete(problem, model, default_levels(model, 3))
+        fine = solve_slot_discrete(problem, model, default_levels(model, 48))
+        assert fine.quantization_penalty <= coarse.quantization_penalty + 1e-9
+        assert fine.quantization_penalty < 0.1
+
+    def test_no_deficit_in_solution(self, model, problem):
+        result = solve_slot_discrete(problem, model, default_levels(model, 6))
+        assert result.solution.deficit == 0.0
+        assert result.solution.c_after_slot >= 0.0
+
+    def test_infeasible_lattice_raises(self, model):
+        # Heavy active demand with an empty storage: only high output
+        # carries it, but the lattice below is too sparse... force it by
+        # offering only the range floor.
+        p = SlotProblem(t_idle=1, t_active=30, i_idle=0.2, i_active=1.2,
+                        c_ini=0.0, c_end=0.0, c_max=3.0)
+        with pytest.raises(InfeasibleError):
+            solve_slot_discrete(p, model, (0.1, 0.12))
+
+    def test_rejects_out_of_range_levels(self, model, problem):
+        with pytest.raises(ConfigurationError):
+            solve_slot_discrete(problem, model, (0.1, 1.5))
+
+    def test_balance_weight_prevents_storage_raiding(self, model):
+        # With a nonzero target, a weak penalty would prefer draining the
+        # storage; the default must keep the end state near the target.
+        p = SlotProblem(t_idle=20, t_active=10, i_idle=0.2, i_active=1.0,
+                        c_ini=5.0, c_end=5.0, c_max=10.0)
+        result = solve_slot_discrete(p, model, default_levels(model, 12))
+        assert abs(result.solution.c_after_slot - 5.0) < 1.0
+
+    def test_capacity_limited_flag_and_bleed(self, model):
+        # Even the lowest level overfills a tiny storage during a long idle.
+        p = SlotProblem(t_idle=500, t_active=10, i_idle=0.0, i_active=1.0,
+                        c_ini=1.0, c_end=1.0, c_max=2.0)
+        result = solve_slot_discrete(p, model, default_levels(model, 4))
+        assert result.solution.bled > 0
+        assert result.solution.capacity_limited
+
+
+class TestQuantizationCurve:
+    def test_monotone_on_nested_lattices(self, model, problem):
+        # Default counts are 2**k + 1: each lattice refines the previous
+        # one, so the penalty cannot increase.
+        curve = quantization_loss_curve(problem, model)
+        penalties = list(curve.values())
+        for a, b in zip(penalties, penalties[1:]):
+            assert b <= a + 1e-9
+
+    def test_diminishing_returns(self, model, problem):
+        curve = quantization_loss_curve(problem, model,
+                                        level_counts=(3, 9, 33))
+        assert curve[33] < 0.1  # 33 set-points ~ continuous (<1% of fuel)
+        assert curve[3] > curve[33]

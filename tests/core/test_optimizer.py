@@ -1,0 +1,284 @@
+"""Optimization-framework tests: every closed-form claim in Section 3."""
+
+import numpy as np
+import pytest
+
+from repro.core.optimizer import (
+    optimal_flat_current,
+    solve_horizon,
+    solve_slot,
+    solve_slot_numeric,
+)
+from repro.core.setting import SlotProblem
+from repro.errors import RangeError
+from repro.fuelcell.efficiency import (
+    ComposedSystemEfficiency,
+    ConstantSystemEfficiency,
+    LinearSystemEfficiency,
+)
+
+
+@pytest.fixture
+def model() -> LinearSystemEfficiency:
+    return LinearSystemEfficiency()
+
+
+@pytest.fixture
+def motivational() -> SlotProblem:
+    """The Section-3.2 example: Ti=20 s @0.2 A, Ta=10 s @1.2 A, Cmax=200."""
+    return SlotProblem(t_idle=20, t_active=10, i_idle=0.2, i_active=1.2,
+                       c_max=200.0)
+
+
+class TestEquation11:
+    def test_flat_is_charge_weighted_average(self, motivational):
+        # (0.2*20 + 1.2*10) / 30 = 0.5333 A (paper: "0.53 A").
+        assert optimal_flat_current(motivational) == pytest.approx(16 / 30)
+
+    def test_cend_offset(self):
+        # Eq. 13: Cend != Cini shifts the flat value by the deficit/slot time.
+        p = SlotProblem(20, 10, 0.2, 1.2, c_ini=2.0, c_end=5.0, c_max=200.0)
+        assert optimal_flat_current(p) == pytest.approx((16 + 3) / 30)
+
+    def test_overhead_terms(self):
+        # Section 3.3.2: Ta_eff = 12, demand gains 2.4 A-s.
+        p = SlotProblem(20, 10, 0.2, 1.2, c_max=200.0, sleeping=True,
+                        t_wu=1, t_pd=1, i_wu=1.2, i_pd=1.2)
+        assert optimal_flat_current(p) == pytest.approx((16 + 2.4) / 32)
+
+    def test_never_negative(self):
+        p = SlotProblem(20, 10, 0.0, 0.0, c_ini=50.0, c_end=0.0, c_max=200.0)
+        assert optimal_flat_current(p) == 0.0
+
+
+class TestMotivationalExample:
+    def test_paper_solution(self, model, motivational):
+        s = solve_slot(motivational, model)
+        assert s.if_idle == pytest.approx(16 / 30, abs=1e-9)
+        assert s.is_flat
+        assert s.ifc_idle == pytest.approx(0.448, abs=1e-3)
+        assert s.fuel == pytest.approx(13.45, abs=0.01)
+
+    def test_charge_returns_to_cini(self, model, motivational):
+        s = solve_slot(motivational, model)
+        # Storage swing (IF - Ild,i)*Ti = 6.67 A-s; the paper's quoted
+        # 10.67 A-s is the FC-delivered idle charge IF*Ti.
+        assert s.c_after_idle == pytest.approx(6.67, abs=0.01)
+        assert s.c_after_slot == pytest.approx(0.0, abs=1e-9)
+
+    def test_savings_vs_asap(self, model, motivational):
+        # Paper Section 3.2: 15.9 % lower than ASAP's 16 A-s.
+        s = solve_slot(motivational, model)
+        asap = model.fc_current(0.2) * 20 + model.fc_current(1.2) * 10
+        assert 1 - s.fuel / asap == pytest.approx(0.159, abs=0.01)
+
+    def test_savings_vs_conv_paper_reading(self, model, motivational):
+        # Paper: 62.6 % lower than 36 A-s (their Ifc = 1.2 A reading).
+        s = solve_slot(motivational, model)
+        assert 1 - s.fuel / 36.0 == pytest.approx(0.626, abs=0.01)
+
+    def test_no_constraint_flags(self, model, motivational):
+        s = solve_slot(motivational, model)
+        assert not s.range_clamped
+        assert not s.capacity_limited
+        assert s.bled == 0.0 and s.deficit == 0.0
+
+    def test_flat_beats_any_split(self, model, motivational):
+        # Convexity: any feasible (IF,i, IF,a) pair satisfying the charge
+        # balance burns at least as much fuel as the flat optimum.
+        s = solve_slot(motivational, model)
+        t_i, t_a = 20.0, 10.0
+        for if_i in np.linspace(0.1, 1.0, 19):
+            if_a = (16.0 - if_i * t_i) / t_a
+            if not 0.1 <= if_a <= 1.2:
+                continue
+            fuel = model.fc_current(float(if_i)) * t_i + model.fc_current(
+                float(if_a)
+            ) * t_a
+            assert fuel >= s.fuel - 1e-9
+
+
+class TestRangeClamping:
+    def test_low_demand_clamps_to_floor(self, model):
+        p = SlotProblem(t_idle=100, t_active=1, i_idle=0.0, i_active=1.0,
+                        c_max=1e6)
+        s = solve_slot(p, model)
+        assert s.range_clamped
+        assert s.if_idle == model.if_min
+        # Forced over-supply ends above target: surplus stays in storage
+        # (capacity permitting) rather than being bled.
+        assert s.c_after_slot > 0
+
+    def test_high_demand_clamps_to_ceiling(self, model):
+        p = SlotProblem(t_idle=1, t_active=100, i_idle=1.2, i_active=1.3,
+                        c_ini=100.0, c_end=100.0, c_max=200.0)
+        s = solve_slot(p, model)
+        assert s.range_clamped
+        assert s.if_active == model.if_max
+        # Shortfall drains the storage below its target.
+        assert s.c_after_slot < 100.0
+
+    def test_deficit_reported_when_storage_cannot_cover(self, model):
+        p = SlotProblem(t_idle=1, t_active=100, i_idle=1.2, i_active=1.4,
+                        c_ini=5.0, c_end=5.0, c_max=5.0)
+        s = solve_slot(p, model)
+        assert s.deficit > 0
+
+    def test_bleed_reported_at_floor_overflow(self, model):
+        # Extreme case of Section 3.3.1: even IF_min overfills the storage.
+        p = SlotProblem(t_idle=1000, t_active=1, i_idle=0.0, i_active=0.1,
+                        c_ini=1.0, c_end=1.0, c_max=2.0)
+        s = solve_slot(p, model)
+        assert s.if_idle == model.if_min
+        assert s.bled > 0
+
+
+class TestCapacityLimit:
+    def test_idle_output_reduced_to_fit(self, model):
+        # Same slot as motivational but Cmax = 5 A-s < the 10.67 A-s swing.
+        p = SlotProblem(20, 10, 0.2, 1.2, c_max=5.0)
+        s = solve_slot(p, model)
+        assert s.capacity_limited
+        # IF,i chosen so the storage just fills: (5-0)/20 + 0.2 = 0.45.
+        assert s.if_idle == pytest.approx(0.45)
+        assert s.c_after_idle == pytest.approx(5.0)
+        # IF,a re-derived from Eq. 6: (12 + 0 - 5)/10 = 0.7.
+        assert s.if_active == pytest.approx(0.7)
+        assert s.c_after_slot == pytest.approx(0.0, abs=1e-9)
+
+    def test_capacity_limited_costs_more_fuel(self, model):
+        free = solve_slot(SlotProblem(20, 10, 0.2, 1.2, c_max=200.0), model)
+        tight = solve_slot(SlotProblem(20, 10, 0.2, 1.2, c_max=5.0), model)
+        assert tight.fuel > free.fuel
+
+    def test_storage_floor_raises_idle_output(self, model):
+        # Idle load exceeds the flat value and c_ini is small: IF,i must
+        # rise to keep the storage non-negative.
+        p = SlotProblem(t_idle=10, t_active=10, i_idle=1.0, i_active=0.2,
+                        c_ini=0.0, c_end=0.0, c_max=100.0)
+        s = solve_slot(p, model)
+        assert s.capacity_limited
+        assert s.if_idle >= 1.0 - 1e-9
+        assert s.c_after_idle >= -1e-9
+
+    def test_fuel_monotone_in_capacity(self, model):
+        fuels = []
+        for c_max in (2.0, 5.0, 12.0, 200.0):
+            s = solve_slot(SlotProblem(20, 10, 0.2, 1.2, c_max=c_max), model)
+            fuels.append(s.fuel)
+        assert fuels == sorted(fuels, reverse=True)
+
+
+class TestCendNotCini:
+    def test_refill_raises_output(self, model):
+        p = SlotProblem(20, 10, 0.2, 1.2, c_ini=0.0, c_end=3.0, c_max=200.0)
+        s = solve_slot(p, model)
+        assert s.if_idle == pytest.approx((16 + 3) / 30)
+        assert s.c_after_slot == pytest.approx(3.0, abs=1e-9)
+
+    def test_drain_lowers_output(self, model):
+        p = SlotProblem(20, 10, 0.2, 1.2, c_ini=3.0, c_end=0.0, c_max=200.0)
+        s = solve_slot(p, model)
+        assert s.if_idle == pytest.approx((16 - 3) / 30)
+        assert s.c_after_slot == pytest.approx(0.0, abs=1e-9)
+
+
+class TestTransitionOverhead:
+    def test_flat_with_overheads(self, model):
+        p = SlotProblem(20, 10, 0.2, 1.2, c_max=200.0, sleeping=True,
+                        t_wu=1, t_pd=1, i_wu=1.2, i_pd=1.2)
+        s = solve_slot(p, model)
+        assert s.is_flat
+        assert s.if_idle == pytest.approx(18.4 / 32)
+
+    def test_overheads_cost_fuel(self, model):
+        base = solve_slot(SlotProblem(20, 10, 0.2, 1.2, c_max=200.0), model)
+        ovh = solve_slot(
+            SlotProblem(20, 10, 0.2, 1.2, c_max=200.0, sleeping=True,
+                        t_wu=1, t_pd=1, i_wu=1.2, i_pd=1.2),
+            model,
+        )
+        assert ovh.fuel > base.fuel
+
+
+class TestZeroIdle:
+    def test_active_only_slot(self, model):
+        p = SlotProblem(t_idle=0.0, t_active=10, i_idle=0.0, i_active=0.8,
+                        c_max=100.0)
+        s = solve_slot(p, model)
+        assert s.if_active == pytest.approx(0.8)
+        assert s.fuel == pytest.approx(model.fc_current(0.8) * 10)
+
+
+class TestNumericAgreement:
+    @pytest.mark.parametrize(
+        "problem",
+        [
+            SlotProblem(20, 10, 0.2, 1.2, c_max=200.0),
+            SlotProblem(20, 10, 0.2, 1.2, c_max=5.0),
+            SlotProblem(20, 10, 0.2, 1.2, c_ini=2.0, c_end=4.0, c_max=200.0),
+            SlotProblem(20, 10, 0.2, 1.2, c_max=200.0, sleeping=True,
+                        t_wu=1, t_pd=1, i_wu=1.2, i_pd=1.2),
+            SlotProblem(8, 3, 0.2, 1.1, c_ini=3.0, c_end=3.0, c_max=6.0),
+            SlotProblem(12, 5, 0.4, 1.0, c_ini=1.0, c_end=1.0, c_max=4.0),
+        ],
+    )
+    def test_closed_form_matches_slsqp(self, model, problem):
+        analytic = solve_slot(problem, model)
+        numeric = solve_slot_numeric(problem, model)
+        assert numeric.fuel == pytest.approx(analytic.fuel, rel=1e-5)
+        assert numeric.if_idle == pytest.approx(analytic.if_idle, abs=1e-4)
+        assert numeric.if_active == pytest.approx(analytic.if_active, abs=1e-4)
+
+    def test_numeric_supports_composed_model(self):
+        composed = ComposedSystemEfficiency()
+        p = SlotProblem(20, 10, 0.2, 1.2, c_max=200.0)
+        s = solve_slot_numeric(p, composed)
+        # The composed fuel map is still convex-ish; the optimum stays
+        # near flat and the fuel is finite and positive.
+        assert 0 < s.fuel < 30
+        assert abs(s.if_idle - s.if_active) < 0.2
+
+    def test_constant_efficiency_makes_flat_irrelevant(self):
+        # With a constant-eta model the fuel map is linear: any feasible
+        # setting meeting the balance burns identical fuel.
+        m = ConstantSystemEfficiency(eta=0.33)
+        p = SlotProblem(20, 10, 0.2, 1.2, c_max=200.0)
+        flat = solve_slot(p, m)
+        asap_fuel = m.fc_current(0.2) * 20 + m.fc_current(1.2) * 10
+        assert flat.fuel == pytest.approx(asap_fuel, rel=1e-9)
+
+
+class TestHorizon:
+    def test_flat_when_unconstrained(self, model):
+        durations = [10.0, 10.0, 10.0]
+        demands = [2.0, 8.0, 5.0]
+        outputs, fuel = solve_horizon(durations, demands, model,
+                                      c_ini=50.0, c_max=1000.0)
+        assert np.allclose(outputs, outputs[0], atol=1e-4)
+        assert outputs[0] == pytest.approx(0.5, abs=1e-4)
+
+    def test_capacity_bound_splits_levels(self, model):
+        # A tight storage forbids carrying charge from period 1 to 3.
+        durations = [10.0, 10.0]
+        demands = [1.0, 11.0]
+        outputs, _ = solve_horizon(durations, demands, model,
+                                   c_ini=0.0, c_max=2.0)
+        # Flat level 0.6 would need 5 A-s carried; capacity 2 forces the
+        # second period higher than the first.
+        assert outputs[1] > outputs[0]
+
+    def test_matches_single_slot(self, model, motivational):
+        outputs, fuel = solve_horizon(
+            [20.0, 10.0], [4.0, 12.0], model, c_ini=0.0, c_max=200.0
+        )
+        s = solve_slot(motivational, model)
+        assert fuel == pytest.approx(s.fuel, rel=1e-6)
+
+    def test_rejects_bad_arrays(self, model):
+        with pytest.raises(RangeError):
+            solve_horizon([10.0], [1.0, 2.0], model)
+        with pytest.raises(RangeError):
+            solve_horizon([], [], model)
+        with pytest.raises(RangeError):
+            solve_horizon([10.0, -1.0], [1.0, 1.0], model)

@@ -1,0 +1,77 @@
+"""Clairvoyant FC-DPM tests: the prediction-cost decomposition."""
+
+import pytest
+
+from repro.core.manager import PowerManager
+from repro.core.optimizer import solve_horizon
+from repro.core.oracle_controller import OracleFCDPMController
+from repro.devices.camcorder import camcorder_device_params
+from repro.errors import ConfigurationError
+from repro.fuelcell.efficiency import LinearSystemEfficiency
+from repro.sim.slotsim import SlotSimulator
+from repro.workload.mpeg import generate_mpeg_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_mpeg_trace(seed=2007)
+
+
+@pytest.fixture(scope="module")
+def dev():
+    return camcorder_device_params()
+
+
+def oracle_manager(trace, dev) -> PowerManager:
+    model = LinearSystemEfficiency()
+    mgr = PowerManager.fc_dpm(dev, storage_capacity=6.0, storage_initial=3.0)
+    mgr.name = "oracle-fc-dpm"
+    mgr.controller = OracleFCDPMController(model, trace, device=dev)
+    return mgr
+
+
+@pytest.fixture(scope="module")
+def fuels(trace, dev):
+    predicted = SlotSimulator(
+        PowerManager.fc_dpm(dev, storage_capacity=6.0, storage_initial=3.0)
+    ).run(trace)
+    oracle = SlotSimulator(oracle_manager(trace, dev)).run(trace)
+    return {"fc-dpm": predicted.fuel, "oracle": oracle.fuel,
+            "result": oracle}
+
+
+class TestOracle:
+    def test_oracle_never_worse_than_predicted(self, fuels):
+        assert fuels["oracle"] <= fuels["fc-dpm"] + 1e-6
+
+    def test_prediction_cost_is_small(self, fuels):
+        """On the smooth MPEG workload, prediction costs < 2 % fuel --
+        the robustness the paper's simple filter relies on."""
+        gap = fuels["fc-dpm"] / fuels["oracle"] - 1.0
+        assert 0.0 <= gap < 0.02
+
+    def test_oracle_above_offline_bound(self, fuels, trace, dev):
+        """Per-slot planning (Cend = Cini each slot) still pays versus
+        the whole-horizon optimum."""
+        model = LinearSystemEfficiency()
+        result = fuels["result"]
+        avg = result.load_charge / result.duration
+        bound = model.fc_current(avg) * result.duration
+        assert fuels["oracle"] >= bound - 1e-6
+
+    def test_no_deficit(self, fuels):
+        assert fuels["result"].deficit == 0.0
+
+    def test_index_out_of_range_rejected(self, trace, dev):
+        from repro.core.baselines import SlotStart
+
+        controller = OracleFCDPMController(LinearSystemEfficiency(), trace)
+        controller.start_run(3.0, 6.0)
+        with pytest.raises(ConfigurationError):
+            controller.on_idle_start(
+                SlotStart(len(trace), False, 0.2, 3.0)
+            )
+
+    def test_does_not_feed_shared_predictors(self, trace, dev):
+        controller = OracleFCDPMController(LinearSystemEfficiency(), trace)
+        assert not controller.observes_idle

@@ -1,0 +1,105 @@
+"""Receding-horizon controller tests."""
+
+import pytest
+
+from repro.core.manager import PowerManager
+from repro.core.receding import RecedingHorizonController
+from repro.devices.camcorder import camcorder_device_params
+from repro.dpm.predictive import PredictiveShutdownPolicy
+from repro.errors import ConfigurationError
+from repro.fuelcell.efficiency import LinearSystemEfficiency
+from repro.prediction.exponential import ExponentialAveragePredictor
+from repro.sim.slotsim import SlotSimulator
+from repro.workload.mpeg import generate_mpeg_trace
+
+
+@pytest.fixture(scope="module")
+def model():
+    return LinearSystemEfficiency()
+
+
+def mpc_manager(horizon: int, dev) -> PowerManager:
+    model = LinearSystemEfficiency()
+    idle_pred = ExponentialAveragePredictor(factor=0.5)
+    mgr = PowerManager.fc_dpm(dev, storage_capacity=6.0, storage_initial=3.0)
+    mgr.name = f"mpc-h{horizon}"
+    mgr.policy = PredictiveShutdownPolicy(dev, idle_pred)
+    controller = RecedingHorizonController(
+        model, horizon=horizon, idle_length_predictor=idle_pred
+    )
+    controller.observes_idle = False
+    mgr.controller = controller
+    return mgr
+
+
+class TestConstruction:
+    def test_rejects_zero_horizon(self, model):
+        with pytest.raises(ConfigurationError):
+            RecedingHorizonController(model, horizon=0)
+
+    def test_default_predictors(self, model):
+        c = RecedingHorizonController(model)
+        assert isinstance(c.idle_length_predictor, ExponentialAveragePredictor)
+
+
+class TestPlanning:
+    def test_outputs_within_range(self, model):
+        dev = camcorder_device_params()
+        trace = generate_mpeg_trace(duration_s=300.0, seed=11)
+        mgr = mpc_manager(3, dev)
+        result = SlotSimulator(mgr, record=True).run(trace)
+        _, values = result.recorder.step_series("i_f")
+        assert values.min() >= 0.1 - 1e-9
+        assert values.max() <= 1.2 + 1e-9
+
+    def test_plans_every_slot_without_fallback(self):
+        dev = camcorder_device_params()
+        trace = generate_mpeg_trace(duration_s=300.0, seed=11)
+        mgr = mpc_manager(3, dev)
+        result = SlotSimulator(mgr).run(trace)
+        controller = mgr.controller
+        assert controller.n_plans == result.n_slots
+        assert controller.n_fallbacks == 0
+
+    def test_no_deficit(self):
+        dev = camcorder_device_params()
+        trace = generate_mpeg_trace(duration_s=600.0, seed=12)
+        result = SlotSimulator(mpc_manager(4, dev)).run(trace)
+        assert result.deficit == 0.0
+
+
+class TestFuelHeadroom:
+    @pytest.fixture(scope="class")
+    def fuels(self):
+        dev = camcorder_device_params()
+        trace = generate_mpeg_trace(seed=2007)
+        out = {
+            "fc-dpm": SlotSimulator(
+                PowerManager.fc_dpm(dev, storage_capacity=6.0, storage_initial=3.0)
+            )
+            .run(trace)
+            .fuel
+        }
+        for h in (1, 2, 4):
+            out[f"mpc-h{h}"] = SlotSimulator(mpc_manager(h, dev)).run(trace).fuel
+        return out
+
+    def test_mpc_at_least_matches_fc_dpm(self, fuels):
+        # The per-slot stability constraint leaves headroom: every MPC
+        # horizon should do no worse than FC-DPM on this workload.
+        for h in (1, 2, 4):
+            assert fuels[f"mpc-h{h}"] <= fuels["fc-dpm"] * 1.01
+
+    def test_multi_slot_lookahead_helps(self, fuels):
+        assert fuels["mpc-h2"] <= fuels["mpc-h1"] + 1.0
+
+    def test_reset(self, model):
+        c = RecedingHorizonController(model, horizon=2)
+        c.start_run(3.0, 6.0)
+        from repro.core.baselines import SlotActuals, SlotStart
+
+        c.on_idle_start(SlotStart(0, False, 0.2, 3.0))
+        c.on_slot_end(SlotActuals(0, 10.0, 3.0, 1.2))
+        c.reset()
+        assert c.n_plans == 0
+        assert c._i_active_n == 0

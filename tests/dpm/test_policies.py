@@ -1,0 +1,147 @@
+"""Device-side DPM policy tests."""
+
+import pytest
+
+from repro.devices.camcorder import camcorder_device_params, randomized_device_params
+from repro.dpm.always import AlwaysOnPolicy, AlwaysSleepPolicy
+from repro.dpm.breakeven import sleep_saving, worst_case_competitive_timeout
+from repro.dpm.oracle import OraclePolicy
+from repro.dpm.policy import IdleDecision
+from repro.dpm.predictive import PredictiveShutdownPolicy
+from repro.dpm.timeout import TimeoutPolicy
+from repro.errors import ConfigurationError, RangeError
+from repro.prediction.exponential import ExponentialAveragePredictor
+
+
+@pytest.fixture
+def params():
+    return camcorder_device_params()
+
+
+class TestIdleDecision:
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ConfigurationError):
+            IdleDecision(sleep=True, sleep_after=-1.0)
+
+
+class TestBreakEvenHelpers:
+    def test_sleep_saving_positive_above_tbe(self, params):
+        assert sleep_saving(params, 10.0) > 0
+
+    def test_sleep_saving_negative_below_tbe(self):
+        # Exp-2 overheads: sleeping a 5 s idle wastes charge (Tbe = 10 s).
+        p = randomized_device_params()
+        assert sleep_saving(p, 5.0) < 0
+
+    def test_sleep_saving_zero_when_infeasible(self, params):
+        assert sleep_saving(params, 0.5) == 0.0
+
+    def test_sleep_saving_rejects_negative(self, params):
+        with pytest.raises(RangeError):
+            sleep_saving(params, -1.0)
+
+    def test_competitive_timeout_is_break_even(self, params):
+        assert worst_case_competitive_timeout(params) == params.break_even
+
+
+class TestTimeoutPolicy:
+    def test_defaults_to_break_even(self, params):
+        policy = TimeoutPolicy(params)
+        d = policy.on_idle_start()
+        assert d.sleep and d.sleep_after == params.break_even
+
+    def test_explicit_timeout(self, params):
+        policy = TimeoutPolicy(params, timeout=5.0)
+        assert policy.on_idle_start().sleep_after == 5.0
+
+    def test_rejects_negative_timeout(self, params):
+        with pytest.raises(ConfigurationError):
+            TimeoutPolicy(params, timeout=-1.0)
+
+    def test_counters(self, params):
+        policy = TimeoutPolicy(params)
+        for _ in range(3):
+            policy.on_idle_start()
+        assert policy.n_decisions == 3
+        assert policy.sleep_rate == 1.0
+
+
+class TestPredictiveShutdown:
+    def test_sleeps_when_prediction_exceeds_threshold(self, params):
+        pred = ExponentialAveragePredictor(factor=0.5, initial=10.0)
+        policy = PredictiveShutdownPolicy(params, pred)
+        d = policy.on_idle_start()
+        assert d.sleep and d.sleep_after == 0.0
+
+    def test_stays_when_prediction_below_threshold(self, params):
+        pred = ExponentialAveragePredictor(factor=0.5, initial=0.2)
+        policy = PredictiveShutdownPolicy(params, pred)
+        assert not policy.on_idle_start().sleep
+
+    def test_threshold_override(self, params):
+        pred = ExponentialAveragePredictor(factor=0.5, initial=5.0)
+        policy = PredictiveShutdownPolicy(params, pred, threshold=6.0)
+        assert not policy.on_idle_start().sleep
+
+    def test_learning_changes_decision(self, params):
+        policy = PredictiveShutdownPolicy(
+            params, ExponentialAveragePredictor(factor=0.5, initial=0.0)
+        )
+        assert not policy.on_idle_start().sleep  # prediction 0 < Tbe
+        policy.on_idle_end(12.0)
+        assert policy.on_idle_start().sleep      # prediction 6 > Tbe = 1
+
+    def test_last_prediction_exposed(self, params):
+        policy = PredictiveShutdownPolicy(
+            params, ExponentialAveragePredictor(factor=0.5, initial=4.0)
+        )
+        policy.on_idle_start()
+        assert policy.last_prediction == 4.0
+
+    def test_default_predictor_is_paper_filter(self, params):
+        policy = PredictiveShutdownPolicy(params)
+        assert isinstance(policy.predictor, ExponentialAveragePredictor)
+        assert policy.predictor.factor == 0.5
+
+    def test_reset(self, params):
+        policy = PredictiveShutdownPolicy(params)
+        policy.on_idle_start()
+        policy.on_idle_end(15.0)
+        policy.reset()
+        assert policy.n_decisions == 0
+        assert policy.predictor.estimate == 0.0
+
+
+class TestOracle:
+    def test_sleeps_only_when_profitable(self, params):
+        policy = OraclePolicy(params)
+        policy.prime(20.0)
+        assert policy.on_idle_start().sleep
+        policy.prime(0.8)
+        assert not policy.on_idle_start().sleep
+
+    def test_requires_prime(self, params):
+        with pytest.raises(ConfigurationError):
+            OraclePolicy(params).on_idle_start()
+
+    def test_prime_consumed(self, params):
+        policy = OraclePolicy(params)
+        policy.prime(20.0)
+        policy.on_idle_start()
+        with pytest.raises(ConfigurationError):
+            policy.on_idle_start()
+
+
+class TestDegenerate:
+    def test_always_on(self, params):
+        policy = AlwaysOnPolicy(params)
+        assert not policy.on_idle_start().sleep
+        assert policy.sleep_rate == 0.0
+
+    def test_always_sleep(self, params):
+        policy = AlwaysSleepPolicy(params)
+        assert policy.on_idle_start().sleep
+        assert policy.sleep_rate == 1.0
+
+    def test_sleep_rate_empty(self, params):
+        assert AlwaysOnPolicy(params).sleep_rate == 0.0

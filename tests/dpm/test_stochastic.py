@@ -1,0 +1,165 @@
+"""Stochastic DPM tests: mixture fitting and optimal stopping."""
+
+import numpy as np
+import pytest
+
+from repro.devices.camcorder import camcorder_device_params, randomized_device_params
+from repro.dpm.stochastic import (
+    GeometricMixture,
+    StochasticDPMPolicy,
+    optimal_timeout,
+)
+from repro.errors import ConfigurationError, RangeError
+
+
+class TestGeometricMixture:
+    def test_survival_at_zero_is_one(self):
+        m = GeometricMixture(w=0.5, tau_short=2.0, tau_long=20.0)
+        assert m.survival(0.0) == pytest.approx(1.0)
+
+    def test_survival_decreasing(self):
+        m = GeometricMixture(w=0.5, tau_short=2.0, tau_long=20.0)
+        values = [m.survival(t) for t in (0, 1, 5, 20, 60)]
+        assert values == sorted(values, reverse=True)
+
+    def test_posterior_sharpens_with_survival(self):
+        m = GeometricMixture(w=0.7, tau_short=2.0, tau_long=30.0)
+        assert m.posterior_long(0.0) == pytest.approx(0.3)
+        assert m.posterior_long(10.0) > 0.8
+        assert m.posterior_long(60.0) > 0.99
+
+    def test_expected_remaining_grows_with_survival(self):
+        # The hyper-geometric hazard decreases: having survived longer
+        # means expecting *more* remaining idle -- the basis of timeouts.
+        m = GeometricMixture(w=0.7, tau_short=2.0, tau_long=30.0)
+        values = [m.expected_remaining(t) for t in (0, 2, 5, 15)]
+        assert values == sorted(values)
+        assert values[-1] <= 30.0 + 1e-9
+
+    def test_mean(self):
+        m = GeometricMixture(w=0.25, tau_short=4.0, tau_long=16.0)
+        assert m.mean() == pytest.approx(0.25 * 4 + 0.75 * 16)
+
+    def test_degenerate_single_mode(self):
+        m = GeometricMixture(w=0.0, tau_short=5.0, tau_long=5.0)
+        # Memoryless: expected remaining is constant.
+        assert m.expected_remaining(0.0) == pytest.approx(5.0)
+        assert m.expected_remaining(17.0) == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GeometricMixture(w=1.5, tau_short=1.0, tau_long=2.0)
+        with pytest.raises(ConfigurationError):
+            GeometricMixture(w=0.5, tau_short=3.0, tau_long=2.0)
+        with pytest.raises(RangeError):
+            GeometricMixture(w=0.5, tau_short=1.0, tau_long=2.0).survival(-1.0)
+
+
+class TestFit:
+    def test_recovers_bimodal_data(self):
+        rng = np.random.default_rng(0)
+        short = rng.exponential(2.0, size=600)
+        long_ = rng.exponential(25.0, size=400)
+        data = np.concatenate([short, long_])
+        m = GeometricMixture.fit(data)
+        assert m.tau_short == pytest.approx(2.0, rel=0.5)
+        assert m.tau_long == pytest.approx(25.0, rel=0.4)
+        assert 0.35 <= m.w <= 0.8
+
+    def test_homogeneous_data_degenerates_gracefully(self):
+        rng = np.random.default_rng(1)
+        data = rng.exponential(8.0, size=500)
+        m = GeometricMixture.fit(data)
+        assert m.mean() == pytest.approx(8.0, rel=0.25)
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ConfigurationError):
+            GeometricMixture.fit([5.0])
+
+    def test_rejects_negative_samples(self):
+        with pytest.raises(ConfigurationError):
+            GeometricMixture.fit([5.0, -1.0])
+
+
+class TestOptimalTimeout:
+    def test_sleep_immediately_when_mean_clears_breakeven(self):
+        m = GeometricMixture(w=0.1, tau_short=5.0, tau_long=30.0)
+        assert optimal_timeout(m, break_even=1.0) == 0.0
+
+    def test_positive_timeout_for_bursty_mixture(self):
+        # Mostly short idles: wait out the short mode first.
+        m = GeometricMixture(w=0.9, tau_short=1.0, tau_long=40.0)
+        timeout = optimal_timeout(m, break_even=10.0)
+        assert timeout is not None
+        assert 0.0 < timeout < 20.0
+
+    def test_never_sleep_when_unreachable(self):
+        m = GeometricMixture(w=0.5, tau_short=1.0, tau_long=2.0)
+        assert optimal_timeout(m, break_even=10.0) is None
+
+    def test_validation(self):
+        m = GeometricMixture(w=0.5, tau_short=1.0, tau_long=2.0)
+        with pytest.raises(ConfigurationError):
+            optimal_timeout(m, break_even=-1.0)
+        with pytest.raises(ConfigurationError):
+            optimal_timeout(m, break_even=1.0, resolution=0.0)
+
+
+class TestStochasticPolicy:
+    def test_warmup_uses_break_even_timeout(self):
+        policy = StochasticDPMPolicy(camcorder_device_params())
+        d = policy.on_idle_start()
+        assert d.sleep
+        assert d.sleep_after == pytest.approx(1.0)
+
+    def test_refit_after_enough_samples(self):
+        policy = StochasticDPMPolicy(
+            randomized_device_params(), refit_every=8, warmup=8
+        )
+        rng = np.random.default_rng(2)
+        for _ in range(16):
+            policy.on_idle_start()
+            policy.on_idle_end(float(rng.exponential(20.0)))
+        assert policy.mixture is not None
+
+    def test_learns_to_skip_short_idles(self):
+        # Exp-2 device (Tbe = 10 s) fed consistently short idles: after
+        # learning, the policy must stop sleeping.
+        policy = StochasticDPMPolicy(
+            randomized_device_params(), refit_every=4, warmup=4
+        )
+        rng = np.random.default_rng(3)
+        for _ in range(24):
+            policy.on_idle_start()
+            policy.on_idle_end(float(rng.exponential(2.0)))
+        d = policy.on_idle_start()
+        assert not d.sleep
+
+    def test_learns_timeout_on_bimodal_idles(self):
+        policy = StochasticDPMPolicy(
+            randomized_device_params(), refit_every=16, warmup=16
+        )
+        # Mostly 1.5 s idles with a rare 50 s tail: the prior expected
+        # idle sits below Tbe = 10 s (no immediate sleep) but surviving
+        # the short mode reveals a long idle -- a genuine timeout.
+        rng = np.random.default_rng(4)
+        for k in range(64):
+            policy.on_idle_start()
+            tau = 30.0 if k % 8 == 0 else 1.5
+            policy.on_idle_end(float(rng.exponential(tau)))
+        assert policy.current_timeout is not None
+        assert policy.current_timeout > 0.0
+
+    def test_reset(self):
+        policy = StochasticDPMPolicy(camcorder_device_params())
+        policy.on_idle_start()
+        policy.on_idle_end(12.0)
+        policy.reset()
+        assert policy.mixture is None
+        assert policy.current_timeout == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StochasticDPMPolicy(camcorder_device_params(), refit_every=0)
+        with pytest.raises(ConfigurationError):
+            StochasticDPMPolicy(camcorder_device_params(), warmup=1)

@@ -1,0 +1,101 @@
+"""CPU model tests for the DVS substrate."""
+
+import pytest
+
+from repro.dvs.cpu import CPULevel, CPUModel
+from repro.errors import ConfigurationError, RangeError
+
+
+@pytest.fixture
+def cpu() -> CPUModel:
+    return CPUModel.xscale_like()
+
+
+class TestConstruction:
+    def test_levels_sorted(self, cpu):
+        freqs = [lv.frequency for lv in cpu.levels]
+        assert freqs == sorted(freqs)
+        assert cpu.f_max == 1.0
+
+    def test_rejects_empty_levels(self):
+        with pytest.raises(ConfigurationError):
+            CPUModel(levels=[])
+
+    def test_rejects_unsorted_levels(self):
+        with pytest.raises(ConfigurationError):
+            CPUModel(levels=[CPULevel(1.0, 1.8), CPULevel(0.5, 1.2)])
+
+    def test_rejects_decreasing_voltage(self):
+        with pytest.raises(ConfigurationError):
+            CPUModel(levels=[CPULevel(0.5, 1.8), CPULevel(1.0, 1.2)])
+
+    def test_level_validation(self):
+        with pytest.raises(ConfigurationError):
+            CPULevel(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            CPULevel(1.0, -1.0)
+
+
+class TestPower:
+    def test_power_increases_with_frequency(self, cpu):
+        powers = [cpu.run_power(lv) for lv in cpu.levels]
+        assert powers == sorted(powers)
+
+    def test_alpha_power_model(self):
+        cpu = CPUModel(
+            levels=[CPULevel(1.0, 2.0)], c_eff=3.0, leakage_per_volt=0.5,
+            p_platform=1.0,
+        )
+        # P = 3*4*1 + 0.5*2 + 1 = 14 W.
+        assert cpu.run_power(cpu.levels[0]) == pytest.approx(14.0)
+
+    def test_currents_on_rail(self, cpu):
+        lv = cpu.levels[-1]
+        assert cpu.run_current(lv) == pytest.approx(cpu.run_power(lv) / 12.0)
+        assert cpu.idle_current == pytest.approx(2.4 / 12.0)
+
+    def test_energy_per_cycle_decreases_with_voltage(self, cpu):
+        # The whole point of DVS: charge per gigacycle falls at lower V/f.
+        lo, hi = cpu.levels[1], cpu.levels[-1]
+        charge_lo = cpu.run_current(lo) / lo.frequency
+        charge_hi = cpu.run_current(hi) / hi.frequency
+        assert charge_lo < charge_hi
+
+
+class TestTiming:
+    def test_execution_time(self, cpu):
+        assert cpu.execution_time(0.5, cpu.levels[-1]) == pytest.approx(0.5)
+        assert cpu.execution_time(0.5, cpu.levels[1]) == pytest.approx(1.25)
+
+    def test_execution_time_rejects_nonpositive_cycles(self, cpu):
+        with pytest.raises(RangeError):
+            cpu.execution_time(0.0, cpu.levels[0])
+
+    def test_feasible_levels(self, cpu):
+        # 0.5 Gcycles in 1 s: needs >= 0.5 GHz.
+        feasible = cpu.feasible_levels(0.5, 1.0)
+        assert all(lv.frequency >= 0.5 for lv in feasible)
+        assert len(feasible) == 3
+
+    def test_feasible_levels_rejects_bad_deadline(self, cpu):
+        with pytest.raises(RangeError):
+            cpu.feasible_levels(0.5, 0.0)
+
+
+class TestFrameCharge:
+    def test_slowest_feasible_minimizes_charge(self, cpu):
+        # Convex power + modest idle power: stretching always wins.
+        cycles, deadline = 0.3, 1.0
+        feasible = cpu.feasible_levels(cycles, deadline)
+        charges = [cpu.frame_charge(cycles, deadline, lv) for lv in feasible]
+        assert charges[0] == min(charges)
+
+    def test_deadline_miss_rejected(self, cpu):
+        with pytest.raises(RangeError):
+            cpu.frame_charge(2.0, 1.0, cpu.levels[0])
+
+    def test_charge_composition(self, cpu):
+        lv = cpu.levels[-1]
+        charge = cpu.frame_charge(0.4, 1.0, lv)
+        expected = cpu.run_current(lv) * 0.4 + cpu.idle_current * 0.6
+        assert charge == pytest.approx(expected)

@@ -1,0 +1,122 @@
+"""DVS policy tests, including the energy-vs-fuel divergence regimes."""
+
+import pytest
+
+from repro.core.multilevel import default_levels
+from repro.dvs.cpu import CPULevel, CPUModel
+from repro.dvs.policies import (
+    EnergyMinimalDVS,
+    FuelAwareDVS,
+    JointLevelDVS,
+    NoDVSPolicy,
+)
+from repro.dvs.tasks import Frame
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.fuelcell.efficiency import LinearSystemEfficiency
+
+
+@pytest.fixture
+def cpu() -> CPUModel:
+    return CPUModel.xscale_like()
+
+
+@pytest.fixture
+def model() -> LinearSystemEfficiency:
+    return LinearSystemEfficiency()
+
+
+FRAME = Frame(cycles=0.3, deadline=1.0)
+
+
+class TestNoDVS:
+    def test_always_full_speed(self, cpu):
+        d = NoDVSPolicy(cpu).decide(FRAME, 3.0, 3.0, 6.0)
+        assert d.level.frequency == cpu.f_max
+        assert d.t_run == pytest.approx(0.3)
+        assert d.t_idle == pytest.approx(0.7)
+
+    def test_infeasible_frame_raises(self, cpu):
+        with pytest.raises(InfeasibleError):
+            NoDVSPolicy(cpu).decide(Frame(cycles=2.0, deadline=1.0), 3, 3, 6)
+
+
+class TestEnergyMinimal:
+    def test_picks_slowest_feasible_under_convex_power(self, cpu):
+        d = EnergyMinimalDVS(cpu).decide(FRAME, 3.0, 3.0, 6.0)
+        feasible = cpu.feasible_levels(FRAME.cycles, FRAME.deadline)
+        assert d.level == feasible[0]
+
+    def test_charge_lower_than_no_dvs(self, cpu):
+        em = EnergyMinimalDVS(cpu).decide(FRAME, 3.0, 3.0, 6.0)
+        nd = NoDVSPolicy(cpu).decide(FRAME, 3.0, 3.0, 6.0)
+        charge_em = em.i_run * em.t_run + em.i_idle * em.t_idle
+        charge_nd = nd.i_run * nd.t_run + nd.i_idle * nd.t_idle
+        assert charge_em < charge_nd
+
+
+class TestFuelAware:
+    def test_matches_energy_minimal_with_ample_storage(self, cpu, model):
+        """Jensen equality: with a big buffer the FC flattens any
+        schedule perfectly, so fuel-min == charge-min."""
+        fa = FuelAwareDVS(cpu, model).decide(FRAME, 100.0, 100.0, 1e6)
+        em = EnergyMinimalDVS(cpu).decide(FRAME, 100.0, 100.0, 1e6)
+        assert fa.level == em.level
+
+    def test_plan_attached(self, cpu, model):
+        d = FuelAwareDVS(cpu, model).decide(FRAME, 3.0, 3.0, 6.0)
+        assert d.fc_plan is not None
+        assert d.fc_plan.deficit == 0.0
+
+    def test_diverges_when_energy_min_overloads_the_source(self, model):
+        """The prior-work claim: minimum device energy != minimum fuel.
+
+        A leakage-dominated CPU makes race-to-idle the *device*-energy
+        winner, but its run current exceeds what the FC plus a small
+        buffer can deliver -- the fuel-aware policy must back off to the
+        slower level.
+        """
+        cpu = CPUModel(
+            levels=[CPULevel(0.4, 1.0), CPULevel(1.0, 1.8)],
+            c_eff=2.8,
+            leakage_per_volt=7.0,   # leakage dominates -> race-to-idle
+            p_platform=2.0,
+            p_idle=0.5,
+        )
+        frame = Frame(cycles=0.4, deadline=1.0)
+        em = EnergyMinimalDVS(cpu).decide(frame, 0.1, 0.1, 0.2)
+        assert em.level.frequency == 1.0  # device-energy winner is fast
+
+        # The fast level's ~2 A run current cannot be carried by IF_max
+        # plus a 0.2 A-s buffer: the fuel-aware policy must back off.
+        fa = FuelAwareDVS(cpu, model).decide(frame, 0.1, 0.1, 0.2)
+        assert fa.level.frequency == 0.4  # fuel winner is slow & flat
+        assert fa.fc_plan.deficit == 0.0
+
+    def test_raises_when_nothing_feasible(self, model):
+        cpu = CPUModel(levels=[CPULevel(1.0, 1.8)], c_eff=20.0)
+        # Run current ~ (20*3.24 + ...) / 12 > 5 A: no storage can help.
+        with pytest.raises(InfeasibleError):
+            FuelAwareDVS(cpu, model).decide(
+                Frame(cycles=0.9, deadline=1.0), 0.1, 0.1, 0.2
+            )
+
+
+class TestJointLevel:
+    def test_uses_lattice_levels(self, cpu, model):
+        levels = default_levels(model, 6)
+        d = JointLevelDVS(cpu, model, levels).decide(FRAME, 3.0, 3.0, 6.0)
+        assert d.fc_plan.if_idle in levels
+        assert d.fc_plan.if_active in levels
+
+    def test_never_cheaper_than_continuous_for_same_level(self, cpu, model):
+        levels = default_levels(model, 4)
+        joint = JointLevelDVS(cpu, model, levels)
+        cont = FuelAwareDVS(cpu, model)
+        dj = joint.decide(FRAME, 3.0, 3.0, 6.0)
+        dc = cont.decide(FRAME, 3.0, 3.0, 6.0)
+        if dj.level == dc.level:
+            assert dj.fc_plan.fuel >= dc.fc_plan.fuel - 1e-9
+
+    def test_rejects_degenerate_lattice(self, cpu, model):
+        with pytest.raises(ConfigurationError):
+            JointLevelDVS(cpu, model, (0.5,))

@@ -1,0 +1,80 @@
+"""DVS simulator tests (the refs [10]/[11] comparison)."""
+
+import pytest
+
+from repro.core.multilevel import default_levels
+from repro.dvs.cpu import CPUModel
+from repro.dvs.policies import (
+    EnergyMinimalDVS,
+    FuelAwareDVS,
+    JointLevelDVS,
+    NoDVSPolicy,
+)
+from repro.dvs.sim import DVSSimulator
+from repro.dvs.tasks import constant_frames, mpeg_frames
+from repro.fuelcell.efficiency import LinearSystemEfficiency
+
+
+@pytest.fixture(scope="module")
+def cpu() -> CPUModel:
+    return CPUModel.xscale_like()
+
+
+@pytest.fixture(scope="module")
+def model() -> LinearSystemEfficiency:
+    return LinearSystemEfficiency()
+
+
+@pytest.fixture(scope="module")
+def frames():
+    return mpeg_frames(n_frames=100, seed=7)
+
+
+class TestSimulation:
+    def test_duration_matches_deadlines(self, cpu, model, frames):
+        sim = DVSSimulator(NoDVSPolicy(cpu), model)
+        result = sim.run(frames)
+        assert result.duration == pytest.approx(frames.duration)
+        assert result.n_frames == len(frames)
+
+    def test_dvs_beats_no_dvs_on_fuel(self, cpu, model, frames):
+        no_dvs = DVSSimulator(NoDVSPolicy(cpu), model).run(frames)
+        dvs = DVSSimulator(EnergyMinimalDVS(cpu), model).run(frames)
+        assert dvs.fuel < no_dvs.fuel
+        assert dvs.device_charge < no_dvs.device_charge
+        assert dvs.mean_frequency < no_dvs.mean_frequency
+
+    def test_fuel_aware_never_worse_than_energy_min(self, cpu, model, frames):
+        em = DVSSimulator(EnergyMinimalDVS(cpu), model).run(frames)
+        fa = DVSSimulator(FuelAwareDVS(cpu, model), model).run(frames)
+        assert fa.fuel <= em.fuel + 1e-6
+
+    def test_joint_level_close_to_continuous(self, cpu, model, frames):
+        fa = DVSSimulator(FuelAwareDVS(cpu, model), model).run(frames)
+        joint = DVSSimulator(
+            JointLevelDVS(cpu, model, default_levels(model, 8)), model
+        ).run(frames)
+        # Account any storage drift as deferred fuel before comparing.
+        drift = 3.0 - joint.final_storage
+        assert joint.fuel + max(drift, 0) * model.fc_current_derivative(
+            model.if_max
+        ) >= fa.fuel - 0.15 * fa.fuel
+
+    def test_level_histogram_sums_to_frames(self, cpu, model, frames):
+        result = DVSSimulator(EnergyMinimalDVS(cpu), model).run(frames)
+        assert sum(result.level_histogram.values()) == len(frames)
+
+    def test_constant_frames_constant_level(self, cpu, model):
+        frames = constant_frames(20, utilization=0.5)
+        result = DVSSimulator(EnergyMinimalDVS(cpu), model).run(frames)
+        assert len(result.level_histogram) == 1
+
+    def test_fuel_rate_bounded_by_range(self, cpu, model, frames):
+        result = DVSSimulator(EnergyMinimalDVS(cpu), model).run(frames)
+        # Ifc at IF_max is ~1.306 A: the average can never exceed it.
+        assert result.average_fuel_rate <= 1.31
+
+    def test_storage_accounting(self, cpu, model, frames):
+        result = DVSSimulator(FuelAwareDVS(cpu, model), model).run(frames)
+        assert 0.0 <= result.final_storage <= 6.0
+        assert result.deficit == 0.0

@@ -1,0 +1,74 @@
+"""Frame task-set tests."""
+
+import pytest
+
+from repro.dvs.tasks import Frame, FrameTaskSet, constant_frames, mpeg_frames
+from repro.errors import ConfigurationError, TraceError
+
+
+class TestFrame:
+    def test_utilization(self):
+        f = Frame(cycles=0.3, deadline=1.0)
+        assert f.utilization(f_max=1.0) == pytest.approx(0.3)
+        assert f.utilization(f_max=0.6) == pytest.approx(0.5)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(TraceError):
+            Frame(cycles=0.0, deadline=1.0)
+        with pytest.raises(TraceError):
+            Frame(cycles=0.3, deadline=0.0)
+        with pytest.raises(TraceError):
+            Frame(cycles=0.3, deadline=1.0).utilization(0.0)
+
+
+class TestFrameTaskSet:
+    def test_sequence_protocol(self):
+        frames = constant_frames(5, utilization=0.4)
+        assert len(frames) == 5
+        assert frames[0].cycles == pytest.approx(0.2)
+        assert isinstance(frames[:2], FrameTaskSet)
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            FrameTaskSet([])
+
+    def test_duration(self):
+        frames = constant_frames(4, utilization=0.4, deadline=0.5)
+        assert frames.duration == pytest.approx(2.0)
+
+    def test_feasibility(self):
+        frames = constant_frames(3, utilization=0.9)
+        assert frames.is_feasible(f_max=1.0)
+        assert not frames.is_feasible(f_max=0.5)
+
+    def test_equality(self):
+        assert constant_frames(3, 0.4) == constant_frames(3, 0.4)
+
+
+class TestMpegFrames:
+    def test_deterministic(self):
+        assert mpeg_frames(seed=1) == mpeg_frames(seed=1)
+        assert mpeg_frames(seed=1) != mpeg_frames(seed=2)
+
+    def test_all_feasible_at_full_speed(self):
+        frames = mpeg_frames(n_frames=300, seed=3)
+        assert frames.is_feasible(f_max=1.0)
+
+    def test_mean_utilization_near_target(self):
+        frames = mpeg_frames(n_frames=2000, mean_utilization=0.45, seed=4)
+        utils = [f.utilization(1.0) for f in frames]
+        mean = sum(utils) / len(utils)
+        assert mean == pytest.approx(0.45, rel=0.15)
+
+    def test_spread_exists(self):
+        frames = mpeg_frames(n_frames=300, seed=5)
+        utils = [f.utilization(1.0) for f in frames]
+        assert max(utils) > 1.3 * min(utils)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            mpeg_frames(n_frames=0)
+        with pytest.raises(ConfigurationError):
+            mpeg_frames(mean_utilization=1.5)
+        with pytest.raises(ConfigurationError):
+            constant_frames(3, utilization=0.0)

@@ -1,0 +1,61 @@
+"""Balance-of-plant controller model tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError, RangeError
+from repro.fuelcell.controller import OnOffFanController, ProportionalFanController
+
+
+class TestOnOffFan:
+    def test_base_draw_below_threshold(self):
+        c = OnOffFanController(i_base=0.05, i_fan=0.14, threshold=0.55)
+        assert c.current(0.3) == pytest.approx(0.05)
+
+    def test_fan_added_above_threshold(self):
+        c = OnOffFanController(i_base=0.05, i_fan=0.14, threshold=0.55)
+        assert c.current(0.8) == pytest.approx(0.19)
+
+    def test_step_is_sharp(self):
+        c = OnOffFanController(threshold=0.55)
+        assert c.current(0.55) < c.current(0.5501)
+
+    def test_rejects_negative_load(self):
+        with pytest.raises(RangeError):
+            OnOffFanController().current(-0.1)
+
+    def test_rejects_negative_parameters(self):
+        with pytest.raises(ConfigurationError):
+            OnOffFanController(i_base=-0.01)
+
+
+class TestProportionalFan:
+    def test_nearly_free_at_light_load(self):
+        c = ProportionalFanController()
+        # Cubic law: at 0.1 A the fan draw is negligible versus base.
+        assert c.current(0.1) == pytest.approx(c.i_base, abs=0.001)
+
+    def test_substantial_at_full_load(self):
+        c = ProportionalFanController()
+        assert c.current(1.2) > 0.2
+
+    def test_cubic_scaling(self):
+        c = ProportionalFanController(i_base=0.0, coeff=0.1, exponent=3.0)
+        assert c.current(1.0) == pytest.approx(0.1)
+        assert c.current(2.0) == pytest.approx(0.8)
+
+    def test_monotone(self):
+        c = ProportionalFanController()
+        vals = [c.current(x) for x in (0.1, 0.4, 0.8, 1.2)]
+        assert vals == sorted(vals)
+
+    def test_rejects_negative_load(self):
+        with pytest.raises(RangeError):
+            ProportionalFanController().current(-0.5)
+
+    def test_rejects_sub_linear_exponent(self):
+        with pytest.raises(ConfigurationError):
+            ProportionalFanController(exponent=0.5)
+
+    def test_rejects_negative_coeff(self):
+        with pytest.raises(ConfigurationError):
+            ProportionalFanController(coeff=-1.0)

@@ -1,0 +1,96 @@
+"""Fuel accounting tests: Gibbs model and tank."""
+
+import pytest
+
+from repro.errors import ConfigurationError, DepletedError, RangeError
+from repro.fuelcell.fuel import FuelTank, GibbsFuelModel
+
+
+class TestGibbsFuelModel:
+    def test_gibbs_energy_proportional(self):
+        m = GibbsFuelModel(zeta=37.5)
+        assert m.gibbs_energy(10.0) == pytest.approx(375.0)
+
+    def test_moles_h2(self):
+        m = GibbsFuelModel(zeta=37.5)
+        # 237.1 kJ of Gibbs energy = 1 mol H2 (HHV).
+        charge = 237_100.0 / 37.5
+        assert m.moles_h2(charge) == pytest.approx(1.0)
+
+    def test_norm_liters(self):
+        m = GibbsFuelModel(zeta=37.5)
+        charge = 237_100.0 / 37.5
+        assert m.norm_liters_h2(charge) == pytest.approx(22.414)
+
+    def test_rejects_negative_charge(self):
+        with pytest.raises(RangeError):
+            GibbsFuelModel().gibbs_energy(-1.0)
+
+    def test_rejects_bad_zeta(self):
+        with pytest.raises(ConfigurationError):
+            GibbsFuelModel(zeta=0.0)
+
+
+class TestFuelTank:
+    def test_bottomless_by_default(self):
+        tank = FuelTank()
+        tank.draw(1.3, 10_000)
+        assert tank.consumed == pytest.approx(13_000)
+        assert not tank.is_empty
+
+    def test_draw_accumulates(self):
+        tank = FuelTank(capacity=100.0)
+        tank.draw(0.5, 20.0)
+        tank.draw(0.5, 20.0)
+        assert tank.consumed == pytest.approx(20.0)
+        assert tank.remaining == pytest.approx(80.0)
+
+    def test_strict_depletion_raises(self):
+        tank = FuelTank(capacity=10.0)
+        with pytest.raises(DepletedError):
+            tank.draw(1.0, 11.0)
+
+    def test_lenient_depletion_truncates(self):
+        tank = FuelTank(capacity=10.0)
+        got = tank.draw(1.0, 11.0, strict=False)
+        assert got == pytest.approx(10.0)
+        assert tank.is_empty
+
+    def test_lifetime_at_constant_current(self):
+        tank = FuelTank(capacity=130.0)
+        # Conv-DPM draws Ifc = 1.3 A constantly -> 100 s of life.
+        assert tank.lifetime_at(1.3) == pytest.approx(100.0)
+
+    def test_lifetime_infinite_at_zero(self):
+        assert FuelTank(capacity=5.0).lifetime_at(0.0) == float("inf")
+
+    def test_reset(self):
+        tank = FuelTank(capacity=10.0)
+        tank.draw(1.0, 5.0)
+        tank.reset()
+        assert tank.consumed == 0.0
+
+    def test_rejects_negative_inputs(self):
+        tank = FuelTank(capacity=10.0)
+        with pytest.raises(RangeError):
+            tank.draw(-1.0, 1.0)
+        with pytest.raises(RangeError):
+            tank.draw(1.0, -1.0)
+        with pytest.raises(RangeError):
+            tank.lifetime_at(-1.0)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            FuelTank(capacity=0.0)
+
+    def test_physical_reporting(self):
+        tank = FuelTank(capacity=1e9, model=GibbsFuelModel(zeta=37.5))
+        tank.draw(237_100.0 / 37.5, 1.0)
+        assert tank.consumed_moles_h2() == pytest.approx(1.0)
+        assert tank.consumed_norm_liters_h2() == pytest.approx(22.414)
+
+    def test_lifetime_inverse_proportionality(self):
+        # The paper's core equivalence: lifetime ratio = inverse fuel-rate
+        # ratio for a fixed tank.
+        tank = FuelTank(capacity=100.0)
+        assert tank.lifetime_at(0.4) / tank.lifetime_at(0.8) == pytest.approx(2.0)

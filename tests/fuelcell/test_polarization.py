@@ -1,0 +1,121 @@
+"""Polarization-curve physics tests (paper Fig. 2 anchors)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, RangeError
+from repro.fuelcell.polarization import (
+    BCS_20W_CELL,
+    PolarizationCurve,
+    PolarizationParams,
+)
+
+
+@pytest.fixture
+def stack_curve() -> PolarizationCurve:
+    return PolarizationCurve(BCS_20W_CELL, n_cells=20)
+
+
+class TestParams:
+    def test_rejects_nonpositive_e0(self):
+        with pytest.raises(ConfigurationError):
+            PolarizationParams(0.0, 0.02, 0.01, 0.05, 1e-5, 5, 1.9)
+
+    def test_rejects_negative_losses(self):
+        with pytest.raises(ConfigurationError):
+            PolarizationParams(0.9, -0.02, 0.01, 0.05, 1e-5, 5, 1.9)
+
+    def test_rejects_nonpositive_limit(self):
+        with pytest.raises(ConfigurationError):
+            PolarizationParams(0.9, 0.02, 0.01, 0.05, 1e-5, 5, 0.0)
+
+
+class TestVoltage:
+    def test_open_circuit_is_18_2(self, stack_curve):
+        # Paper: Vo = 18.2 V for the 20-cell stack.
+        assert stack_curve.stack_voltage(0.0) == pytest.approx(18.2)
+
+    def test_voltage_monotonically_decreasing(self, stack_curve):
+        i = np.linspace(0, 1.7, 100)
+        v = stack_curve.stack_voltage(i)
+        assert np.all(np.diff(v) < 0)
+
+    def test_negative_current_rejected(self, stack_curve):
+        with pytest.raises(RangeError):
+            stack_curve.cell_voltage(-0.1)
+
+    def test_limit_current_rejected(self, stack_curve):
+        with pytest.raises(RangeError):
+            stack_curve.cell_voltage(BCS_20W_CELL.i_limit)
+
+    def test_vector_and_scalar_agree(self, stack_curve):
+        grid = np.array([0.2, 0.7, 1.1])
+        vec = stack_curve.stack_voltage(grid)
+        for x, v in zip(grid, vec):
+            assert stack_curve.stack_voltage(float(x)) == pytest.approx(v)
+
+    def test_voltage_never_negative(self):
+        # A very lossy cell clips at zero instead of going negative.
+        lossy = PolarizationParams(0.5, 0.2, 0.001, 1.0, 0.01, 6.0, 2.0)
+        curve = PolarizationCurve(lossy, n_cells=1)
+        assert curve.cell_voltage(1.5) == 0.0
+
+
+class TestPower:
+    def test_max_power_near_20w(self, stack_curve):
+        # BCS 20 W stack: maximum power calibrated to ~20 W.
+        i_mpp, p_mpp = stack_curve.max_power_point()
+        assert p_mpp == pytest.approx(20.0, abs=1.0)
+        assert 1.2 < i_mpp < 1.7
+
+    def test_power_unimodal(self, stack_curve):
+        i = np.linspace(1e-3, 1.85, 400)
+        p = stack_curve.stack_power(i)
+        k = int(np.argmax(p))
+        assert np.all(np.diff(p[: k + 1]) > 0)
+        assert np.all(np.diff(p[k:]) < 0)
+
+    def test_power_zero_at_zero_current(self, stack_curve):
+        assert stack_curve.stack_power(0.0) == 0.0
+
+
+class TestInverse:
+    def test_current_for_power_roundtrip(self, stack_curve):
+        for p in (2.0, 8.0, 15.0):
+            i = stack_curve.current_for_power(p)
+            assert stack_curve.stack_power(i) == pytest.approx(p, rel=1e-6)
+
+    def test_current_for_power_picks_rising_branch(self, stack_curve):
+        i_mpp, _ = stack_curve.max_power_point()
+        assert stack_curve.current_for_power(10.0) < i_mpp
+
+    def test_zero_power(self, stack_curve):
+        assert stack_curve.current_for_power(0.0) == 0.0
+
+    def test_over_capacity_rejected(self, stack_curve):
+        with pytest.raises(RangeError):
+            stack_curve.current_for_power(25.0)
+
+    def test_negative_power_rejected(self, stack_curve):
+        with pytest.raises(RangeError):
+            stack_curve.current_for_power(-1.0)
+
+
+class TestSweep:
+    def test_sweep_shapes(self, stack_curve):
+        i, v, p = stack_curve.sweep(n_points=50)
+        assert len(i) == len(v) == len(p) == 50
+        assert i[0] == 0.0
+
+    def test_sweep_respects_i_max(self, stack_curve):
+        i, _, _ = stack_curve.sweep(n_points=10, i_max=1.0)
+        assert i[-1] == pytest.approx(1.0)
+
+    def test_single_cell_vs_stack_scaling(self):
+        one = PolarizationCurve(BCS_20W_CELL, n_cells=1)
+        twenty = PolarizationCurve(BCS_20W_CELL, n_cells=20)
+        assert twenty.stack_voltage(0.5) == pytest.approx(20 * one.cell_voltage(0.5))
+
+    def test_rejects_zero_cells(self):
+        with pytest.raises(ConfigurationError):
+            PolarizationCurve(BCS_20W_CELL, n_cells=0)

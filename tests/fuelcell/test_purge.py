@@ -1,0 +1,93 @@
+"""Purge-loss fuel model tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError, RangeError
+from repro.fuelcell.purge import (
+    PurgedFuelModel,
+    PurgeModel,
+    calibrated_purge_model,
+    ideal_zeta,
+)
+
+
+class TestIdealZeta:
+    def test_20_cell_floor(self):
+        # 20 * 237.1 kJ / (2 * 96485) ~ 24.57 W/A.
+        assert ideal_zeta(20) == pytest.approx(24.57, abs=0.05)
+
+    def test_scales_with_cells(self):
+        assert ideal_zeta(40) == pytest.approx(2 * ideal_zeta(20))
+
+    def test_rejects_zero_cells(self):
+        with pytest.raises(ConfigurationError):
+            ideal_zeta(0)
+
+
+class TestPurgeModel:
+    def test_utilization_below_one(self):
+        p = PurgeModel(purge_interval_charge=60.0, purge_loss_charge=20.0,
+                       crossover_fraction=0.02)
+        assert 0 < p.utilization < 1
+        assert p.utilization == pytest.approx((60 / 80) * 0.98)
+
+    def test_no_loss_means_full_utilization(self):
+        p = PurgeModel(purge_loss_charge=0.0, crossover_fraction=0.0)
+        assert p.utilization == 1.0
+
+    def test_purge_count(self):
+        p = PurgeModel(purge_interval_charge=60.0)
+        assert p.purges_for(0.0) == 0
+        assert p.purges_for(59.0) == 0
+        assert p.purges_for(180.0) == 3
+
+    def test_purge_count_rejects_negative(self):
+        with pytest.raises(RangeError):
+            PurgeModel().purges_for(-1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PurgeModel(purge_interval_charge=0.0)
+        with pytest.raises(ConfigurationError):
+            PurgeModel(crossover_fraction=1.0)
+
+
+class TestCalibration:
+    def test_reproduces_measured_zeta(self):
+        p = calibrated_purge_model(zeta_measured=37.5, n_cells=20)
+        assert p.effective_zeta(20) == pytest.approx(37.5, rel=1e-9)
+
+    def test_implied_utilization_plausible(self):
+        # 24.57 / 37.5 ~ 66 % utilization -- typical dead-ended behaviour.
+        p = calibrated_purge_model()
+        assert p.utilization == pytest.approx(0.655, abs=0.01)
+
+    def test_rejects_sub_thermodynamic_zeta(self):
+        with pytest.raises(ConfigurationError):
+            calibrated_purge_model(zeta_measured=20.0)
+
+    def test_rejects_crossover_only_explanation(self):
+        # Measured zeta so close to the floor that the assumed crossover
+        # already over-explains it: no purge loss can be backed out.
+        with pytest.raises(ConfigurationError):
+            calibrated_purge_model(zeta_measured=24.58, crossover_fraction=0.002)
+
+
+class TestPurgedFuelModel:
+    def test_drop_in_zeta(self):
+        m = PurgedFuelModel()
+        assert m.zeta == pytest.approx(37.5)
+
+    def test_vented_fraction(self):
+        m = PurgedFuelModel()
+        total = m.moles_h2(1000.0)
+        vented = m.vented_moles_h2(1000.0)
+        assert vented == pytest.approx(total * (1 - m.purge.utilization))
+        assert 0 < vented < total
+
+    def test_compatible_with_fuel_tank(self):
+        from repro.fuelcell.fuel import FuelTank
+
+        tank = FuelTank(capacity=100.0, model=PurgedFuelModel())
+        tank.draw(1.0, 50.0)
+        assert tank.consumed_moles_h2() > 0

@@ -1,0 +1,57 @@
+"""FC stack model tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fuelcell.stack import FCStack
+
+
+@pytest.fixture
+def stack() -> FCStack:
+    return FCStack.bcs_20w()
+
+
+class TestBasics:
+    def test_open_circuit_voltage(self, stack):
+        assert stack.open_circuit_voltage == pytest.approx(18.2)
+
+    def test_n_cells(self, stack):
+        assert stack.n_cells == 20
+
+    def test_power_capacity_near_20w(self, stack):
+        assert stack.power_capacity == pytest.approx(20.0, abs=1.0)
+
+    def test_max_power_point_cached(self, stack):
+        first = stack.max_power_point
+        assert stack.max_power_point is first
+
+
+class TestEfficiency:
+    def test_stack_efficiency_tracks_voltage(self, stack):
+        # Efficiency = Vfc / zeta (the Ifc cancels, paper Section 2.3).
+        assert stack.stack_efficiency(0.5) == pytest.approx(
+            stack.voltage(0.5) / 37.5
+        )
+
+    def test_stack_efficiency_decreasing(self, stack):
+        etas = [stack.stack_efficiency(i) for i in (0.1, 0.5, 1.0, 1.4)]
+        assert etas == sorted(etas, reverse=True)
+
+    def test_efficiency_rejects_bad_zeta(self, stack):
+        with pytest.raises(ConfigurationError):
+            stack.stack_efficiency(0.5, zeta=0.0)
+
+    def test_low_current_efficiency_about_46_percent(self, stack):
+        # With zeta = 37.5 the calibrated stack sits near 45 % at light load.
+        assert stack.stack_efficiency(0.1) == pytest.approx(0.455, abs=0.02)
+
+
+class TestPowerInverse:
+    def test_current_for_power_matches_sweep(self, stack):
+        i = stack.current_for_power(12.0)
+        assert float(stack.power(i)) == pytest.approx(12.0, rel=1e-6)
+
+    def test_sweep_is_consistent(self, stack):
+        i, v, p = stack.sweep(n_points=64)
+        assert np.allclose(p, v * i)

@@ -1,0 +1,65 @@
+"""FCSystem (stack + converter + controller terminal model) tests."""
+
+import pytest
+
+from repro.errors import DepletedError, RangeError
+from repro.fuelcell.fuel import FuelTank
+from repro.fuelcell.system import FCSystem
+
+
+@pytest.fixture
+def system() -> FCSystem:
+    return FCSystem.paper_system()
+
+
+class TestOutputControl:
+    def test_initial_output_at_range_floor(self, system):
+        assert system.output_current == pytest.approx(0.1)
+
+    def test_set_output_clamps_by_default(self, system):
+        assert system.set_output(2.0) == pytest.approx(1.2)
+        assert system.set_output(0.01) == pytest.approx(0.1)
+
+    def test_set_output_strict_raises(self, system):
+        with pytest.raises(RangeError):
+            system.set_output(2.0, clamp=False)
+
+    def test_load_following_range(self, system):
+        assert system.load_following_range == (0.1, 1.2)
+
+    def test_zero_output_rejected_unless_allowed(self, system):
+        assert system.set_output(0.0) == pytest.approx(0.1)
+        system2 = FCSystem.paper_system()
+        system2.allow_zero_output = True
+        assert system2.set_output(0.0) == 0.0
+        assert system2.fc_current() == 0.0
+
+
+class TestFuelDynamics:
+    def test_fc_current_at_top_is_1_3(self, system):
+        system.set_output(1.2)
+        assert system.fc_current() == pytest.approx(1.306, abs=0.01)
+
+    def test_run_burns_fuel(self, system):
+        system.set_output(1.2)
+        fuel = system.run(30.0)
+        assert fuel == pytest.approx(1.306 * 30, abs=0.3)
+        assert system.tank.consumed == pytest.approx(fuel)
+
+    def test_run_with_finite_tank_depletes(self):
+        system = FCSystem.paper_system(tank=FuelTank(capacity=10.0))
+        system.set_output(1.2)
+        with pytest.raises(DepletedError):
+            system.run(60.0)
+
+    def test_run_rejects_negative_dt(self, system):
+        with pytest.raises(RangeError):
+            system.run(-1.0)
+
+    def test_output_power(self, system):
+        system.set_output(0.5)
+        assert system.output_power() == pytest.approx(6.0)
+
+    def test_efficiency_at_setting(self, system):
+        system.set_output(1.0)
+        assert system.efficiency() == pytest.approx(0.32)

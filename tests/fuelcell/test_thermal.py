@@ -1,0 +1,127 @@
+"""Stack thermal model tests."""
+
+import pytest
+
+from repro.fuelcell.thermal import (
+    THERMONEUTRAL_CELL_VOLTAGE,
+    StackThermalModel,
+    ThermalParams,
+)
+from repro.errors import ConfigurationError, RangeError
+
+
+@pytest.fixture
+def model() -> StackThermalModel:
+    return StackThermalModel()
+
+
+class TestHeatGeneration:
+    def test_no_heat_at_open_circuit(self, model):
+        assert model.heat_power(0.0) == 0.0
+
+    def test_heat_grows_with_current(self, model):
+        heats = [model.heat_power(i) for i in (0.2, 0.6, 1.0, 1.4)]
+        assert heats == sorted(heats)
+
+    def test_heat_is_enthalpy_minus_electricity(self, model):
+        i_fc = 1.0
+        v_thermo = THERMONEUTRAL_CELL_VOLTAGE * 20
+        electrical = float(model.stack.voltage(i_fc)) * i_fc
+        assert model.heat_power(i_fc) == pytest.approx(
+            v_thermo * i_fc - electrical
+        )
+
+    def test_heat_comparable_to_electrical_power(self, model):
+        # A PEM stack at ~50% efficiency wastes roughly as much as it makes.
+        i_fc = 1.0
+        electrical = float(model.stack.power(i_fc))
+        assert 0.5 * electrical < model.heat_power(i_fc) < 2.0 * electrical
+
+    def test_negative_current_rejected(self, model):
+        with pytest.raises(RangeError):
+            model.heat_power(-0.1)
+
+
+class TestSteadyState:
+    def test_fan_lowers_steady_temperature(self, model):
+        hot = model.steady_state_temperature(1.0, fan_speed=0.0)
+        cool = model.steady_state_temperature(1.0, fan_speed=1.0)
+        assert cool < hot
+
+    def test_full_load_needs_the_fan(self, model):
+        # Natural convection alone cannot hold the membrane limit at 1.3 A.
+        assert (
+            model.steady_state_temperature(1.3, fan_speed=0.0)
+            > model.params.t_max
+        )
+        assert (
+            model.steady_state_temperature(1.3, fan_speed=1.0)
+            < model.params.t_max
+        )
+
+    def test_required_fan_speed_monotone_in_load(self, model):
+        speeds = [model.required_fan_speed(i) for i in (0.3, 0.7, 1.1, 1.4)]
+        assert speeds == sorted(speeds)
+
+    def test_light_load_needs_no_fan(self, model):
+        assert model.required_fan_speed(0.1) == 0.0
+
+    def test_fan_speed_bounds(self, model):
+        assert 0.0 <= model.required_fan_speed(1.45) <= 1.0
+
+    def test_bad_fan_speed_rejected(self, model):
+        with pytest.raises(RangeError):
+            model.steady_state_temperature(1.0, fan_speed=1.5)
+
+
+class TestDynamics:
+    def test_step_approaches_steady_state(self, model):
+        target = model.steady_state_temperature(1.0, 0.5)
+        for _ in range(200):
+            model.step(1.0, 0.5, dt=60.0)
+        assert model.temperature == pytest.approx(target, abs=0.5)
+
+    def test_exact_exponential_step(self):
+        m = StackThermalModel()
+        t_inf = m.steady_state_temperature(1.0, 0.5)
+        tau = m.params.thermal_mass / m.conductance(0.5)
+        import math
+
+        t0 = m.temperature
+        m.step(1.0, 0.5, dt=tau)
+        expected = t_inf + (t0 - t_inf) * math.exp(-1.0)
+        assert m.temperature == pytest.approx(expected, rel=1e-9)
+
+    def test_over_limit_detection(self):
+        m = StackThermalModel()
+        for _ in range(300):
+            m.step(1.4, 0.0, dt=120.0)  # no fan at heavy load
+        assert m.over_limit
+
+    def test_reset(self, model):
+        model.step(1.0, 0.0, dt=600.0)
+        model.reset()
+        assert model.temperature == model.params.t_ambient
+
+    def test_negative_dt_rejected(self, model):
+        with pytest.raises(RangeError):
+            model.step(1.0, 0.5, dt=-1.0)
+
+
+class TestParams:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ThermalParams(thermal_mass=0.0)
+        with pytest.raises(ConfigurationError):
+            ThermalParams(t_max=200.0)  # below ambient
+
+
+class TestFanControllerLink:
+    def test_proportional_fan_matches_thermal_need_shape(self, model):
+        """The cubic electrical fan law and the thermal requirement must
+        agree qualitatively: negligible need at light load, steep rise
+        toward full load -- the physical basis of Fig. 3(b)."""
+        light = model.required_fan_speed(0.15)
+        heavy = model.required_fan_speed(1.3)
+        assert light == 0.0
+        assert heavy > 0.45

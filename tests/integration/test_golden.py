@@ -1,0 +1,84 @@
+"""Golden-number regression tests.
+
+Frozen expected values for every deterministic headline metric (exact
+closed forms tight, trace-driven numbers with small drift bands).  Any
+code change that moves these numbers must be deliberate -- update the
+constants here *and* EXPERIMENTS.md together.
+"""
+
+import pytest
+
+from repro.analysis.figures import fig4_motivational
+from repro.analysis.tables import table2, table3
+from repro.core.optimizer import solve_slot
+from repro.core.setting import SlotProblem
+from repro.fuelcell.efficiency import LinearSystemEfficiency
+from repro.fuelcell.stack import FCStack
+
+#: Closed-form constants: must match to float precision / 4 digits.
+GOLDEN_EXACT = {
+    "eq11_flat_current": 16 / 30,
+    "eq4_ifc_at_flat": 0.44834,
+    "fig4_fc_fuel": 13.45009,
+    "fig4_asap_fuel": 16.08009,
+    "fig4_conv_fuel_eq4": 39.18367,
+    "stack_voc": 18.2,
+}
+
+#: Trace-driven values at seed 2007 (drift band +-0.02).
+GOLDEN_SEEDED = {
+    "table2_asap": 0.400,
+    "table2_fc": 0.339,
+    "table3_asap": 0.436,
+    "table3_fc": 0.392,
+}
+
+
+class TestExactGoldens:
+    def test_eq11(self):
+        p = SlotProblem(20, 10, 0.2, 1.2, c_max=200.0)
+        s = solve_slot(p, LinearSystemEfficiency())
+        assert s.if_idle == pytest.approx(GOLDEN_EXACT["eq11_flat_current"],
+                                          abs=1e-12)
+        assert s.ifc_idle == pytest.approx(GOLDEN_EXACT["eq4_ifc_at_flat"],
+                                           abs=1e-4)
+
+    def test_fig4(self):
+        r = fig4_motivational()
+        assert r.fuel["fc-dpm"] == pytest.approx(GOLDEN_EXACT["fig4_fc_fuel"],
+                                                 abs=1e-4)
+        assert r.fuel["asap-dpm"] == pytest.approx(
+            GOLDEN_EXACT["fig4_asap_fuel"], abs=1e-4
+        )
+        assert r.fuel["conv-dpm"] == pytest.approx(
+            GOLDEN_EXACT["fig4_conv_fuel_eq4"], abs=1e-4
+        )
+
+    def test_stack_voc(self):
+        assert FCStack.bcs_20w().open_circuit_voltage == pytest.approx(
+            GOLDEN_EXACT["stack_voc"], abs=1e-9
+        )
+
+
+class TestSeededGoldens:
+    @pytest.fixture(scope="class")
+    def tables(self):
+        return table2(seed=2007), table3(seed=2007)
+
+    def test_table2_cells(self, tables):
+        t2, _ = tables
+        assert t2.normalized["asap-dpm"] == pytest.approx(
+            GOLDEN_SEEDED["table2_asap"], abs=0.02
+        )
+        assert t2.normalized["fc-dpm"] == pytest.approx(
+            GOLDEN_SEEDED["table2_fc"], abs=0.02
+        )
+
+    def test_table3_cells(self, tables):
+        _, t3 = tables
+        assert t3.normalized["asap-dpm"] == pytest.approx(
+            GOLDEN_SEEDED["table3_asap"], abs=0.02
+        )
+        assert t3.normalized["fc-dpm"] == pytest.approx(
+            GOLDEN_SEEDED["table3_fc"], abs=0.02
+        )

@@ -1,0 +1,133 @@
+"""Headline acceptance tests: every number the paper states, in one place.
+
+Closed-form numbers must match to ~3 significant digits; trace-driven
+numbers must match in shape (ordering, rough magnitude) because the real
+camcorder trace is substituted by a calibrated synthetic one.
+"""
+
+import pytest
+
+from repro.analysis.figures import fig4_motivational
+from repro.analysis.tables import table2, table3
+from repro.core.optimizer import optimal_flat_current, solve_horizon, solve_slot
+from repro.core.setting import SlotProblem
+from repro.fuelcell.efficiency import LinearSystemEfficiency
+from repro.fuelcell.stack import FCStack
+
+
+@pytest.fixture(scope="module")
+def model():
+    return LinearSystemEfficiency()
+
+
+@pytest.fixture(scope="module")
+def t2():
+    return table2()
+
+
+@pytest.fixture(scope="module")
+def t3():
+    return table3()
+
+
+class TestSection2Characterization:
+    def test_stack_open_circuit_18_2V(self):
+        assert FCStack.bcs_20w().open_circuit_voltage == pytest.approx(18.2)
+
+    def test_stack_capacity_about_20W(self):
+        assert FCStack.bcs_20w().power_capacity == pytest.approx(20, abs=1.0)
+
+    def test_eq4_coefficient(self, model):
+        # Ifc = 0.32 * IF / (0.45 - 0.13 IF).
+        assert model.k_fuel == pytest.approx(0.32)
+        assert model.fc_current(1.0) == pytest.approx(0.32 / 0.32)
+
+
+class TestSection32Motivational:
+    def test_setting_b_16_As(self, model):
+        r = fig4_motivational()
+        assert r.fuel["asap-dpm"] == pytest.approx(16.0, abs=0.1)
+
+    def test_setting_c_13_45_As(self, model):
+        r = fig4_motivational()
+        assert r.fuel["fc-dpm"] == pytest.approx(13.45, abs=0.01)
+
+    def test_if_0_53_ifc_0_448(self, model):
+        p = SlotProblem(20, 10, 0.2, 1.2, c_max=200.0)
+        s = solve_slot(p, model)
+        assert s.if_idle == pytest.approx(0.533, abs=0.001)
+        assert s.ifc_idle == pytest.approx(0.448, abs=0.001)
+
+    def test_62_6_percent_vs_conv(self, model):
+        r = fig4_motivational(conv_uses_paper_ifc=True)
+        assert r.fc_vs_conv_saving == pytest.approx(0.626, abs=0.005)
+
+    def test_15_9_percent_vs_asap(self, model):
+        r = fig4_motivational()
+        assert r.fc_vs_asap_saving == pytest.approx(0.159, abs=0.005)
+
+    def test_delivered_energy_identical_b_and_c(self, model):
+        # Paper: both deliver VF*(IF,i*Ti + IF,a*Ta) = 192 J.
+        r = fig4_motivational()
+        for key in ("asap-dpm", "fc-dpm"):
+            assert 12.0 * r.plans[key].delivered_charge() == pytest.approx(192.0)
+
+
+class TestSection5Tables:
+    def test_table2_shape(self, t2):
+        n = t2.normalized
+        assert n["fc-dpm"] < n["asap-dpm"] < 0.55
+        assert n["asap-dpm"] == pytest.approx(0.408, abs=0.06)
+        assert n["fc-dpm"] == pytest.approx(0.308, abs=0.06)
+
+    def test_table3_shape(self, t3):
+        n = t3.normalized
+        assert n["fc-dpm"] < n["asap-dpm"]
+        assert n["asap-dpm"] == pytest.approx(0.491, abs=0.08)
+        assert n["fc-dpm"] == pytest.approx(0.415, abs=0.08)
+
+    def test_headline_lifetime_extension(self, t2):
+        # Paper: "up to 32% more system lifetime" = 1.32x vs ASAP.  Our
+        # synthetic trace yields a somewhat smaller but clearly >1 factor.
+        assert t2.fc_vs_asap_lifetime > 1.12
+
+    def test_exp2_saving_smaller_than_exp1(self, t2, t3):
+        assert 0 < t3.fc_vs_asap_saving < t2.fc_vs_asap_saving
+
+
+class TestOfflineBound:
+    def test_fc_dpm_within_10pct_of_flat_lower_bound(self, t2, model):
+        """FC-DPM (online, predictive) must be near the offline optimum.
+
+        Dropping the capacity and range constraints can only lower the
+        optimum, so the globally flat schedule at the trace's average
+        load current is a rigorous lower bound on any policy's fuel.
+        FC-DPM has to land within 10 % of it -- far stronger than the
+        paper's baseline comparison.
+        """
+        fc = t2.results["fc-dpm"]
+        avg_load = fc.load_charge / fc.duration
+        lower_bound = model.fc_current(avg_load) * fc.duration
+        assert fc.fuel <= lower_bound * 1.10
+
+    def test_horizon_solver_agrees_on_coarse_slots(self, model):
+        """Sanity: the convex horizon solve reproduces the flat bound
+        when storage is effectively unconstrained."""
+        durations = [17.0, 20.0, 15.0, 22.0]
+        demands = [8.0, 9.5, 7.0, 10.0]
+        outputs, fuel = solve_horizon(
+            durations, demands, model, c_ini=50.0, c_max=1e4
+        )
+        flat = sum(demands) / sum(durations)
+        assert fuel == pytest.approx(
+            model.fc_current(flat) * sum(durations), rel=1e-6
+        )
+
+
+class TestEquationConsistency:
+    def test_eq11_equals_eq13_when_balanced(self, model):
+        p_eq11 = SlotProblem(20, 10, 0.2, 1.2, c_max=200.0)
+        p_eq13 = SlotProblem(20, 10, 0.2, 1.2, c_ini=4.0, c_end=4.0, c_max=200.0)
+        assert optimal_flat_current(p_eq11) == pytest.approx(
+            optimal_flat_current(p_eq13)
+        )

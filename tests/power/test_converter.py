@@ -1,0 +1,90 @@
+"""DC-DC converter model tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError, RangeError
+from repro.power.converter import (
+    IdealConverter,
+    PFMConverter,
+    PWMConverter,
+    PWMPFMConverter,
+)
+
+
+class TestIdeal:
+    def test_lossless(self):
+        c = IdealConverter()
+        assert c.input_power(10.0) == 10.0
+        assert c.efficiency(10.0) == 1.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(RangeError):
+            IdealConverter().input_power(-1.0)
+
+
+class TestPWM:
+    def test_fixed_loss_dominates_light_load(self):
+        c = PWMConverter(eta_conduction=0.96, p_fixed=0.3)
+        assert c.efficiency(0.5) < 0.65
+
+    def test_heavy_load_near_conduction_efficiency(self):
+        c = PWMConverter(eta_conduction=0.96, p_fixed=0.3)
+        assert c.efficiency(20.0) == pytest.approx(0.96 * 20 / 20.3, rel=1e-9)
+
+    def test_zero_load_still_draws(self):
+        c = PWMConverter(p_fixed=0.3)
+        assert c.input_power(0.0) > 0
+
+    def test_efficiency_zero_at_zero_load(self):
+        assert PWMConverter().efficiency(0.0) == 0.0
+
+    def test_rejects_bad_conduction(self):
+        with pytest.raises(ConfigurationError):
+            PWMConverter(eta_conduction=0.0)
+
+    def test_rejects_negative_fixed(self):
+        with pytest.raises(ConfigurationError):
+            PWMConverter(p_fixed=-0.1)
+
+
+class TestPFM:
+    def test_flat_efficiency(self):
+        c = PFMConverter(eta_flat=0.94)
+        assert c.efficiency(0.5) == pytest.approx(0.94)
+        assert c.efficiency(15.0) == pytest.approx(0.94)
+
+    def test_rejects_bad_eta(self):
+        with pytest.raises(ConfigurationError):
+            PFMConverter(eta_flat=1.5)
+
+
+class TestPWMPFM:
+    def test_takes_the_better_mode(self):
+        c = PWMPFMConverter()
+        for p in (0.5, 2.0, 10.0, 18.0):
+            assert c.input_power(p) == min(
+                c.pwm.input_power(p), c.pfm.input_power(p)
+            )
+
+    def test_pfm_at_light_load(self):
+        assert PWMPFMConverter().mode(1.0) == "pfm"
+
+    def test_pwm_at_heavy_load(self):
+        assert PWMPFMConverter().mode(18.0) == "pwm"
+
+    def test_high_efficiency_over_whole_range(self):
+        # Paper: "very high efficiency (~85%) for the entire load range".
+        c = PWMPFMConverter()
+        for p in (0.5, 1.0, 5.0, 10.0, 18.0):
+            assert c.efficiency(p) >= 0.85
+
+    def test_efficiency_continuity_at_crossover(self):
+        c = PWMPFMConverter()
+        # Find crossover by scanning; efficiency must not jump.
+        prev = c.efficiency(0.2)
+        p = 0.3
+        while p < 20.0:
+            cur = c.efficiency(p)
+            assert abs(cur - prev) < 0.05
+            prev = cur
+            p += 0.1

@@ -1,0 +1,119 @@
+"""Hybrid power source integration tests (Fig. 1 charge conservation)."""
+
+import pytest
+
+from repro.errors import RangeError
+from repro.fuelcell.system import FCSystem
+from repro.power.hybrid import HybridPowerSource
+from repro.power.storage import SuperCapacitor
+
+
+@pytest.fixture
+def source() -> HybridPowerSource:
+    return HybridPowerSource(
+        fc=FCSystem.paper_system(),
+        storage=SuperCapacitor(capacity=200.0, initial_charge=0.0),
+    )
+
+
+class TestStep:
+    def test_surplus_charges_storage(self, source):
+        source.set_fc_output(0.5333)
+        step = source.step(i_load=0.2, dt=20.0)
+        # Ichg = IF - Ild = 0.333 A for 20 s = 6.67 A-s (paper Fig. 4(c)).
+        assert step.storage_delta == pytest.approx((0.5333 - 0.2) * 20, rel=1e-3)
+        assert source.storage.charge == pytest.approx(6.67, abs=0.01)
+
+    def test_shortfall_discharges_storage(self, source):
+        source.set_fc_output(0.5333)
+        source.step(0.2, 20.0)
+        step = source.step(i_load=1.2, dt=10.0)
+        assert step.storage_delta == pytest.approx(-(1.2 - 0.5333) * 10, rel=1e-3)
+        assert source.storage.charge == pytest.approx(0.0, abs=0.01)
+
+    def test_motivational_slot_fuel(self, source):
+        # Full Fig. 4(c) slot: fuel = 13.45 A-s.
+        source.set_fc_output(16 / 30)
+        source.step(0.2, 20.0)
+        source.step(1.2, 10.0)
+        assert source.total_fuel == pytest.approx(13.45, abs=0.01)
+
+    def test_fuel_accumulates_with_ifc_not_if(self, source):
+        source.set_fc_output(1.2)
+        step = source.step(1.2, 10.0)
+        assert step.i_fc == pytest.approx(1.306, abs=0.01)
+        assert step.fuel == pytest.approx(13.06, abs=0.1)
+
+    def test_rejects_negative_load(self, source):
+        with pytest.raises(RangeError):
+            source.step(-0.1, 1.0)
+
+    def test_rejects_negative_dt(self, source):
+        with pytest.raises(RangeError):
+            source.step(0.1, -1.0)
+
+    def test_history_recorded(self, source):
+        source.step(0.2, 5.0)
+        source.step(0.4, 5.0)
+        assert len(source.history) == 2
+        assert source.history[0].i_load == 0.2
+
+    def test_history_can_be_disabled(self, source):
+        source.record_history = False
+        source.step(0.2, 5.0)
+        assert not source.history
+
+
+class TestLedger:
+    def test_charge_conservation(self, source):
+        # FC output = load + storage delta + bleed - deficit, every step.
+        source.set_fc_output(0.8)
+        for i_load, dt in ((0.2, 10.0), (1.2, 8.0), (0.4, 3.0)):
+            step = source.step(i_load, dt)
+            supplied = step.i_f * step.dt
+            assert supplied == pytest.approx(
+                i_load * dt + step.storage_delta + step.bled - step.deficit,
+                abs=1e-9,
+            )
+
+    def test_bleed_when_storage_full(self):
+        src = HybridPowerSource(
+            fc=FCSystem.paper_system(),
+            storage=SuperCapacitor(capacity=1.0, initial_charge=1.0),
+        )
+        src.set_fc_output(1.2)
+        step = src.step(0.2, 10.0)
+        assert step.bled == pytest.approx(10.0, abs=1e-9)
+
+    def test_deficit_when_storage_empty(self):
+        src = HybridPowerSource(
+            fc=FCSystem.paper_system(),
+            storage=SuperCapacitor(capacity=1.0, initial_charge=0.0),
+        )
+        src.set_fc_output(0.1)
+        step = src.step(1.2, 10.0)
+        assert step.deficit == pytest.approx(11.0, abs=1e-9)
+
+    def test_delivered_energy(self, source):
+        source.set_fc_output(0.5)
+        source.step(0.5, 10.0)
+        assert source.delivered_energy == pytest.approx(12.0 * 5.0)
+
+    def test_average_fuel_rate(self, source):
+        source.set_fc_output(1.2)
+        source.step(1.2, 10.0)
+        assert source.average_fuel_rate == pytest.approx(1.306, abs=0.01)
+
+    def test_reset(self, source):
+        source.step(0.5, 10.0)
+        source.reset(storage_charge=2.0)
+        assert source.total_fuel == 0.0
+        assert source.total_time == 0.0
+        assert source.storage.charge == 2.0
+        assert not source.history
+        assert source.fc.tank.consumed == 0.0
+
+    def test_default_construction(self):
+        src = HybridPowerSource()
+        assert src.storage.capacity == pytest.approx(6.0)
+        assert src.fc.v_out == 12.0

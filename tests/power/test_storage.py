@@ -1,0 +1,140 @@
+"""Charge-storage model tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError, StorageError
+from repro.power.storage import IdealStorage, LiIonBattery, SuperCapacitor
+
+
+class TestSuperCapacitor:
+    def test_charge_and_discharge_roundtrip(self):
+        sc = SuperCapacitor(capacity=6.0)
+        sc.step(+0.5, 4.0)  # +2 A-s
+        assert sc.charge == pytest.approx(2.0)
+        sc.step(-0.5, 4.0)
+        assert sc.charge == pytest.approx(0.0)
+
+    def test_soc(self):
+        sc = SuperCapacitor(capacity=6.0, initial_charge=3.0)
+        assert sc.soc == pytest.approx(0.5)
+        assert sc.headroom == pytest.approx(3.0)
+
+    def test_overflow_goes_to_bleeder(self):
+        sc = SuperCapacitor(capacity=6.0, initial_charge=5.0)
+        absorbed = sc.step(+1.0, 3.0)  # +3 requested, +1 fits
+        assert absorbed == pytest.approx(1.0)
+        assert sc.charge == pytest.approx(6.0)
+        assert sc.bled_charge == pytest.approx(2.0)
+
+    def test_overflow_strict_raises(self):
+        sc = SuperCapacitor(capacity=6.0, initial_charge=5.0)
+        with pytest.raises(StorageError):
+            sc.step(+1.0, 3.0, strict=True)
+
+    def test_underflow_records_deficit(self):
+        sc = SuperCapacitor(capacity=6.0, initial_charge=1.0)
+        delivered = sc.step(-1.0, 3.0)  # -3 requested, -1 available
+        assert delivered == pytest.approx(-1.0)
+        assert sc.charge == 0.0
+        assert sc.deficit_charge == pytest.approx(2.0)
+
+    def test_underflow_strict_raises(self):
+        sc = SuperCapacitor(capacity=6.0, initial_charge=1.0)
+        with pytest.raises(StorageError):
+            sc.step(-1.0, 3.0, strict=True)
+
+    def test_coulombic_efficiency_loses_on_charge_only(self):
+        sc = SuperCapacitor(capacity=10.0, coulombic_efficiency=0.9)
+        sc.step(+1.0, 2.0)
+        assert sc.charge == pytest.approx(1.8)
+        sc.step(-0.9, 2.0)
+        assert sc.charge == pytest.approx(0.0)
+
+    def test_leakage(self):
+        sc = SuperCapacitor(capacity=10.0, initial_charge=5.0, leakage_current=0.01)
+        sc.step(0.0, 100.0)
+        assert sc.charge == pytest.approx(4.0)
+
+    def test_reset(self):
+        sc = SuperCapacitor(capacity=6.0)
+        sc.step(+10.0, 10.0)
+        sc.step(-10.0, 10.0)
+        sc.reset(3.0)
+        assert sc.charge == 3.0
+        assert sc.bled_charge == 0.0
+        assert sc.deficit_charge == 0.0
+
+    def test_reset_out_of_range_rejected(self):
+        with pytest.raises(StorageError):
+            SuperCapacitor(capacity=6.0).reset(7.0)
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ConfigurationError):
+            SuperCapacitor(capacity=0.0)
+        with pytest.raises(ConfigurationError):
+            SuperCapacitor(capacity=6.0, initial_charge=7.0)
+        with pytest.raises(ConfigurationError):
+            SuperCapacitor(capacity=6.0, coulombic_efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            SuperCapacitor(capacity=6.0, leakage_current=-1.0)
+
+    def test_rejects_negative_dt(self):
+        with pytest.raises(StorageError):
+            SuperCapacitor(capacity=6.0).step(1.0, -1.0)
+
+
+class TestIdealStorage:
+    def test_effectively_unbounded(self):
+        s = IdealStorage()
+        s.step(+100.0, 1000.0)
+        assert s.charge == pytest.approx(1e5)
+        assert s.bled_charge == 0.0
+
+
+class TestLiIonBattery:
+    def test_nominal_rate_no_penalty(self):
+        b = LiIonBattery(capacity=100.0, initial_charge=50.0, rated_current=0.5)
+        b.step(-0.5, 10.0)
+        assert b.charge == pytest.approx(45.0)
+
+    def test_rate_capacity_penalty_above_rated(self):
+        b = LiIonBattery(
+            capacity=100.0, initial_charge=50.0, rated_current=0.5, peukert=1.2
+        )
+        b.step(-2.0, 10.0)  # 4x rated -> factor 4**0.2 ~ 1.32
+        drawn = 50.0 - b.charge
+        assert drawn == pytest.approx(20.0 * 4**0.2, rel=1e-6)
+        assert drawn > 20.0
+
+    def test_recovery_returns_charge_during_rest(self):
+        b = LiIonBattery(
+            capacity=100.0,
+            initial_charge=50.0,
+            rated_current=0.5,
+            peukert=1.2,
+            recovery_fraction=1.0,
+            recovery_tau=10.0,
+        )
+        b.step(-2.0, 10.0)
+        low = b.charge
+        assert b.recoverable_charge > 0
+        b.step(0.0, 1000.0)  # long rest: full recovery
+        assert b.charge > low
+        assert b.recoverable_charge == pytest.approx(0.0, abs=1e-6)
+
+    def test_fuel_cells_vs_battery_contrast(self):
+        # The recovery effect exists for the battery (paper: FCs have none).
+        b = LiIonBattery(capacity=100.0, initial_charge=50.0, peukert=1.3,
+                         rated_current=0.2, recovery_fraction=0.8)
+        b.step(-1.0, 5.0)
+        assert b.recoverable_charge > 0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            LiIonBattery(capacity=10.0, rated_current=0.0)
+        with pytest.raises(ConfigurationError):
+            LiIonBattery(capacity=10.0, peukert=0.9)
+        with pytest.raises(ConfigurationError):
+            LiIonBattery(capacity=10.0, recovery_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            LiIonBattery(capacity=10.0, recovery_tau=0.0)

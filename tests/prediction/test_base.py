@@ -1,0 +1,93 @@
+"""Predictor-protocol and trivial predictor tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError, RangeError
+from repro.prediction.base import (
+    ConstantPredictor,
+    LastValuePredictor,
+    PerfectPredictor,
+)
+
+
+class TestConstantPredictor:
+    def test_always_predicts_value(self):
+        p = ConstantPredictor(1.2)
+        p.observe(99.0)
+        assert p.predict() == 1.2
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            ConstantPredictor(-1.0)
+
+    def test_error_accounting(self):
+        p = ConstantPredictor(10.0)
+        p.predict()
+        p.observe(8.0)
+        p.predict()
+        p.observe(14.0)
+        assert p.n_scored == 2
+        assert p.mean_absolute_error == pytest.approx(3.0)
+        assert p.bias == pytest.approx(-1.0)
+
+    def test_observe_without_predict_not_scored(self):
+        p = ConstantPredictor(10.0)
+        p.observe(5.0)
+        assert p.n_scored == 0
+
+    def test_observe_rejects_negative(self):
+        with pytest.raises(RangeError):
+            ConstantPredictor(1.0).observe(-1.0)
+
+    def test_reset_clears_accounting(self):
+        p = ConstantPredictor(10.0)
+        p.predict()
+        p.observe(5.0)
+        p.reset()
+        assert p.n_scored == 0
+        assert p.mean_absolute_error == 0.0
+
+
+class TestLastValuePredictor:
+    def test_tracks_last_observation(self):
+        p = LastValuePredictor(initial=3.0)
+        assert p.predict() == 3.0
+        p.observe(7.0)
+        assert p.predict() == 7.0
+        p.observe(2.0)
+        assert p.predict() == 2.0
+
+    def test_rejects_negative_initial(self):
+        with pytest.raises(ConfigurationError):
+            LastValuePredictor(initial=-1.0)
+
+
+class TestPerfectPredictor:
+    def test_predicts_primed_value(self):
+        p = PerfectPredictor()
+        p.prime(12.5)
+        assert p.predict() == 12.5
+
+    def test_predict_without_prime_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PerfectPredictor().predict()
+
+    def test_prime_consumed_by_observe(self):
+        p = PerfectPredictor()
+        p.prime(5.0)
+        p.predict()
+        p.observe(5.0)
+        with pytest.raises(ConfigurationError):
+            p.predict()
+
+    def test_zero_error(self):
+        p = PerfectPredictor()
+        for v in (3.0, 8.0, 1.0):
+            p.prime(v)
+            p.predict()
+            p.observe(v)
+        assert p.mean_absolute_error == 0.0
+
+    def test_prime_rejects_negative(self):
+        with pytest.raises(RangeError):
+            PerfectPredictor().prime(-1.0)

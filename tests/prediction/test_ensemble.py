@@ -1,0 +1,114 @@
+"""Ensemble predictor tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.prediction.base import ConstantPredictor, LastValuePredictor
+from repro.prediction.ensemble import EnsemblePredictor
+from repro.prediction.exponential import ExponentialAveragePredictor
+
+
+def make() -> EnsemblePredictor:
+    return EnsemblePredictor(
+        [ConstantPredictor(10.0), LastValuePredictor(initial=10.0)],
+        learning_rate=1.0,
+    )
+
+
+class TestConstruction:
+    def test_needs_two_experts(self):
+        with pytest.raises(ConfigurationError):
+            EnsemblePredictor([ConstantPredictor(1.0)])
+
+    def test_rejects_bad_learning_rate(self):
+        with pytest.raises(ConfigurationError):
+            EnsemblePredictor(
+                [ConstantPredictor(1.0), ConstantPredictor(2.0)],
+                learning_rate=0.0,
+            )
+
+    def test_initial_weights_uniform(self):
+        e = make()
+        assert e.weights == (0.5, 0.5)
+
+
+class TestPrediction:
+    def test_weighted_average(self):
+        e = EnsemblePredictor(
+            [ConstantPredictor(0.0), ConstantPredictor(10.0)]
+        )
+        assert e.predict() == pytest.approx(5.0)
+
+    def test_weights_shift_to_better_expert(self):
+        # Expert 0 predicts a constant 10; the data is a constant 3, so
+        # the last-value expert becomes exact after one observation.
+        e = EnsemblePredictor(
+            [ConstantPredictor(10.0), LastValuePredictor(initial=10.0)],
+            learning_rate=1.0,
+        )
+        for _ in range(20):
+            e.predict()
+            e.observe(3.0)
+        weights = e.weights
+        assert weights[1] > 0.95
+        assert isinstance(e.best_expert, LastValuePredictor)
+
+    def test_converges_toward_best_expert_prediction(self):
+        e = EnsemblePredictor(
+            [ConstantPredictor(10.0), LastValuePredictor(initial=10.0)],
+            learning_rate=1.0,
+        )
+        for _ in range(30):
+            e.predict()
+            e.observe(3.0)
+        assert e.predict() == pytest.approx(3.0, abs=0.5)
+
+    def test_tracks_regime_change(self):
+        rng = np.random.default_rng(0)
+        exp_expert = ExponentialAveragePredictor(factor=0.5)
+        const_expert = ConstantPredictor(50.0)
+        e = EnsemblePredictor([exp_expert, const_expert], learning_rate=0.8)
+        # Regime 1: values near 8 -> exponential expert dominates.
+        for _ in range(40):
+            e.predict()
+            e.observe(float(rng.normal(8.0, 0.5)))
+        assert e.weights[0] > 0.9
+        # Regime 2: values near 50 -> the constant expert recovers weight.
+        for _ in range(60):
+            e.predict()
+            e.observe(float(rng.normal(50.0, 0.5)))
+        assert e.weights[1] > 0.3
+
+    def test_experts_keep_learning(self):
+        inner = LastValuePredictor(initial=0.0)
+        e = EnsemblePredictor([inner, ConstantPredictor(5.0)])
+        e.predict()
+        e.observe(7.0)
+        assert inner.predict() == 7.0
+
+    def test_error_accounting_scores_ensemble(self):
+        e = make()
+        e.predict()
+        e.observe(4.0)
+        assert e.n_scored == 1
+        assert e.mean_absolute_error > 0
+
+    def test_reset(self):
+        e = make()
+        e.predict()
+        e.observe(3.0)
+        e.reset()
+        assert e.weights == (0.5, 0.5)
+        assert e.n_scored == 0
+
+    def test_long_run_numerically_stable(self):
+        e = EnsemblePredictor(
+            [ConstantPredictor(1.0), ConstantPredictor(100.0)],
+            learning_rate=2.0,
+        )
+        for _ in range(2000):
+            e.predict()
+            e.observe(1.0)
+        assert all(np.isfinite(w) for w in e.weights)
+        assert e.weights[0] > 0.99

@@ -1,0 +1,61 @@
+"""Hwang-Wu exponential-average predictor tests (paper Eq. 14/15)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.prediction.exponential import ExponentialAveragePredictor
+
+
+class TestFilter:
+    def test_paper_recurrence(self):
+        # T'(k) = rho*T'(k-1) + (1-rho)*T(k-1) with rho = 0.5.
+        p = ExponentialAveragePredictor(factor=0.5, initial=0.0)
+        p.observe(10.0)
+        assert p.predict() == pytest.approx(5.0)
+        p.observe(20.0)
+        assert p.predict() == pytest.approx(12.5)
+
+    def test_factor_zero_is_last_value(self):
+        p = ExponentialAveragePredictor(factor=0.0)
+        p.observe(10.0)
+        assert p.predict() == 10.0
+        p.observe(3.0)
+        assert p.predict() == 3.0
+
+    def test_converges_to_constant_input(self):
+        p = ExponentialAveragePredictor(factor=0.5, initial=0.0)
+        for _ in range(50):
+            p.observe(8.0)
+        assert p.predict() == pytest.approx(8.0, rel=1e-6)
+
+    def test_initial_estimate(self):
+        assert ExponentialAveragePredictor(initial=12.0).predict() == 12.0
+
+    def test_estimate_property(self):
+        p = ExponentialAveragePredictor(factor=0.5)
+        p.observe(10.0)
+        assert p.estimate == pytest.approx(5.0)
+
+    def test_reset_restores_initial(self):
+        p = ExponentialAveragePredictor(factor=0.5, initial=2.0)
+        p.observe(10.0)
+        p.reset()
+        assert p.predict() == 2.0
+
+    def test_smoothing_reduces_variance(self):
+        # Alternating inputs: the smoothed estimate stays near the mean,
+        # last-value prediction ping-pongs.
+        p = ExponentialAveragePredictor(factor=0.8, initial=10.0)
+        for k in range(100):
+            p.observe(5.0 if k % 2 else 15.0)
+        assert p.predict() == pytest.approx(10.0, abs=2.5)
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialAveragePredictor(factor=1.0)
+        with pytest.raises(ConfigurationError):
+            ExponentialAveragePredictor(factor=-0.1)
+
+    def test_rejects_negative_initial(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialAveragePredictor(initial=-5.0)

@@ -1,0 +1,107 @@
+"""Adaptive learning-tree predictor tests (paper ref [3] family)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.prediction.learning_tree import LearningTreePredictor
+
+
+def make(depth=2, **kwargs) -> LearningTreePredictor:
+    return LearningTreePredictor(bin_edges=[5.0, 10.0, 15.0], depth=depth, **kwargs)
+
+
+class TestQuantization:
+    def test_symbol_of(self):
+        p = make()
+        assert p.symbol_of(2.0) == 0
+        assert p.symbol_of(7.0) == 1
+        assert p.symbol_of(12.0) == 2
+        assert p.symbol_of(99.0) == 3
+
+    def test_n_symbols(self):
+        assert make().n_symbols == 4
+
+    def test_representative_defaults(self):
+        p = make()
+        assert p.representative(0) == pytest.approx(2.5)   # midpoint of (0, 5]
+        assert p.representative(1) == pytest.approx(7.5)
+        assert p.representative(3) == pytest.approx(15.0)  # open last bin
+
+    def test_representative_running_mean(self):
+        p = make()
+        p.observe(6.0)
+        p.observe(8.0)
+        assert p.representative(1) == pytest.approx(7.0)
+
+    def test_representative_rejects_bad_symbol(self):
+        with pytest.raises(ConfigurationError):
+            make().representative(9)
+
+
+class TestLearning:
+    def test_initial_prediction(self):
+        assert make(initial=12.0).predict() == 12.0
+
+    def test_learns_periodic_pattern(self):
+        # Sequence with period 3: 2, 7, 12, 2, 7, 12, ...
+        p = make(depth=2)
+        pattern = [2.0, 7.0, 12.0]
+        for k in range(60):
+            p.observe(pattern[k % 3])
+        # Context is the last two symbols; after (7, 12) comes 2.
+        predicted = p.predict()
+        assert predicted == pytest.approx(2.0, abs=1.0)
+
+    def test_grows_leaves(self):
+        p = make(depth=1)
+        for v in (2.0, 7.0, 12.0, 2.0, 7.0):
+            p.observe(v)
+        assert p.n_leaves >= 2
+
+    def test_unseen_context_falls_back_to_global_mode(self):
+        p = make(depth=2, initial=9.0)
+        # Mostly symbol-1 values; finish on a context (0, 2) never seen
+        # before so the predictor must fall back to the global mode.
+        for v in (7.0, 7.0, 7.0, 7.0, 2.0, 12.0):
+            p.observe(v)
+        value = p.predict()
+        assert value == pytest.approx(7.0, abs=1.5)
+
+    def test_confidence_penalty_on_miss(self):
+        p = make(depth=1, reward=1.0, penalty=1.0)
+        # Alternate so the same context sees different successors.
+        for v in (7.0, 2.0, 7.0, 12.0, 7.0, 2.0, 7.0, 12.0):
+            p.predict()
+            p.observe(v)
+        # Still functional and bounded.
+        assert 0.0 <= p.predict() <= 20.0
+
+    def test_reset(self):
+        p = make(initial=4.0)
+        for v in (7.0, 2.0, 7.0):
+            p.observe(v)
+        p.reset()
+        assert p.n_leaves == 0
+        assert p.predict() == 4.0
+
+
+class TestValidation:
+    def test_rejects_unsorted_edges(self):
+        with pytest.raises(ConfigurationError):
+            LearningTreePredictor(bin_edges=[10.0, 5.0])
+
+    def test_rejects_nonpositive_edges(self):
+        with pytest.raises(ConfigurationError):
+            LearningTreePredictor(bin_edges=[0.0, 5.0])
+
+    def test_rejects_empty_edges(self):
+        with pytest.raises(ConfigurationError):
+            LearningTreePredictor(bin_edges=[])
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ConfigurationError):
+            LearningTreePredictor(bin_edges=[5.0], depth=0)
+
+    def test_rejects_bad_reward(self):
+        with pytest.raises(ConfigurationError):
+            LearningTreePredictor(bin_edges=[5.0], reward=0.0)

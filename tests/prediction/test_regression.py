@@ -1,0 +1,78 @@
+"""Regression predictor tests (paper ref [2] family)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.prediction.regression import RegressionPredictor
+
+
+class TestRegression:
+    def test_initial_before_history(self):
+        p = RegressionPredictor(order=2, window=8, initial=7.0)
+        assert p.predict() == 7.0
+
+    def test_mean_fallback_with_thin_history(self):
+        p = RegressionPredictor(order=3, window=10, initial=0.0)
+        p.observe(4.0)
+        p.observe(6.0)
+        assert p.predict() == pytest.approx(5.0)
+
+    def test_learns_constant_sequence(self):
+        p = RegressionPredictor(order=2, window=16)
+        for _ in range(12):
+            p.observe(9.0)
+        assert p.predict() == pytest.approx(9.0, abs=0.05)
+
+    def test_learns_linear_trend(self):
+        p = RegressionPredictor(order=2, window=16, ridge=1e-9)
+        for k in range(14):
+            p.observe(2.0 + 0.5 * k)  # ends at 8.5
+        assert p.predict() == pytest.approx(9.0, abs=0.2)
+
+    def test_learns_alternating_pattern(self):
+        # AR(2) captures period-2 oscillation that exponential averaging
+        # cannot: history ... 4, 10, 4, 10 -> next is 4.
+        p = RegressionPredictor(order=2, window=24, ridge=1e-9)
+        for k in range(20):
+            p.observe(10.0 if k % 2 else 4.0)
+        # Last observation was k=19 -> 10.0, so next should be ~4.
+        assert p.predict() == pytest.approx(4.0, abs=0.5)
+
+    def test_never_negative(self):
+        p = RegressionPredictor(order=1, window=8)
+        for v in (10.0, 5.0, 1.0, 0.1, 0.0, 0.0):
+            p.observe(v)
+        assert p.predict() >= 0.0
+
+    def test_window_bounds_history(self):
+        p = RegressionPredictor(order=1, window=4)
+        for v in (1.0, 2.0, 3.0, 4.0, 5.0, 6.0):
+            p.observe(v)
+        assert len(p.history) == 4
+        assert p.history[0] == 3.0
+
+    def test_reset(self):
+        p = RegressionPredictor(order=1, window=4, initial=2.0)
+        p.observe(9.0)
+        p.reset()
+        assert p.history == ()
+        assert p.predict() == 2.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            RegressionPredictor(order=0)
+        with pytest.raises(ConfigurationError):
+            RegressionPredictor(order=3, window=4)
+        with pytest.raises(ConfigurationError):
+            RegressionPredictor(ridge=-1.0)
+        with pytest.raises(ConfigurationError):
+            RegressionPredictor(initial=-1.0)
+
+    def test_stable_on_noisy_data(self):
+        rng = np.random.default_rng(0)
+        p = RegressionPredictor(order=2, window=32)
+        for _ in range(100):
+            p.observe(float(rng.uniform(5, 25)))
+        value = p.predict()
+        assert 0.0 <= value <= 40.0

@@ -1,0 +1,88 @@
+"""Property-based tests for efficiency models and the fuel map."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.fuelcell.efficiency import LinearSystemEfficiency
+
+alphas = st.floats(min_value=0.2, max_value=0.8)
+betas = st.floats(min_value=0.0, max_value=0.15)
+outputs = st.floats(min_value=0.0, max_value=1.2, allow_nan=False)
+
+
+@st.composite
+def models(draw):
+    alpha = draw(alphas)
+    beta = draw(betas)
+    assume(alpha - beta * 1.2 > 0.01)
+    return LinearSystemEfficiency(alpha=alpha, beta=beta)
+
+
+class TestFuelMapProperties:
+    @given(models(), outputs, outputs)
+    @settings(max_examples=300, deadline=None)
+    def test_monotone_increasing(self, model, a, b):
+        lo, hi = sorted((a, b))
+        assert model.fc_current(lo) <= model.fc_current(hi) + 1e-12
+
+    @given(models(), outputs, outputs, st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=300, deadline=None)
+    def test_convexity(self, model, a, b, lam):
+        """g(lam*a + (1-lam)*b) <= lam*g(a) + (1-lam)*g(b)."""
+        mid = lam * a + (1 - lam) * b
+        lhs = model.fc_current(mid)
+        rhs = lam * model.fc_current(a) + (1 - lam) * model.fc_current(b)
+        assert lhs <= rhs + 1e-9
+
+    @given(models(), outputs)
+    @settings(max_examples=300, deadline=None)
+    def test_inverse_roundtrip(self, model, i_f):
+        assert model.inverse_fc_current(model.fc_current(i_f)) == pytest.approx(
+            i_f, abs=1e-9
+        )
+
+    @given(models(), st.floats(min_value=0.01, max_value=1.2))
+    @settings(max_examples=300, deadline=None)
+    def test_fc_current_exceeds_ideal_draw(self, model, i_f):
+        """Ifc >= k*IF always (efficiency < 1 costs fuel)."""
+        assume(model.efficiency(i_f) <= 1.0)
+        assert model.fc_current(i_f) >= model.k_fuel * i_f - 1e-12
+
+    @given(models(), st.floats(min_value=0.01, max_value=1.19))
+    @settings(max_examples=300, deadline=None)
+    def test_derivative_positive(self, model, i_f):
+        assert model.fc_current_derivative(i_f) > 0
+
+    @given(models(), outputs)
+    @settings(max_examples=200, deadline=None)
+    def test_clamp_idempotent(self, model, i_f):
+        once = model.clamp(i_f)
+        assert model.clamp(once) == once
+        assert model.in_range(once)
+
+
+class TestFlatnessOptimality:
+    @given(
+        models(),
+        st.floats(min_value=0.15, max_value=1.15),
+        st.floats(min_value=-0.05, max_value=0.05),
+        st.floats(min_value=1.0, max_value=50.0),
+        st.floats(min_value=1.0, max_value=50.0),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_flat_never_worse_than_split(self, model, level, spread, t1, t2):
+        """Jensen: delivering the same charge flat costs <= any split."""
+        hi = level + spread * t1 / (t1 + t2) * 2
+        lo = level - spread * t2 / (t1 + t2) * 2
+        assume(0.0 <= lo and hi <= 1.2)
+        # Same delivered charge by construction:
+        flat_charge = level * (t1 + t2)
+        split_charge = hi * t1 + lo * t2
+        assume(abs(flat_charge - split_charge) / flat_charge < 0.5)
+        # Re-derive the exact flat equivalent of the split:
+        exact_flat = split_charge / (t1 + t2)
+        assume(0.0 <= exact_flat <= 1.2)
+        flat_fuel = model.fc_current(exact_flat) * (t1 + t2)
+        split_fuel = model.fc_current(hi) * t1 + model.fc_current(lo) * t2
+        assert flat_fuel <= split_fuel + 1e-9

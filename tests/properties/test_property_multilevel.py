@@ -1,0 +1,118 @@
+"""Property-based tests for the discrete-level solver and simulator chunking."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.multilevel import default_levels, solve_slot_discrete
+from repro.core.optimizer import solve_slot
+from repro.core.setting import SlotProblem
+from repro.errors import InfeasibleError
+from repro.fuelcell.efficiency import LinearSystemEfficiency
+
+MODEL = LinearSystemEfficiency()
+
+durations = st.floats(min_value=1.0, max_value=60.0, allow_nan=False)
+
+
+@st.composite
+def problems(draw):
+    c_max = draw(st.floats(min_value=2.0, max_value=60.0))
+    c_ini = draw(st.floats(min_value=0.0, max_value=1.0)) * c_max
+    return SlotProblem(
+        t_idle=draw(durations),
+        t_active=draw(durations),
+        i_idle=draw(st.floats(min_value=0.0, max_value=0.5)),
+        i_active=draw(st.floats(min_value=0.1, max_value=1.2)),
+        c_ini=c_ini,
+        c_end=c_ini,
+        c_max=c_max,
+    )
+
+
+class TestDiscreteProperties:
+    @given(problems(), st.integers(min_value=2, max_value=16))
+    @settings(max_examples=150, deadline=None)
+    def test_effective_fuel_dominates_continuous(self, problem, n_levels):
+        try:
+            result = solve_slot_discrete(
+                problem, MODEL, default_levels(MODEL, n_levels)
+            )
+        except InfeasibleError:
+            assume(False)
+        continuous = solve_slot(problem, MODEL)
+        # Comparable only when the continuous solution is itself clean.
+        assume(continuous.deficit == 0 and continuous.bled == 0)
+        assume(abs(continuous.c_after_slot - problem.c_end) < 1e-9)
+        assert result.effective_fuel >= result.continuous_fuel - 1e-6
+
+    @given(problems(), st.integers(min_value=2, max_value=16))
+    @settings(max_examples=150, deadline=None)
+    def test_solution_always_physical(self, problem, n_levels):
+        try:
+            result = solve_slot_discrete(
+                problem, MODEL, default_levels(MODEL, n_levels)
+            )
+        except InfeasibleError:
+            assume(False)
+        s = result.solution
+        assert s.deficit == 0.0
+        assert -1e-9 <= s.c_after_slot <= problem.c_max + 1e-9
+        assert MODEL.if_min <= s.if_idle <= MODEL.if_max
+        assert MODEL.if_min <= s.if_active <= MODEL.if_max
+
+    @given(problems())
+    @settings(max_examples=100, deadline=None)
+    def test_refinement_never_hurts(self, problem):
+        """Nested lattices: 2**k + 1 refinement is monotone."""
+        penalties = []
+        for n in (3, 5, 9):
+            try:
+                result = solve_slot_discrete(
+                    problem, MODEL, default_levels(MODEL, n)
+                )
+            except InfeasibleError:
+                assume(False)
+            penalties.append(result.effective_fuel)
+        assert penalties[0] >= penalties[1] - 1e-9 >= penalties[2] - 2e-9
+
+
+class TestChunkingInvariance:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=2.0, max_value=40.0),  # idle
+                st.floats(min_value=0.5, max_value=8.0),   # active
+                st.floats(min_value=0.1, max_value=1.3),   # current
+            ),
+            min_size=1,
+            max_size=10,
+        ),
+        st.floats(min_value=0.5, max_value=10.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_conv_dpm_invariant_to_re_decision_period(self, spec, max_segment):
+        """Conv-DPM's output is state-free: splitting segments into
+        re-decision chunks must not change any ledger entry."""
+        from repro.core.manager import PowerManager
+        from repro.devices.camcorder import camcorder_device_params
+        from repro.sim.slotsim import SlotSimulator
+        from repro.workload.trace import LoadTrace, TaskSlot
+
+        trace = LoadTrace([TaskSlot(*row) for row in spec])
+        dev = camcorder_device_params()
+
+        def run(seg):
+            mgr = PowerManager.conv_dpm(
+                dev, storage_capacity=6.0, storage_initial=3.0
+            )
+            return SlotSimulator(
+                mgr, max_deficit_fraction=1.0, max_segment=seg
+            ).run(trace)
+
+        whole = run(None)
+        chunked = run(max_segment)
+        assert chunked.fuel == pytest.approx(whole.fuel, rel=1e-9)
+        assert chunked.load_charge == pytest.approx(whole.load_charge, rel=1e-9)
+        assert chunked.bled == pytest.approx(whole.bled, abs=1e-9)
+        assert chunked.duration == pytest.approx(whole.duration, rel=1e-9)

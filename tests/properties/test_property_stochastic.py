@@ -1,0 +1,101 @@
+"""Property-based tests for the stochastic-DPM mixture model."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.dpm.stochastic import GeometricMixture, optimal_timeout
+
+
+@st.composite
+def mixtures(draw):
+    tau_short = draw(st.floats(min_value=0.1, max_value=20.0))
+    ratio = draw(st.floats(min_value=1.0, max_value=50.0))
+    w = draw(st.floats(min_value=0.0, max_value=1.0))
+    return GeometricMixture(w=w, tau_short=tau_short,
+                            tau_long=tau_short * ratio)
+
+
+times = st.floats(min_value=0.0, max_value=200.0, allow_nan=False)
+
+
+class TestMixtureProperties:
+    @given(mixtures(), times, times)
+    @settings(max_examples=200, deadline=None)
+    def test_survival_monotone_decreasing(self, m, a, b):
+        lo, hi = sorted((a, b))
+        assert m.survival(hi) <= m.survival(lo) + 1e-12
+
+    @given(mixtures(), times)
+    @settings(max_examples=200, deadline=None)
+    def test_survival_in_unit_interval(self, m, t):
+        assert 0.0 <= m.survival(t) <= 1.0
+
+    @given(mixtures(), times, times)
+    @settings(max_examples=200, deadline=None)
+    def test_posterior_monotone_in_survival(self, m, a, b):
+        """Surviving longer can only raise belief in the long mode."""
+        lo, hi = sorted((a, b))
+        assert m.posterior_long(hi) >= m.posterior_long(lo) - 1e-9
+
+    @given(mixtures(), times)
+    @settings(max_examples=200, deadline=None)
+    def test_expected_remaining_bounded_by_modes(self, m, t):
+        value = m.expected_remaining(t)
+        assert m.tau_short - 1e-9 <= value <= m.tau_long + 1e-9
+
+    @given(mixtures(), times, times)
+    @settings(max_examples=200, deadline=None)
+    def test_expected_remaining_monotone(self, m, a, b):
+        """Decreasing-hazard families never get *less* promising."""
+        lo, hi = sorted((a, b))
+        assert m.expected_remaining(hi) >= m.expected_remaining(lo) - 1e-9
+
+    @given(mixtures(), st.floats(min_value=0.1, max_value=100.0))
+    @settings(max_examples=200, deadline=None)
+    def test_optimal_timeout_consistent_with_threshold(self, m, tbe):
+        timeout = optimal_timeout(m, break_even=tbe, resolution=0.25)
+        if timeout is None:
+            # Never profitable: even the long-mode ceiling falls short.
+            assert m.tau_long < tbe or m.expected_remaining(
+                4 * m.tau_long
+            ) < tbe + 0.5
+        else:
+            assert m.expected_remaining(timeout) >= tbe
+            # And it is the *first* such grid point.
+            if timeout > 0:
+                assert m.expected_remaining(timeout - 0.25) < tbe
+
+    @given(mixtures())
+    @settings(max_examples=200, deadline=None)
+    def test_mean_is_expected_remaining_at_zero(self, m):
+        assert m.mean() == pytest.approx(m.expected_remaining(0.0), rel=1e-9)
+
+
+class TestFitProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.05, max_value=500.0, allow_nan=False),
+            min_size=3,
+            max_size=80,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_fit_always_produces_valid_mixture(self, samples):
+        m = GeometricMixture.fit(samples)
+        assert 0 <= m.w <= 1
+        assert 0 < m.tau_short <= m.tau_long
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.5, max_value=100.0, allow_nan=False),
+            min_size=5,
+            max_size=80,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_fit_mean_tracks_sample_mean(self, samples):
+        m = GeometricMixture.fit(samples)
+        sample_mean = sum(samples) / len(samples)
+        assume(sample_mean > 0.5)
+        assert m.mean() == pytest.approx(sample_mean, rel=0.6)

@@ -1,0 +1,82 @@
+"""Property-based tests for charge-storage bookkeeping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.power.storage import LiIonBattery, SuperCapacitor
+
+steps = st.lists(
+    st.tuples(
+        st.floats(min_value=-2.0, max_value=2.0, allow_nan=False),  # current
+        st.floats(min_value=0.0, max_value=30.0, allow_nan=False),  # dt
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestSuperCapacitorProperties:
+    @given(steps)
+    @settings(max_examples=200, deadline=None)
+    def test_charge_always_within_bounds(self, sequence):
+        sc = SuperCapacitor(capacity=6.0, initial_charge=3.0)
+        for current, dt in sequence:
+            sc.step(current, dt)
+            assert 0.0 <= sc.charge <= sc.capacity
+
+    @given(steps)
+    @settings(max_examples=200, deadline=None)
+    def test_counters_never_negative(self, sequence):
+        sc = SuperCapacitor(capacity=6.0, initial_charge=3.0)
+        for current, dt in sequence:
+            sc.step(current, dt)
+        assert sc.bled_charge >= 0.0
+        assert sc.deficit_charge >= 0.0
+
+    @given(steps)
+    @settings(max_examples=200, deadline=None)
+    def test_charge_conservation_ledger(self, sequence):
+        """initial + absorbed == final for the ideal capacitor."""
+        sc = SuperCapacitor(capacity=6.0, initial_charge=3.0)
+        absorbed = 0.0
+        for current, dt in sequence:
+            absorbed += sc.step(current, dt)
+        assert sc.charge == pytest.approx(3.0 + absorbed, abs=1e-9)
+
+    @given(
+        st.floats(min_value=0.1, max_value=1.0),
+        st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_coulombic_loss_is_one_way(self, current, dt):
+        lossy = SuperCapacitor(capacity=100.0, coulombic_efficiency=0.9)
+        lossless = SuperCapacitor(capacity=100.0)
+        lossy.step(current, dt)
+        lossless.step(current, dt)
+        assert lossy.charge <= lossless.charge + 1e-12
+
+
+class TestLiIonProperties:
+    @given(steps)
+    @settings(max_examples=150, deadline=None)
+    def test_bounds_hold_with_nonlinearities(self, sequence):
+        b = LiIonBattery(capacity=10.0, initial_charge=5.0)
+        for current, dt in sequence:
+            b.step(current, dt)
+            assert 0.0 <= b.charge <= b.capacity
+            assert b.recoverable_charge >= 0.0
+
+    @given(
+        st.floats(min_value=0.6, max_value=3.0),
+        st.floats(min_value=0.1, max_value=20.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_high_rate_discharge_never_cheaper(self, rate, dt):
+        """Rate-capacity effect: fast discharge drains at least the demand."""
+        b = LiIonBattery(capacity=1000.0, initial_charge=500.0,
+                         rated_current=0.5, peukert=1.15)
+        before = b.charge
+        b.step(-rate, dt)
+        drained = before - b.charge
+        assert drained >= rate * dt - 1e-9

@@ -1,0 +1,113 @@
+"""Discrete-event engine tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        e = Engine()
+        log = []
+        e.schedule(5.0, lambda: log.append("b"))
+        e.schedule(1.0, lambda: log.append("a"))
+        e.schedule(9.0, lambda: log.append("c"))
+        e.run()
+        assert log == ["a", "b", "c"]
+        assert e.now == 9.0
+
+    def test_priority_breaks_ties(self):
+        e = Engine()
+        log = []
+        e.schedule(1.0, lambda: log.append("low"), priority=5)
+        e.schedule(1.0, lambda: log.append("high"), priority=0)
+        e.run()
+        assert log == ["high", "low"]
+
+    def test_fifo_among_equal_priority(self):
+        e = Engine()
+        log = []
+        e.schedule(1.0, lambda: log.append(1))
+        e.schedule(1.0, lambda: log.append(2))
+        e.run()
+        assert log == [1, 2]
+
+    def test_schedule_from_action(self):
+        e = Engine()
+        log = []
+
+        def first():
+            log.append(("first", e.now))
+            e.schedule(2.0, lambda: log.append(("second", e.now)))
+
+        e.schedule(1.0, first)
+        e.run()
+        assert log == [("first", 1.0), ("second", 3.0)]
+
+    def test_schedule_at_absolute(self):
+        e = Engine()
+        hits = []
+        e.schedule_at(4.0, lambda: hits.append(e.now))
+        e.run()
+        assert hits == [4.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule(-1.0, lambda: None)
+
+
+class TestRunControl:
+    def test_run_until_stops_early(self):
+        e = Engine()
+        hits = []
+        e.schedule(1.0, lambda: hits.append(1))
+        e.schedule(10.0, lambda: hits.append(2))
+        e.run(until=5.0)
+        assert hits == [1]
+        assert e.now == 5.0
+        assert e.pending == 1
+
+    def test_resume_after_until(self):
+        e = Engine()
+        hits = []
+        e.schedule(10.0, lambda: hits.append(1))
+        e.run(until=5.0)
+        e.run()
+        assert hits == [1]
+
+    def test_cancelled_events_skipped(self):
+        e = Engine()
+        hits = []
+        handle = e.schedule(1.0, lambda: hits.append(1))
+        handle.cancel()
+        e.run()
+        assert hits == []
+        assert e.n_dispatched == 0
+
+    def test_peek_skips_cancelled(self):
+        e = Engine()
+        h = e.schedule(1.0, lambda: None)
+        e.schedule(2.0, lambda: None)
+        h.cancel()
+        assert e.peek() == 2.0
+
+    def test_peek_empty(self):
+        assert Engine().peek() is None
+
+    def test_reentrant_run_rejected(self):
+        e = Engine()
+
+        def recurse():
+            e.run()
+
+        e.schedule(1.0, recurse)
+        with pytest.raises(SimulationError):
+            e.run()
+
+    def test_dispatch_count(self):
+        e = Engine()
+        for k in range(5):
+            e.schedule(float(k), lambda: None)
+        e.run()
+        assert e.n_dispatched == 5

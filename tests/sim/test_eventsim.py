@@ -1,0 +1,72 @@
+"""Cross-validation: event-driven simulator vs slot-level simulator.
+
+The two simulators share no integration code; agreeing fuel totals on
+identical traces is the repository's strongest internal correctness
+check (see eventsim module docstring).
+"""
+
+import pytest
+
+from repro.core.manager import PowerManager
+from repro.sim.eventsim import EventDrivenSimulator
+from repro.sim.slotsim import SlotSimulator
+from repro.workload.mpeg import generate_mpeg_trace
+from repro.workload.synthetic import experiment2_trace
+
+
+def fresh_managers(params):
+    kwargs = {"storage_capacity": 6.0, "storage_initial": 3.0}
+    return {
+        "conv-dpm": lambda: PowerManager.conv_dpm(params, **kwargs),
+        "asap-dpm": lambda: PowerManager.asap_dpm(params, **kwargs),
+        "fc-dpm": lambda: PowerManager.fc_dpm(params, **kwargs),
+    }
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("which", ["conv-dpm", "asap-dpm", "fc-dpm"])
+    def test_simulators_agree_small_trace(self, camcorder_params, small_trace, which):
+        make = fresh_managers(camcorder_params)[which]
+        slot = SlotSimulator(make()).run(small_trace)
+        event = EventDrivenSimulator(make()).run(small_trace)
+        assert event.fuel == pytest.approx(slot.fuel, rel=1e-9)
+        assert event.load_charge == pytest.approx(slot.load_charge, rel=1e-9)
+        assert event.n_sleeps == slot.n_sleeps
+        assert event.duration == pytest.approx(slot.duration, rel=1e-9)
+
+    @pytest.mark.parametrize("which", ["asap-dpm", "fc-dpm"])
+    def test_simulators_agree_mpeg_trace(self, camcorder_params, which):
+        trace = generate_mpeg_trace(duration_s=300.0, seed=11)
+        make = fresh_managers(camcorder_params)[which]
+        slot = SlotSimulator(make()).run(trace)
+        event = EventDrivenSimulator(make()).run(trace)
+        assert event.fuel == pytest.approx(slot.fuel, rel=1e-9)
+        assert event.bled == pytest.approx(slot.bled, abs=1e-6)
+        assert event.deficit == pytest.approx(slot.deficit, abs=1e-6)
+
+    def test_simulators_agree_exp2(self, exp2_params):
+        trace = experiment2_trace(seed=5, n_slots=30)
+        make = fresh_managers(exp2_params)["fc-dpm"]
+        slot = SlotSimulator(make()).run(trace)
+        event = EventDrivenSimulator(make()).run(trace)
+        assert event.fuel == pytest.approx(slot.fuel, rel=1e-9)
+        assert event.n_aborted_sleeps == slot.n_aborted_sleeps
+
+    def test_engine_time_advances_monotonically(self, camcorder_params, small_trace):
+        make = fresh_managers(camcorder_params)["conv-dpm"]
+        result = EventDrivenSimulator(make()).run(small_trace)
+        assert result.duration > small_trace.duration
+
+    def test_device_ledger_matches_source_load(self, camcorder_params):
+        """A third set of books: the DPMDevice state-machine ledger must
+        equal the hybrid source's served load charge exactly."""
+        trace = generate_mpeg_trace(duration_s=300.0, seed=11)
+        make = fresh_managers(camcorder_params)["fc-dpm"]
+        sim = EventDrivenSimulator(make())
+        result = sim.run(trace)
+        device = sim.last_device
+        assert device is not None
+        assert device.total_charge == pytest.approx(result.load_charge,
+                                                    rel=1e-9)
+        assert device.total_time == pytest.approx(result.duration, rel=1e-9)
+        assert device.n_sleeps == result.n_sleeps

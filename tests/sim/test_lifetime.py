@@ -1,0 +1,78 @@
+"""Run-to-empty lifetime tests: the paper's headline metric, measured."""
+
+import pytest
+
+from repro.core.manager import PowerManager
+from repro.devices.camcorder import camcorder_device_params
+from repro.errors import ConfigurationError
+from repro.sim.lifetime import lifetime_comparison, run_until_empty
+from repro.workload.mpeg import generate_mpeg_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_mpeg_trace(duration_s=300.0, seed=5)
+
+
+@pytest.fixture(scope="module")
+def results(trace):
+    dev = camcorder_device_params()
+    managers = [
+        PowerManager.conv_dpm(dev, storage_capacity=6.0, storage_initial=3.0),
+        PowerManager.asap_dpm(dev, storage_capacity=6.0, storage_initial=3.0),
+        PowerManager.fc_dpm(dev, storage_capacity=6.0, storage_initial=3.0),
+    ]
+    return lifetime_comparison(managers, trace, tank_capacity=2000.0)
+
+
+class TestRunUntilEmpty:
+    def test_ordering_matches_fuel_rates(self, results):
+        assert (
+            results["fc-dpm"].lifetime
+            > results["asap-dpm"].lifetime
+            > results["conv-dpm"].lifetime
+        )
+
+    def test_conv_lifetime_is_tank_over_1_3A(self, results):
+        # Conv-DPM burns a constant Ifc ~ 1.306 A: lifetime ~ 2000/1.306.
+        assert results["conv-dpm"].lifetime == pytest.approx(
+            2000.0 / 1.306, rel=0.02
+        )
+
+    def test_measured_matches_inferred_lifetime_ratio(self, results, trace):
+        """The paper's equivalence: measured run-to-empty ratio equals
+        the inverse fuel-rate ratio (within one-cycle quantization)."""
+        dev = camcorder_device_params()
+        from repro.sim.slotsim import simulate_policies
+
+        managers = [
+            PowerManager.asap_dpm(dev, storage_capacity=6.0, storage_initial=3.0),
+            PowerManager.fc_dpm(dev, storage_capacity=6.0, storage_initial=3.0),
+        ]
+        fuel = simulate_policies(trace, managers)
+        inferred = fuel["asap-dpm"].fuel / fuel["fc-dpm"].fuel
+        measured = results["fc-dpm"].lifetime / results["asap-dpm"].lifetime
+        assert measured == pytest.approx(inferred, rel=0.06)
+
+    def test_average_rate_reconstructs_tank(self, results):
+        r = results["fc-dpm"]
+        assert r.average_fuel_rate * r.lifetime == pytest.approx(
+            r.tank_capacity, rel=0.02
+        )
+
+    def test_served_charge_positive(self, results):
+        for r in results.values():
+            assert r.served_charge > 0
+            assert r.full_cycles >= 1
+
+    def test_rejects_bad_tank(self, trace):
+        dev = camcorder_device_params()
+        mgr = PowerManager.fc_dpm(dev, storage_capacity=6.0, storage_initial=3.0)
+        with pytest.raises(ConfigurationError):
+            run_until_empty(mgr, trace, tank_capacity=0.0)
+
+    def test_oversized_tank_rejected(self, trace):
+        dev = camcorder_device_params()
+        mgr = PowerManager.fc_dpm(dev, storage_capacity=6.0, storage_initial=3.0)
+        with pytest.raises(ConfigurationError):
+            run_until_empty(mgr, trace, tank_capacity=1e9, max_cycles=3)

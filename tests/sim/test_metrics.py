@@ -1,0 +1,83 @@
+"""RunMetrics and comparison-arithmetic tests (Tables 2/3 math)."""
+
+import pytest
+
+from repro.errors import RangeError
+from repro.sim.metrics import (
+    RunMetrics,
+    compare,
+    fuel_saving,
+    lifetime_extension,
+    normalized_fuel,
+)
+
+
+def metrics(name, fuel, duration=1800.0):
+    return RunMetrics(name=name, fuel=fuel, load_charge=900.0, duration=duration)
+
+
+class TestRunMetrics:
+    def test_average_rates(self):
+        m = metrics("x", fuel=900.0, duration=1800.0)
+        assert m.average_fuel_rate == pytest.approx(0.5)
+        assert m.average_load == pytest.approx(0.5)
+
+    def test_zero_duration(self):
+        m = RunMetrics("x", fuel=0.0, load_charge=0.0, duration=0.0)
+        assert m.average_fuel_rate == 0.0
+
+    def test_lifetime(self):
+        m = metrics("x", fuel=900.0, duration=1800.0)
+        # Tank of 450 A-s at 0.5 A average -> 900 s.
+        assert m.lifetime(450.0) == pytest.approx(900.0)
+
+    def test_lifetime_rejects_bad_tank(self):
+        with pytest.raises(RangeError):
+            metrics("x", 900.0).lifetime(0.0)
+
+    def test_lifetime_infinite_without_fuel(self):
+        m = RunMetrics("x", fuel=0.0, load_charge=0.0, duration=10.0)
+        assert m.lifetime(10.0) == float("inf")
+
+
+class TestComparisons:
+    def test_normalized_fuel(self):
+        conv = metrics("conv-dpm", 1000.0)
+        fc = metrics("fc-dpm", 308.0)
+        assert normalized_fuel(fc, conv) == pytest.approx(0.308)
+
+    def test_fuel_saving_matches_paper_arithmetic(self):
+        # Paper: FC-DPM saves 24.4 % over ASAP (40.8 % -> 30.8 %).
+        asap = metrics("asap-dpm", 408.0)
+        fc = metrics("fc-dpm", 308.0)
+        assert fuel_saving(fc, asap) == pytest.approx(0.245, abs=0.001)
+
+    def test_lifetime_extension_is_1_32(self):
+        # Paper: 40.8 / 30.8 = 1.32.
+        asap = metrics("asap-dpm", 408.0)
+        fc = metrics("fc-dpm", 308.0)
+        assert lifetime_extension(fc, asap) == pytest.approx(1.32, abs=0.01)
+
+    def test_compare_table(self):
+        runs = [
+            metrics("conv-dpm", 1000.0),
+            metrics("asap-dpm", 408.0),
+            metrics("fc-dpm", 308.0),
+        ]
+        table = compare(runs)
+        assert table["conv-dpm"] == 1.0
+        assert table["asap-dpm"] == pytest.approx(0.408)
+        assert table["fc-dpm"] == pytest.approx(0.308)
+
+    def test_compare_missing_reference(self):
+        with pytest.raises(RangeError):
+            compare([metrics("fc-dpm", 10.0)])
+
+    def test_zero_reference_rejected(self):
+        zero = RunMetrics("conv-dpm", fuel=0.0, load_charge=0.0, duration=1.0)
+        with pytest.raises(RangeError):
+            normalized_fuel(metrics("x", 1.0), zero)
+        with pytest.raises(RangeError):
+            fuel_saving(metrics("x", 1.0), zero)
+        with pytest.raises(RangeError):
+            lifetime_extension(zero, metrics("x", 1.0))

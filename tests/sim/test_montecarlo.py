@@ -1,0 +1,70 @@
+"""Monte-Carlo runner tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.montecarlo import SeedSummary, run_seeds, summarize
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        s = summarize("x", [1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.minimum == 1.0 and s.maximum == 3.0
+        assert s.n == 3
+        assert s.stdev == pytest.approx(1.0)
+
+    def test_single_sample(self):
+        s = summarize("x", [5.0])
+        assert s.stdev == 0.0
+        assert s.ci95_halfwidth == float("inf")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize("x", [])
+
+    def test_ci_uses_t_distribution(self):
+        s = summarize("x", [1.0, 2.0, 3.0])
+        # n=3 -> df=2 -> t=4.303; halfwidth = 4.303 * 1 / sqrt(3).
+        assert s.ci95_halfwidth == pytest.approx(4.303 / 3**0.5, rel=1e-3)
+        lo, hi = s.ci95
+        assert lo < s.mean < hi
+
+    def test_large_n_falls_back_to_normal(self):
+        s = summarize("x", [float(k % 7) for k in range(100)])
+        assert s.ci95_halfwidth == pytest.approx(
+            1.96 * s.stdev / 10.0, rel=1e-6
+        )
+
+
+class TestRunSeeds:
+    def test_collects_metrics_across_seeds(self):
+        def experiment(seed: int) -> dict[str, float]:
+            return {"a": float(seed), "b": 2.0 * seed}
+
+        out = run_seeds(experiment, [1, 2, 3])
+        assert out["a"].mean == pytest.approx(2.0)
+        assert out["b"].mean == pytest.approx(4.0)
+        assert isinstance(out["a"], SeedSummary)
+
+    def test_rejects_empty_seed_list(self):
+        with pytest.raises(ConfigurationError):
+            run_seeds(lambda s: {"a": 1.0}, [])
+
+    def test_rejects_inconsistent_metrics(self):
+        def experiment(seed: int) -> dict[str, float]:
+            return {"a": 1.0} if seed == 0 else {"b": 1.0}
+
+        with pytest.raises(ConfigurationError):
+            run_seeds(experiment, [0, 1])
+
+
+class TestTable2Stability:
+    def test_headline_stable_across_seeds(self):
+        """The key ordering must hold with tight spread over seeds."""
+        from repro.sim.montecarlo import table2_metrics
+
+        out = run_seeds(table2_metrics, range(4))
+        assert out["fc-dpm"].maximum < out["asap-dpm"].minimum
+        assert out["fc-dpm"].stdev < 0.02
+        assert out["fc_saving_vs_asap"].minimum > 0.08

@@ -1,0 +1,75 @@
+"""Recorder time-series tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.recorder import Recorder, Sample
+
+
+def sample(t, dt, i_f=0.5, i_load=0.2, kind="standby"):
+    return Sample(
+        t=t, dt=dt, i_load=i_load, i_f=i_f, i_fc=0.4,
+        storage_charge=1.0, fuel_cumulative=t * 0.4, kind=kind,
+    )
+
+
+class TestRecorder:
+    def test_add_and_duration(self):
+        r = Recorder()
+        r.add(sample(0.0, 10.0))
+        r.add(sample(10.0, 5.0))
+        assert len(r) == 2
+        assert r.duration == 15.0
+
+    def test_time_must_not_go_backwards(self):
+        r = Recorder()
+        r.add(sample(10.0, 5.0))
+        with pytest.raises(SimulationError):
+            r.add(sample(3.0, 1.0))
+
+    def test_step_series(self):
+        r = Recorder()
+        r.add(sample(0.0, 10.0, i_f=0.5))
+        r.add(sample(10.0, 5.0, i_f=0.9))
+        times, values = r.step_series("i_f")
+        assert list(times) == [0.0, 10.0, 15.0]
+        assert list(values) == [0.5, 0.9]
+
+    def test_step_series_t_max(self):
+        r = Recorder()
+        r.add(sample(0.0, 10.0))
+        r.add(sample(10.0, 5.0))
+        r.add(sample(15.0, 5.0))
+        times, values = r.step_series("i_f", t_max=12.0)
+        assert len(values) == 2
+
+    def test_resample_uniform_grid(self):
+        r = Recorder()
+        r.add(sample(0.0, 10.0, i_f=0.5))
+        r.add(sample(10.0, 10.0, i_f=0.9))
+        grid, vals = r.resample("i_f", dt=1.0)
+        assert len(grid) == len(vals) == 20
+        assert vals[5] == 0.5
+        assert vals[15] == 0.9
+
+    def test_resample_empty(self):
+        grid, vals = Recorder().resample("i_f", dt=1.0)
+        assert grid.size == 0 and vals.size == 0
+
+    def test_resample_rejects_bad_dt(self):
+        with pytest.raises(SimulationError):
+            Recorder().resample("i_f", dt=0.0)
+
+    def test_csv_export(self):
+        r = Recorder()
+        r.add(sample(0.0, 10.0, kind="sleep"))
+        text = r.to_csv()
+        lines = text.strip().split("\n")
+        assert lines[0].startswith("t_s,dt_s")
+        assert "sleep" in lines[1]
+
+    def test_samples_immutable_view(self):
+        r = Recorder()
+        r.add(sample(0.0, 1.0))
+        assert isinstance(r.samples, tuple)

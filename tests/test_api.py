@@ -1,0 +1,38 @@
+"""Public API surface tests."""
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_flow(self):
+        # The README quickstart must work verbatim.
+        model = repro.LinearSystemEfficiency()
+        problem = repro.SlotProblem(
+            t_idle=20, t_active=10, i_idle=0.2, i_active=1.2, c_max=200.0
+        )
+        solution = repro.solve_slot(problem, model)
+        assert solution.fuel < 14.0
+
+    def test_paper_constants_exposed(self):
+        assert repro.PAPER.fc.alpha == 0.45
+
+    def test_errors_inherit_from_repro_error(self):
+        from repro import errors
+
+        for name in (
+            "ConfigurationError",
+            "RangeError",
+            "InfeasibleError",
+            "StorageError",
+            "TraceError",
+            "SimulationError",
+            "DepletedError",
+        ):
+            assert issubclass(getattr(errors, name), errors.ReproError)

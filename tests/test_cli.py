@@ -1,0 +1,50 @@
+"""CLI entry-point tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "conv-dpm" in out and "fc-dpm" in out
+        assert "lifetime" in out
+
+    def test_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "max power point" in out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "13.45" in out
+
+    def test_sweep_beta(self, capsys):
+        assert main(["sweep", "beta"]) == 0
+        assert "sweep: beta" in capsys.readouterr().out
+
+    def test_sweep_unknown(self, capsys):
+        assert main(["sweep", "nope"]) == 2
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_seed_flag(self, capsys):
+        assert main(["--seed", "3", "table2"]) == 0
+
+    def test_export(self, capsys, tmp_path):
+        target = tmp_path / "artifacts"
+        assert main(["export", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("wrote") == 5
+        assert (target / "tables_2_3.csv").exists()
+
+    def test_lifetime(self, capsys):
+        assert main(["lifetime"]) == 0
+        out = capsys.readouterr().out
+        assert "run-to-empty" in out
+        assert "fc-dpm" in out

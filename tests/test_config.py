@@ -1,0 +1,76 @@
+"""Paper-constant bundle tests."""
+
+import pytest
+
+from repro.config import (
+    PAPER,
+    CamcorderConstants,
+    Experiment1Constants,
+    Experiment2Constants,
+    FCSystemConstants,
+)
+from repro.errors import ConfigurationError
+
+
+class TestFCSystemConstants:
+    def test_paper_defaults(self):
+        fc = FCSystemConstants()
+        assert fc.v_out == 12.0
+        assert fc.open_circuit_voltage == 18.2
+        assert fc.n_cells == 20
+        assert (fc.alpha, fc.beta) == (0.45, 0.13)
+        assert (fc.if_min, fc.if_max) == (0.1, 1.2)
+
+    def test_k_fuel_is_0_32(self):
+        # VF / zeta = 12 / 37.5 = 0.32 (Eq. 4's coefficient).
+        assert FCSystemConstants().k_fuel == pytest.approx(0.32)
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(ConfigurationError):
+            FCSystemConstants(alpha=-0.1)
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ConfigurationError):
+            FCSystemConstants(if_min=1.2, if_max=0.1)
+
+    def test_rejects_nonpositive_efficiency_at_range_top(self):
+        with pytest.raises(ConfigurationError):
+            FCSystemConstants(alpha=0.1, beta=0.13)  # 0.1 - 0.156 < 0
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            FCSystemConstants().alpha = 0.5
+
+
+class TestCamcorderConstants:
+    def test_active_length_is_3_03_seconds(self):
+        # 16 MB buffer / 5.28 MB/s writer = 3.03 s (paper Section 5.1).
+        assert CamcorderConstants().active_length == pytest.approx(3.0303, abs=1e-3)
+
+    def test_break_even_time_is_1_second(self):
+        assert CamcorderConstants().break_even_time == pytest.approx(1.0)
+
+    def test_power_ordering(self):
+        c = CamcorderConstants()
+        assert c.p_run > c.p_standby > c.p_sleep > 0
+
+
+class TestExperimentConstants:
+    def test_exp1_duration_28_minutes(self):
+        assert Experiment1Constants().duration_s == 28 * 60
+
+    def test_exp1_storage_is_6_As(self):
+        assert Experiment1Constants().storage_capacity == pytest.approx(6.0)
+
+    def test_exp2_ranges(self):
+        e = Experiment2Constants()
+        assert (e.idle_low, e.idle_high) == (5.0, 25.0)
+        assert (e.active_low, e.active_high) == (2.0, 4.0)
+        assert (e.p_active_low, e.p_active_high) == (12.0, 16.0)
+        assert e.break_even_time == 10.0
+        assert e.rho == e.sigma == 0.5
+
+    def test_paper_bundle(self):
+        assert PAPER.fc.alpha == 0.45
+        assert PAPER.camcorder.p_run == 14.65
+        assert PAPER.exp2.i_active_estimate == 1.2

@@ -1,0 +1,70 @@
+"""Documentation health tests: the docs must track the code."""
+
+import pathlib
+import re
+
+import pytest
+
+import repro
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestDocFiles:
+    @pytest.mark.parametrize(
+        "name", ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/theory.md"]
+    )
+    def test_exists_and_nonempty(self, name):
+        path = ROOT / name
+        assert path.exists(), name
+        assert len(path.read_text()) > 500
+
+    def test_readme_quickstart_runs(self):
+        """Execute the README's quickstart code block verbatim."""
+        text = (ROOT / "README.md").read_text()
+        blocks = re.findall(r"```python\n(.*?)```", text, re.DOTALL)
+        assert blocks, "README must contain a python quickstart block"
+        namespace: dict = {}
+        exec(blocks[0], namespace)  # noqa: S102 - our own documentation
+        solution = namespace["solution"]
+        assert solution.fuel == pytest.approx(13.45, abs=0.01)
+
+    def test_design_lists_every_subpackage(self):
+        text = (ROOT / "DESIGN.md").read_text()
+        src = ROOT / "src" / "repro"
+        for package in sorted(p.name for p in src.iterdir() if p.is_dir()):
+            if package == "__pycache__":
+                continue
+            assert package in text, f"DESIGN.md does not mention {package}/"
+
+    def test_experiments_covers_all_tables_and_figures(self):
+        text = (ROOT / "EXPERIMENTS.md").read_text()
+        for marker in ("Fig. 2", "Fig. 3", "Fig. 4", "Fig. 5", "Fig. 6",
+                       "Fig. 7", "Table 2", "Table 3"):
+            assert marker in text, marker
+
+    def test_version_consistent(self):
+        pyproject = (ROOT / "pyproject.toml").read_text()
+        assert f'version = "{repro.__version__}"' in pyproject
+
+
+class TestDocstrings:
+    def test_every_public_module_has_a_docstring(self):
+        import importlib
+        import pkgutil
+
+        missing = []
+        for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            module = importlib.import_module(info.name)
+            if not (module.__doc__ or "").strip():
+                missing.append(info.name)
+        assert not missing, f"modules without docstrings: {missing}"
+
+    def test_public_api_objects_documented(self):
+        undocumented = [
+            name
+            for name in repro.__all__
+            if name != "__version__"
+            and not (getattr(repro, name).__doc__ or "").strip()
+        ]
+        assert not undocumented, undocumented

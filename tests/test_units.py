@@ -1,0 +1,77 @@
+"""Unit-conversion and constant tests."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestTimeConversions:
+    def test_minutes(self):
+        assert units.minutes(28) == 28 * 60
+
+    def test_hours(self):
+        assert units.hours(2) == 7200
+
+    def test_to_minutes_roundtrip(self):
+        assert units.to_minutes(units.minutes(13.5)) == pytest.approx(13.5)
+
+
+class TestChargeConversions:
+    def test_mAh(self):
+        assert units.mAh(1000) == pytest.approx(3600.0)
+
+    def test_mA_min_paper_supercap(self):
+        # The paper's "100 mA-min" storage element is 6 A-s.
+        assert units.mA_min(100) == pytest.approx(6.0)
+
+    def test_capacitor_charge(self):
+        assert units.capacitor_charge(1.0, 12.0) == pytest.approx(12.0)
+
+    def test_capacitor_charge_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.capacitor_charge(-1.0, 12.0)
+        with pytest.raises(ValueError):
+            units.capacitor_charge(1.0, -12.0)
+
+
+class TestPowerCurrent:
+    def test_power_to_current_camcorder_run(self):
+        # RUN mode: 14.65 W on the 12 V rail.
+        assert units.power_to_current(14.65, 12.0) == pytest.approx(1.2208, abs=1e-4)
+
+    def test_current_to_power_roundtrip(self):
+        i = units.power_to_current(4.84, 12.0)
+        assert units.current_to_power(i, 12.0) == pytest.approx(4.84)
+
+    def test_zero_rail_rejected(self):
+        with pytest.raises(ValueError):
+            units.power_to_current(10.0, 0.0)
+        with pytest.raises(ValueError):
+            units.current_to_power(1.0, -5.0)
+
+
+class TestElectrochemistry:
+    def test_ideal_cell_voltage_about_1_23(self):
+        # HHV thermodynamic cell voltage is ~1.23 V.
+        assert units.IDEAL_CELL_VOLTAGE == pytest.approx(1.229, abs=0.01)
+
+    def test_coulombs_to_mol_h2(self):
+        # 2 F coulombs of charge = 1 mol H2.
+        assert units.coulombs_to_mol_h2(2 * units.FARADAY) == pytest.approx(1.0)
+
+    def test_mol_to_norm_liters(self):
+        assert units.mol_h2_to_norm_liters(1.0) == pytest.approx(22.414)
+
+
+class TestIsclose:
+    def test_equal(self):
+        assert units.isclose(1.0, 1.0 + 1e-13)
+
+    def test_not_equal(self):
+        assert not units.isclose(1.0, 1.001)
+
+    def test_absolute_tolerance_near_zero(self):
+        assert units.isclose(0.0, 1e-13)
+        assert not math.isnan(units.IDEAL_CELL_VOLTAGE)

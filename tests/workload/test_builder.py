@@ -1,0 +1,86 @@
+"""TraceBuilder tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError, TraceError
+from repro.workload.builder import TraceBuilder
+from repro.workload.trace import LoadTrace, TaskSlot
+
+
+class TestBuilder:
+    def test_single_slot(self):
+        trace = TraceBuilder().slot(idle=10.0, active=3.0, current=1.2).build()
+        assert len(trace) == 1
+        assert trace[0] == TaskSlot(10.0, 3.0, 1.2)
+
+    def test_chaining(self):
+        trace = (
+            TraceBuilder("x")
+            .slot(10.0, 3.0, 1.2)
+            .slot(8.0, 2.0, 1.0)
+            .build()
+        )
+        assert len(trace) == 2
+        assert trace.name == "x"
+
+    def test_burst(self):
+        trace = TraceBuilder().burst(n=4, idle=2.0, active=1.0, current=0.9).build()
+        assert len(trace) == 4
+        assert all(s.t_idle == 2.0 for s in trace)
+
+    def test_quiet_extends_next_idle(self):
+        trace = (
+            TraceBuilder()
+            .slot(5.0, 2.0, 1.0)
+            .quiet(60.0)
+            .slot(5.0, 2.0, 1.0)
+            .build()
+        )
+        assert trace[1].t_idle == pytest.approx(65.0)
+
+    def test_trailing_quiet_rejected(self):
+        builder = TraceBuilder().slot(5.0, 2.0, 1.0).quiet(30.0)
+        with pytest.raises(TraceError):
+            builder.build()
+
+    def test_repeat(self):
+        trace = TraceBuilder().slot(5.0, 2.0, 1.0).repeat(3).build()
+        assert len(trace) == 3
+
+    def test_repeat_with_pending_quiet_rejected(self):
+        builder = TraceBuilder().slot(5.0, 2.0, 1.0).quiet(10.0)
+        with pytest.raises(ConfigurationError):
+            builder.repeat(2)
+
+    def test_splice(self):
+        base = LoadTrace([TaskSlot(5.0, 2.0, 1.0)], name="base")
+        trace = TraceBuilder().slot(9.0, 3.0, 1.2).splice(base).build()
+        assert len(trace) == 2
+        assert trace[1].t_idle == 5.0
+
+    def test_len(self):
+        builder = TraceBuilder().burst(3, 2.0, 1.0, 0.5)
+        assert len(builder) == 3
+
+    def test_docstring_example(self):
+        trace = (
+            TraceBuilder("session")
+            .slot(idle=12.0, active=3.0, current=1.2)
+            .repeat(5)
+            .burst(n=4, idle=2.0, active=1.0, current=0.9)
+            .quiet(60.0)
+            .slot(idle=1.0, active=2.0, current=1.1)
+            .build()
+        )
+        assert len(trace) == 10
+        assert trace[-1].t_idle == pytest.approx(61.0)
+
+    def test_validation_bubbles_from_taskslot(self):
+        with pytest.raises(TraceError):
+            TraceBuilder().slot(-1.0, 2.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            TraceBuilder().burst(0, 1.0, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            TraceBuilder().quiet(-5.0)
+        with pytest.raises(ConfigurationError):
+            TraceBuilder().slot(1.0, 1.0, 1.0).repeat(0)

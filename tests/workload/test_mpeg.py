@@ -1,0 +1,89 @@
+"""Synthetic MPEG trace generator tests (Experiment-1 statistics)."""
+
+import numpy as np
+import pytest
+
+from repro.config import CamcorderConstants
+from repro.errors import ConfigurationError
+from repro.workload.mpeg import MpegEncoderModel, generate_mpeg_trace
+
+
+class TestEncoderModel:
+    def test_gop_duration(self):
+        m = MpegEncoderModel(fps=30.0, gop_length=15)
+        assert m.gop_duration == pytest.approx(0.5)
+
+    def test_gop_size_scales_with_complexity(self):
+        m = MpegEncoderModel()
+        assert m.gop_size_mb(1.2) == pytest.approx(1.2 * m.gop_size_mb(1.0))
+
+    def test_gop_size_rejects_nonpositive_complexity(self):
+        with pytest.raises(ConfigurationError):
+            MpegEncoderModel().gop_size_mb(0.0)
+
+    def test_mean_rate_covers_papers_idle_band(self):
+        # Fill times 16 MB / rate must span the paper's 8-20 s band.
+        m = MpegEncoderModel()
+        fastest = 16.0 / m.mean_rate_mb_s(m.complexity_high)
+        slowest = 16.0 / m.mean_rate_mb_s(m.complexity_low)
+        assert fastest < 10.0
+        assert slowest > 18.0
+
+    def test_rejects_bad_structure(self):
+        with pytest.raises(ConfigurationError):
+            MpegEncoderModel(gop_length=0)
+        with pytest.raises(ConfigurationError):
+            MpegEncoderModel(i_to_p=0.2, i_to_b=0.5)  # b > p
+        with pytest.raises(ConfigurationError):
+            MpegEncoderModel(ar_coeff=1.0)
+
+
+class TestTraceGeneration:
+    def test_deterministic_given_seed(self):
+        a = generate_mpeg_trace(seed=7)
+        b = generate_mpeg_trace(seed=7)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert generate_mpeg_trace(seed=1) != generate_mpeg_trace(seed=2)
+
+    def test_duration_covers_28_minutes(self):
+        trace = generate_mpeg_trace()
+        assert trace.duration >= 28 * 60
+        assert trace.duration < 30 * 60
+
+    def test_idle_lengths_in_paper_band(self):
+        trace = generate_mpeg_trace()
+        idles = np.array([s.t_idle for s in trace])
+        cam = CamcorderConstants()
+        assert idles.min() >= cam.idle_min
+        assert idles.max() <= cam.idle_max
+        # The band must actually be used, not collapsed to one end.
+        assert idles.std() > 1.0
+        assert 10.0 < idles.mean() < 16.0
+
+    def test_active_period_is_3_03s(self):
+        trace = generate_mpeg_trace()
+        assert all(s.t_active == pytest.approx(3.0303, abs=1e-3) for s in trace)
+
+    def test_active_current_is_run_power(self):
+        trace = generate_mpeg_trace()
+        assert all(s.i_active == pytest.approx(14.65 / 12) for s in trace)
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ConfigurationError):
+            generate_mpeg_trace(duration_s=0.0)
+
+    def test_short_trace(self):
+        trace = generate_mpeg_trace(duration_s=60.0)
+        assert trace.duration >= 60.0
+        assert len(trace) >= 2
+
+    def test_scene_correlation_present(self):
+        # Consecutive idle gaps within a scene should correlate: the
+        # lag-1 autocorrelation must be clearly positive.
+        trace = generate_mpeg_trace(seed=3)
+        idles = np.array([s.t_idle for s in trace])
+        x, y = idles[:-1], idles[1:]
+        r = np.corrcoef(x, y)[0, 1]
+        assert r > 0.2

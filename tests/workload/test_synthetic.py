@@ -1,0 +1,110 @@
+"""Synthetic workload generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.synthetic import (
+    bursty_slots,
+    experiment2_trace,
+    exponential_slots,
+    pareto_slots,
+    uniform_slots,
+)
+
+
+class TestUniform:
+    def test_ranges_respected(self):
+        trace = uniform_slots(
+            200, idle_range=(5, 25), active_range=(2, 4), current_range=(1.0, 1.33),
+            seed=1,
+        )
+        for s in trace:
+            assert 5 <= s.t_idle <= 25
+            assert 2 <= s.t_active <= 4
+            assert 1.0 <= s.i_active <= 1.33
+
+    def test_deterministic(self):
+        a = uniform_slots(10, (5, 25), (2, 4), (1, 1.3), seed=9)
+        b = uniform_slots(10, (5, 25), (2, 4), (1, 1.3), seed=9)
+        assert a == b
+
+    def test_rejects_zero_slots(self):
+        with pytest.raises(ConfigurationError):
+            uniform_slots(0, (5, 25), (2, 4), (1, 1.3))
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ConfigurationError):
+            uniform_slots(5, (25, 5), (2, 4), (1, 1.3))
+
+
+class TestExperiment2:
+    def test_paper_parameters(self):
+        trace = experiment2_trace(seed=0)
+        assert len(trace) == 100
+        idles = np.array([s.t_idle for s in trace])
+        currents = np.array([s.i_active for s in trace])
+        assert idles.min() >= 5 and idles.max() <= 25
+        # Powers 12-16 W on 12 V -> 1.0-1.333 A.
+        assert currents.min() >= 1.0 and currents.max() <= 16 / 12
+
+    def test_n_slots_override(self):
+        assert len(experiment2_trace(n_slots=17)) == 17
+
+
+class TestExponential:
+    def test_mean_close_to_parameter(self):
+        trace = exponential_slots(4000, mean_idle=10.0, mean_active=3.0,
+                                  i_active=1.2, seed=4)
+        idles = np.array([s.t_idle for s in trace])
+        assert idles.mean() == pytest.approx(10.0, rel=0.1)
+
+    def test_min_active_enforced(self):
+        trace = exponential_slots(500, 10.0, 0.05, 1.2, min_active=0.1, seed=5)
+        assert min(s.t_active for s in trace) >= 0.1
+
+    def test_rejects_nonpositive_mean(self):
+        with pytest.raises(ConfigurationError):
+            exponential_slots(10, 0.0, 3.0, 1.2)
+
+
+class TestPareto:
+    def test_heavy_tail(self):
+        trace = pareto_slots(4000, idle_scale=5.0, idle_shape=1.5,
+                             t_active=3.0, i_active=1.2, seed=6)
+        idles = np.array([s.t_idle for s in trace])
+        assert idles.min() >= 5.0
+        # Heavy tail: max far beyond the median.
+        assert idles.max() > 10 * np.median(idles)
+
+    def test_cap_applies(self):
+        trace = pareto_slots(500, 5.0, 1.5, 3.0, 1.2, idle_cap=30.0, seed=6)
+        assert max(s.t_idle for s in trace) <= 30.0
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            pareto_slots(10, 5.0, 0.0, 3.0, 1.2)
+
+
+class TestBursty:
+    def test_structure(self):
+        trace = bursty_slots(
+            n_bursts=3, burst_length=4, idle_in_burst=2.0,
+            idle_between_bursts=60.0, t_active=3.0, i_active=1.2,
+            jitter=0.0, seed=7,
+        )
+        assert len(trace) == 12
+        idles = [s.t_idle for s in trace]
+        # First slot of bursts 2 and 3 carries the long gap.
+        assert idles[4] == pytest.approx(60.0)
+        assert idles[8] == pytest.approx(60.0)
+        assert idles[1] == pytest.approx(2.0)
+
+    def test_jitter_bounds(self):
+        trace = bursty_slots(2, 3, 10.0, 100.0, 3.0, 1.2, jitter=0.1, seed=8)
+        for s in trace:
+            assert s.t_idle == pytest.approx(10.0, rel=0.11) or s.t_idle == pytest.approx(100.0, rel=0.11)
+
+    def test_rejects_bad_jitter(self):
+        with pytest.raises(ConfigurationError):
+            bursty_slots(2, 3, 10.0, 100.0, 3.0, 1.2, jitter=1.0)

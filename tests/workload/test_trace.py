@@ -1,0 +1,137 @@
+"""TaskSlot / LoadTrace container tests."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.workload.trace import LoadTrace, TaskSlot
+
+
+@pytest.fixture
+def trace() -> LoadTrace:
+    return LoadTrace(
+        [
+            TaskSlot(10.0, 3.0, 1.2),
+            TaskSlot(20.0, 3.0, 1.0),
+            TaskSlot(15.0, 4.0, 1.1),
+        ],
+        name="t3",
+    )
+
+
+class TestTaskSlot:
+    def test_length(self):
+        assert TaskSlot(10.0, 3.0, 1.2).length == 13.0
+
+    def test_active_charge(self):
+        assert TaskSlot(10.0, 3.0, 1.2).active_charge == pytest.approx(3.6)
+
+    def test_rejects_negative_idle(self):
+        with pytest.raises(TraceError):
+            TaskSlot(-1.0, 3.0, 1.2)
+
+    def test_rejects_zero_active(self):
+        with pytest.raises(TraceError):
+            TaskSlot(10.0, 0.0, 1.2)
+
+    def test_rejects_negative_current(self):
+        with pytest.raises(TraceError):
+            TaskSlot(10.0, 3.0, -0.1)
+
+    def test_zero_idle_allowed(self):
+        assert TaskSlot(0.0, 3.0, 1.2).t_idle == 0.0
+
+
+class TestLoadTrace:
+    def test_sequence_protocol(self, trace):
+        assert len(trace) == 3
+        assert trace[1].t_idle == 20.0
+        assert [s.t_active for s in trace] == [3.0, 3.0, 4.0]
+
+    def test_slice_returns_trace(self, trace):
+        sub = trace[:2]
+        assert isinstance(sub, LoadTrace)
+        assert len(sub) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            LoadTrace([])
+
+    def test_duration(self, trace):
+        assert trace.duration == pytest.approx(55.0)
+
+    def test_idle_active_split(self, trace):
+        assert trace.idle_time == 45.0
+        assert trace.active_time == 10.0
+        assert trace.duty_cycle == pytest.approx(10 / 55)
+
+    def test_means(self, trace):
+        assert trace.mean_idle() == pytest.approx(15.0)
+        assert trace.mean_active() == pytest.approx(10 / 3)
+
+    def test_mean_active_current_weighted(self, trace):
+        expected = (1.2 * 3 + 1.0 * 3 + 1.1 * 4) / 10
+        assert trace.mean_active_current() == pytest.approx(expected)
+
+    def test_peak_current(self, trace):
+        assert trace.peak_current == 1.2
+
+    def test_average_current(self, trace):
+        q = 1.2 * 3 + 1.0 * 3 + 1.1 * 4 + 0.2 * 45
+        assert trace.average_current(0.2) == pytest.approx(q / 55)
+
+    def test_average_current_rejects_negative_idle(self, trace):
+        with pytest.raises(TraceError):
+            trace.average_current(-0.1)
+
+    def test_equality_and_hash(self, trace):
+        same = LoadTrace(list(trace), name="other-name")
+        assert trace == same
+        assert hash(trace) == hash(same)
+
+    def test_truncate(self, trace):
+        cut = trace.truncate(40.0)
+        assert len(cut) == 2
+        assert cut.duration <= 40.0
+
+    def test_truncate_too_small_rejected(self, trace):
+        with pytest.raises(TraceError):
+            trace.truncate(5.0)
+
+    def test_scaled(self, trace):
+        doubled = trace.scaled(idle=2.0)
+        assert doubled.idle_time == pytest.approx(90.0)
+        assert doubled.active_time == pytest.approx(10.0)
+
+    def test_scaled_rejects_nonpositive(self, trace):
+        with pytest.raises(TraceError):
+            trace.scaled(idle=0.0)
+
+
+class TestSerialization:
+    def test_csv_roundtrip(self, trace):
+        back = LoadTrace.from_csv(trace.to_csv())
+        assert back == trace
+
+    def test_csv_bad_header_rejected(self):
+        with pytest.raises(TraceError):
+            LoadTrace.from_csv("a,b,c\n1,2,3\n")
+
+    def test_csv_bad_row_rejected(self, trace):
+        text = trace.to_csv() + "not,a,number\n"
+        with pytest.raises(TraceError):
+            LoadTrace.from_csv(text)
+
+    def test_json_roundtrip(self, trace):
+        back = LoadTrace.from_json(trace.to_json())
+        assert back == trace
+        assert back.name == "t3"
+
+    def test_json_malformed_rejected(self):
+        with pytest.raises(TraceError):
+            LoadTrace.from_json("{\"slots\": [{\"bad\": 1}]}")
+        with pytest.raises(TraceError):
+            LoadTrace.from_json("not json at all")
+
+    def test_repr(self, trace):
+        assert "t3" in repr(trace)
+        assert "3 slots" in repr(trace)
