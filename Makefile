@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench report export examples all
+.PHONY: install test bench bench-smoke report export examples all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +12,12 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Runtime smoke bench: parallel-vs-serial run_seeds, memoized solver,
+# sizing-curve fan-out.  Fast enough for CI; writes benchmarks/out/.
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/test_bench_microbench.py -s \
+		-k "parallel or cached"
 
 report:
 	$(PYTHON) -m repro.cli report

@@ -3,13 +3,28 @@
 These are conventional performance benches: the closed-form slot solver
 must stay in the microsecond range (it runs once per task slot online),
 and a full 28-minute trace simulation must remain interactive.
+
+The runtime benches at the bottom measure the PR-1 speed levers: the
+memoized slot solver versus a cold solve, and a 20-seed Monte-Carlo
+sweep dispatched serially versus across every available core.  Both
+write their measurements to ``benchmarks/out/``.
 """
+
+import os
+import time
 
 from repro.core.manager import PowerManager
 from repro.core.optimizer import solve_slot
 from repro.core.setting import SlotProblem
 from repro.devices.camcorder import camcorder_device_params
 from repro.fuelcell.efficiency import LinearSystemEfficiency
+from repro.runtime.memo import (
+    clear_solver_cache,
+    solve_slot_memo,
+    solver_cache_stats,
+)
+from repro.runtime.parallel import ParallelMap, resolve_workers
+from repro.sim.montecarlo import run_seeds, table2_metrics
 from repro.sim.slotsim import SlotSimulator
 from repro.workload.mpeg import generate_mpeg_trace
 
@@ -50,3 +65,106 @@ def test_bench_full_simulation_fc_dpm(benchmark):
 
     result = benchmark(run)
     assert result.fuel > 0
+
+
+# -- runtime subsystem benches (PR 1) ---------------------------------------
+
+
+def _best_of(fn, repeats: int = 5, number: int = 2000) -> float:
+    """Best mean-per-call over several timing repeats (s)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(number):
+            fn()
+        best = min(best, (time.perf_counter() - t0) / number)
+    return best
+
+
+def test_bench_solve_slot_cached_vs_uncached(benchmark, emit):
+    """Memoized re-solve of an identical slot problem: >= 5x faster."""
+    clear_solver_cache()
+    t_uncached = _best_of(lambda: solve_slot(PROBLEM, MODEL))
+    solve_slot_memo(PROBLEM, MODEL)  # warm the single entry
+    t_cached = _best_of(lambda: solve_slot_memo(PROBLEM, MODEL))
+    benchmark(solve_slot_memo, PROBLEM, MODEL)
+    ratio = t_uncached / t_cached
+    stats = solver_cache_stats()
+    emit(
+        "microbench_solver_cache",
+        "solve_slot memoization (identical SlotProblem re-solve)\n"
+        f"uncached: {1e6 * t_uncached:.2f} us/call\n"
+        f"cached:   {1e6 * t_cached:.2f} us/call\n"
+        f"speedup:  {ratio:.1f}x (hit rate {stats.hit_rate:.3f})",
+    )
+    assert ratio >= 5.0, f"cached re-solve only {ratio:.1f}x faster"
+    clear_solver_cache()
+
+
+def test_bench_run_seeds_parallel(benchmark, emit):
+    """20-seed table2 sweep: workers=1 vs workers=all-cores.
+
+    Parallel summaries must be bit-identical to serial; the >= 2x
+    wall-clock assertion only applies where the hardware can deliver it
+    (>= 4 usable cores -- a 1-core CI box still exercises dispatch and
+    equivalence, just not the speedup).
+    """
+    seeds = range(20)
+    workers = resolve_workers(0)
+
+    t0 = time.perf_counter()
+    serial = run_seeds(table2_metrics, seeds, workers=1)
+    t_serial = time.perf_counter() - t0
+
+    pm = ParallelMap(workers=workers)
+    t0 = time.perf_counter()
+    parallel_results = pm.map(table2_metrics, list(seeds))
+    t_parallel = time.perf_counter() - t0
+    parallel = run_seeds(table2_metrics, seeds, workers=workers)
+    benchmark.pedantic(
+        run_seeds, args=(table2_metrics, seeds), kwargs={"workers": workers},
+        rounds=1, iterations=1,
+    )
+
+    speedup = t_serial / t_parallel if t_parallel > 0 else float("inf")
+    emit(
+        "microbench_parallel_run_seeds",
+        "run_seeds: 20-seed table2 Monte-Carlo sweep\n"
+        f"serial (workers=1):    {t_serial:.3f} s\n"
+        f"parallel (workers={workers}): {t_parallel:.3f} s\n"
+        f"speedup: {speedup:.2f}x | {pm.stats.summary()}",
+    )
+
+    as_bits = lambda out: {
+        k: (s.n, s.mean, s.stdev, s.minimum, s.maximum) for k, s in out.items()
+    }
+    assert as_bits(parallel) == as_bits(serial)
+    assert len(parallel_results) == 20
+    if workers >= 4:
+        assert speedup >= 2.0, (
+            f"expected >= 2x on {workers} cores, measured {speedup:.2f}x"
+        )
+
+
+def test_bench_downsizing_curve_parallel(emit):
+    """Sizing curve fan-out: equivalence plus timing on this host."""
+    trace = generate_mpeg_trace(seed=3)
+    dev = camcorder_device_params()
+    from repro.fuelcell.sizing import downsizing_curve
+
+    caps = (0.0, 1.0, 2.0, 4.0, 6.0, 12.0, 24.0)
+    t0 = time.perf_counter()
+    serial = downsizing_curve(trace, dev, capacities=caps)
+    t_serial = time.perf_counter() - t0
+    workers = resolve_workers(0)
+    t0 = time.perf_counter()
+    parallel = downsizing_curve(trace, dev, capacities=caps, workers=workers)
+    t_parallel = time.perf_counter() - t0
+    emit(
+        "microbench_parallel_downsizing",
+        "downsizing_curve over 7 capacities\n"
+        f"serial:   {t_serial:.3f} s\n"
+        f"parallel (workers={workers}): {t_parallel:.3f} s "
+        f"({os.cpu_count()} cpus on host)",
+    )
+    assert parallel == serial

@@ -55,8 +55,13 @@ def mpc_comparison(seed: int = 2007, horizons=(1, 2, 4)) -> dict[str, float]:
     return fuels
 
 
-def full_report(seed: int = 2007, n_seeds: int = 5) -> str:
-    """Run the full evaluation; returns the rendered text report."""
+def full_report(seed: int = 2007, n_seeds: int = 5, workers: int = 1) -> str:
+    """Run the full evaluation; returns the rendered text report.
+
+    ``workers`` fans the seed-stability study and the ablation sweeps
+    out over processes (see :mod:`repro.runtime.parallel`); the rendered
+    report is byte-identical for any worker count.
+    """
     out = io.StringIO()
     out.write("FC-DPM reproduction report (Zhuo et al., DAC 2007)\n")
 
@@ -97,7 +102,7 @@ def full_report(seed: int = 2007, n_seeds: int = 5) -> str:
 
     # -- Seed stability -----------------------------------------------------
     _section(out, f"Table 2 across {n_seeds} seeds (95% CI)")
-    summaries = run_seeds(table2_metrics, range(n_seeds))
+    summaries = run_seeds(table2_metrics, range(n_seeds), workers=workers)
     rows = [["metric", "mean", "+-95%", "range"]]
     for name, s in summaries.items():
         rows.append(
@@ -110,14 +115,14 @@ def full_report(seed: int = 2007, n_seeds: int = 5) -> str:
     _section(out, "Ablation -- saving vs efficiency slope beta")
     rows = [["beta", "FC-DPM saving vs ASAP (%)"]]
     for beta, saving in efficiency_slope_sweep(betas=(0.0, 0.13, 0.24),
-                                               seed=seed).items():
+                                               seed=seed, workers=workers).items():
         rows.append([f"{beta:.2f}", f"{100 * saving:.1f}"])
     out.write(format_table(rows) + "\n")
 
     _section(out, "Ablation -- storage capacity")
     rows = [["Cmax (A-s)", "fc-dpm fuel / conv"]]
     for cap, row in storage_capacity_sweep(capacities=(2.0, 6.0, 24.0),
-                                           seed=seed).items():
+                                           seed=seed, workers=workers).items():
         rows.append([f"{cap:g}", f"{row['fc-dpm']:.3f}"])
     out.write(format_table(rows) + "\n")
 

@@ -3,13 +3,22 @@
 Each sweep runs the full Experiment-1 style simulation while varying a
 single design knob, returning plain result dictionaries the ablation
 benches print.
+
+Every sweep takes ``workers=`` and fans its points out over processes
+(:class:`~repro.runtime.parallel.ParallelMap`): each point is an
+independent pure function of ``(trace, device, knob)``, evaluated by a
+module-level task function so it pickles, and results come back in
+point order -- bit-identical to a serial run.
 """
 
 from __future__ import annotations
 
+from functools import partial
+
 from ..core.fc_dpm import FCDPMController
 from ..core.manager import PowerManager
 from ..devices.camcorder import camcorder_device_params
+from ..devices.device import DeviceParams
 from ..dpm.predictive import PredictiveShutdownPolicy
 from ..errors import ConfigurationError
 from ..fuelcell.efficiency import LinearSystemEfficiency
@@ -17,6 +26,7 @@ from ..prediction.base import LastValuePredictor
 from ..prediction.exponential import ExponentialAveragePredictor
 from ..prediction.learning_tree import LearningTreePredictor
 from ..prediction.regression import RegressionPredictor
+from ..runtime.parallel import ParallelMap
 from ..sim.slotsim import simulate_policies
 from ..workload.mpeg import generate_mpeg_trace
 from ..workload.trace import LoadTrace
@@ -26,9 +36,97 @@ def _exp1_trace(seed: int) -> LoadTrace:
     return generate_mpeg_trace(seed=seed)
 
 
+# -- per-point task functions (module-level so they pickle) -----------------
+
+
+def _storage_capacity_point(
+    trace: LoadTrace, dev: DeviceParams, cap: float
+) -> dict[str, float]:
+    managers = [
+        PowerManager.conv_dpm(dev, storage_capacity=cap, storage_initial=cap / 2),
+        PowerManager.asap_dpm(dev, storage_capacity=cap, storage_initial=cap / 2),
+        PowerManager.fc_dpm(dev, storage_capacity=cap, storage_initial=cap / 2),
+    ]
+    results = simulate_policies(trace, managers)
+    conv = results["conv-dpm"].fuel
+    return {name: r.fuel / conv for name, r in results.items()}
+
+
+def _efficiency_slope_point(
+    trace: LoadTrace, dev: DeviceParams, beta: float
+) -> float:
+    model = LinearSystemEfficiency(alpha=0.45, beta=beta)
+    managers = [
+        PowerManager.asap_dpm(
+            dev, model=model, storage_capacity=6.0, storage_initial=3.0
+        ),
+        PowerManager.fc_dpm(
+            dev, model=model, storage_capacity=6.0, storage_initial=3.0
+        ),
+    ]
+    results = simulate_policies(trace, managers)
+    return 1.0 - results["fc-dpm"].fuel / results["asap-dpm"].fuel
+
+
+def _recharge_threshold_point(
+    trace: LoadTrace, dev: DeviceParams, th: float
+) -> float:
+    managers = [
+        PowerManager.conv_dpm(dev, storage_capacity=6.0, storage_initial=3.0),
+        PowerManager.asap_dpm(
+            dev,
+            storage_capacity=6.0,
+            storage_initial=3.0,
+            recharge_threshold=th,
+        ),
+    ]
+    results = simulate_policies(trace, managers)
+    return results["asap-dpm"].fuel / results["conv-dpm"].fuel
+
+
+#: Idle-period predictor menu for :func:`predictor_sweep`.  Factories
+#: live in this table (not in closures) so the parallel task only ships
+#: the *name* to the worker.
+_PREDICTOR_FACTORIES = {
+    "fc-exponential": lambda: ExponentialAveragePredictor(factor=0.5),
+    "fc-lastvalue": lambda: LastValuePredictor(initial=10.0),
+    "fc-regression": lambda: RegressionPredictor(order=2, window=24),
+    "fc-learningtree": lambda: LearningTreePredictor(
+        bin_edges=[9.0, 11.0, 13.0, 15.0, 17.0], depth=2, initial=12.0
+    ),
+}
+
+
+def _predictor_point(trace: LoadTrace, dev: DeviceParams, name: str) -> float:
+    model = LinearSystemEfficiency()
+    idle_predictor = _PREDICTOR_FACTORIES[name]()
+    policy = PredictiveShutdownPolicy(dev, idle_predictor)
+    controller = FCDPMController(
+        model,
+        active_length_predictor=ExponentialAveragePredictor(factor=0.5),
+        idle_length_predictor=idle_predictor,
+        device=dev,
+    )
+    controller.observes_idle = False
+    mgr = PowerManager.fc_dpm(dev, storage_capacity=6.0, storage_initial=3.0)
+    mgr.name = name
+    mgr.policy = policy
+    mgr.controller = controller
+    managers = [
+        PowerManager.conv_dpm(dev, storage_capacity=6.0, storage_initial=3.0),
+        mgr,
+    ]
+    results = simulate_policies(trace, managers)
+    return results[name].fuel / results["conv-dpm"].fuel
+
+
+# -- public sweeps -----------------------------------------------------------
+
+
 def storage_capacity_sweep(
     capacities=(1.0, 2.0, 4.0, 6.0, 12.0, 24.0, 60.0),
     seed: int = 2007,
+    workers: int = 1,
 ) -> dict[float, dict[str, float]]:
     """Normalized fuel vs storage capacity ``Cmax``.
 
@@ -37,71 +135,38 @@ def storage_capacity_sweep(
     the globally flat optimum.  Returns
     ``{capacity: {policy: fuel_normalized_to_conv}}``.
     """
-    trace = _exp1_trace(seed)
-    dev = camcorder_device_params()
-    out: dict[float, dict[str, float]] = {}
-    for cap in capacities:
+    capacity_list = list(capacities)
+    for cap in capacity_list:
         if cap <= 0:
             raise ConfigurationError("capacity must be positive")
-        managers = [
-            PowerManager.conv_dpm(dev, storage_capacity=cap, storage_initial=cap / 2),
-            PowerManager.asap_dpm(dev, storage_capacity=cap, storage_initial=cap / 2),
-            PowerManager.fc_dpm(dev, storage_capacity=cap, storage_initial=cap / 2),
-        ]
-        results = simulate_policies(trace, managers)
-        conv = results["conv-dpm"].fuel
-        out[cap] = {name: r.fuel / conv for name, r in results.items()}
-    return out
+    trace = _exp1_trace(seed)
+    dev = camcorder_device_params()
+    results = ParallelMap(workers=workers).map(
+        partial(_storage_capacity_point, trace, dev), capacity_list
+    )
+    return dict(zip(capacity_list, results))
 
 
-def predictor_sweep(seed: int = 2007) -> dict[str, float]:
+def predictor_sweep(seed: int = 2007, workers: int = 1) -> dict[str, float]:
     """FC-DPM fuel (normalized to Conv-DPM) per idle-period predictor.
 
     Exercises the exponential filter the paper uses against last-value,
-    regression, and learning-tree predictors, plus a 'perfect' variant
-    fed the true lengths -- quantifying how much headroom better
-    prediction buys.
+    regression, and learning-tree predictors -- quantifying how much
+    headroom better prediction buys.
     """
     trace = _exp1_trace(seed)
     dev = camcorder_device_params()
-    model = LinearSystemEfficiency()
-
-    def build(name: str, predictor_factory) -> PowerManager:
-        idle_predictor = predictor_factory()
-        policy = PredictiveShutdownPolicy(dev, idle_predictor)
-        controller = FCDPMController(
-            model,
-            active_length_predictor=ExponentialAveragePredictor(factor=0.5),
-            idle_length_predictor=idle_predictor,
-            device=dev,
-        )
-        controller.observes_idle = False
-        mgr = PowerManager.fc_dpm(dev, storage_capacity=6.0, storage_initial=3.0)
-        mgr.name = name
-        mgr.policy = policy
-        mgr.controller = controller
-        return mgr
-
-    managers = [
-        PowerManager.conv_dpm(dev, storage_capacity=6.0, storage_initial=3.0),
-        build("fc-exponential", lambda: ExponentialAveragePredictor(factor=0.5)),
-        build("fc-lastvalue", lambda: LastValuePredictor(initial=10.0)),
-        build("fc-regression", lambda: RegressionPredictor(order=2, window=24)),
-        build(
-            "fc-learningtree",
-            lambda: LearningTreePredictor(
-                bin_edges=[9.0, 11.0, 13.0, 15.0, 17.0], depth=2, initial=12.0
-            ),
-        ),
-    ]
-    results = simulate_policies(trace, managers)
-    conv = results["conv-dpm"].fuel
-    return {name: r.fuel / conv for name, r in results.items() if name != "conv-dpm"}
+    names = list(_PREDICTOR_FACTORIES)
+    results = ParallelMap(workers=workers).map(
+        partial(_predictor_point, trace, dev), names
+    )
+    return dict(zip(names, results))
 
 
 def efficiency_slope_sweep(
     betas=(0.0, 0.04, 0.08, 0.13, 0.18, 0.24),
     seed: int = 2007,
+    workers: int = 1,
 ) -> dict[float, float]:
     """FC-DPM's fuel saving over ASAP-DPM versus the efficiency slope.
 
@@ -110,46 +175,29 @@ def efficiency_slope_sweep(
     linear and flattening the output saves nothing.  Returns
     ``{beta: fractional_saving_vs_asap}``.
     """
+    beta_list = list(betas)
     trace = _exp1_trace(seed)
     dev = camcorder_device_params()
-    out: dict[float, float] = {}
-    for beta in betas:
-        model = LinearSystemEfficiency(alpha=0.45, beta=beta)
-        managers = [
-            PowerManager.asap_dpm(
-                dev, model=model, storage_capacity=6.0, storage_initial=3.0
-            ),
-            PowerManager.fc_dpm(
-                dev, model=model, storage_capacity=6.0, storage_initial=3.0
-            ),
-        ]
-        results = simulate_policies(trace, managers)
-        out[beta] = 1.0 - results["fc-dpm"].fuel / results["asap-dpm"].fuel
-    return out
+    results = ParallelMap(workers=workers).map(
+        partial(_efficiency_slope_point, trace, dev), beta_list
+    )
+    return dict(zip(beta_list, results))
 
 
 def recharge_threshold_sweep(
     thresholds=(0.1, 0.25, 0.5, 0.75, 0.9),
     seed: int = 2007,
+    workers: int = 1,
 ) -> dict[float, float]:
     """ASAP-DPM fuel (normalized to Conv-DPM) vs recharge threshold.
 
     The half-capacity rule is a design choice of the paper's baseline;
     this sweep shows its (mild) sensitivity.
     """
+    threshold_list = list(thresholds)
     trace = _exp1_trace(seed)
     dev = camcorder_device_params()
-    out: dict[float, float] = {}
-    for th in thresholds:
-        managers = [
-            PowerManager.conv_dpm(dev, storage_capacity=6.0, storage_initial=3.0),
-            PowerManager.asap_dpm(
-                dev,
-                storage_capacity=6.0,
-                storage_initial=3.0,
-                recharge_threshold=th,
-            ),
-        ]
-        results = simulate_policies(trace, managers)
-        out[th] = results["asap-dpm"].fuel / results["conv-dpm"].fuel
-    return out
+    results = ParallelMap(workers=workers).map(
+        partial(_recharge_threshold_point, trace, dev), threshold_list
+    )
+    return dict(zip(threshold_list, results))

@@ -10,6 +10,12 @@ the paper's tables and figures::
     fcdpm fig4              # motivational example
     fcdpm fig7              # current profiles (first 300 s)
     fcdpm sweep <name>      # ablation sweeps
+
+Global knobs: ``--workers N`` fans seed sweeps and ablations out over N
+processes (results stay bit-identical; default 1 = serial) and results
+of ``table2``/``table3``/``sweep``/``report`` are served from an
+on-disk cache keyed by (parameters, code version) unless ``--no-cache``
+is given.  See docs/performance.md.
 """
 
 from __future__ import annotations
@@ -34,10 +40,20 @@ from .analysis.sweep import (
     recharge_threshold_sweep,
     storage_capacity_sweep,
 )
+from .runtime.cache import ResultCache
+
+
+def _cache(args: argparse.Namespace) -> ResultCache:
+    """The on-disk result cache honoring ``--no-cache``."""
+    return ResultCache(enabled=not args.no_cache)
 
 
 def _cmd_table(which: str, args: argparse.Namespace) -> int:
-    result = table2(seed=args.seed) if which == "table2" else table3(seed=args.seed)
+    result = _cache(args).cached(
+        which,
+        {"seed": args.seed},
+        lambda: table2(seed=args.seed) if which == "table2" else table3(seed=args.seed),
+    )
     print(format_table(result.rows(), title=f"{result.name} (normalized fuel)"))
     print(
         f"FC-DPM saves {100 * result.fc_vs_asap_saving:.1f}% fuel vs ASAP-DPM "
@@ -98,7 +114,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.name not in sweeps:
         print(f"unknown sweep {args.name!r}; pick from {sorted(sweeps)}")
         return 2
-    result = sweeps[args.name]()
+    # workers only changes where points run, never their values, so it
+    # is deliberately left out of the cache key.
+    result = _cache(args).cached(
+        f"sweep/{args.name}",
+        {"seed": args.seed},
+        lambda: sweeps[args.name](seed=args.seed, workers=args.workers),
+    )
     rows = [["parameter", "value"]]
     for key, value in result.items():
         rows.append([str(key), repr(value)])
@@ -113,6 +135,18 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate the experiments of Zhuo et al., DAC 2007.",
     )
     parser.add_argument("--seed", type=int, default=2007, help="trace RNG seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="processes for seed sweeps and ablations (default 1 = serial; "
+        "0 = all cores); results are bit-identical for any value",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute even when a cached result exists on disk",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     for name in ("table2", "table3", "fig2", "fig3", "fig4", "fig7"):
         sub.add_parser(name, help=f"regenerate {name}")
@@ -130,7 +164,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "report":
         from .analysis.experiments import full_report
 
-        print(full_report(seed=args.seed))
+        text = _cache(args).cached(
+            "report",
+            {"seed": args.seed},
+            lambda: full_report(seed=args.seed, workers=args.workers),
+        )
+        print(text)
         return 0
     if args.command == "export":
         from .analysis.export import export_all

@@ -24,8 +24,8 @@ from ..errors import ConfigurationError
 from ..fuelcell.efficiency import SystemEfficiencyModel
 from ..prediction.base import Predictor
 from ..prediction.exponential import ExponentialAveragePredictor
+from ..runtime.memo import solve_slot_memo
 from .baselines import SegmentContext, SlotActuals, SlotStart, SourceController
-from .optimizer import solve_slot
 from .setting import SlotProblem
 
 
@@ -142,7 +142,9 @@ class FCDPMController(SourceController):
             sleeping=start.sleeping,
             **self._overheads(start.sleeping),
         )
-        solution = solve_slot(problem, self.model)
+        # Memoized: sweeps and Monte-Carlo runs re-pose identical slot
+        # problems constantly, and the solver is pure (see runtime.memo).
+        solution = solve_slot_memo(problem, self.model)
         self.solutions.append(solution)
         self._if_idle = solution.if_idle
         self._if_active = solution.if_active

@@ -29,6 +29,7 @@ regenerate Fig. 3.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from functools import lru_cache
 
 import numpy as np
 
@@ -67,6 +68,20 @@ class SystemEfficiencyModel(ABC):
         self.zeta = zeta
         self.if_min = if_min
         self.if_max = if_max
+
+    # -- caching ------------------------------------------------------------
+
+    @property
+    def cache_token(self):
+        """Value-semantics identity for memoization, or ``None``.
+
+        Models whose fuel map is a pure function of a few scalar
+        coefficients return a hashable tuple of them; two instances with
+        equal tokens are interchangeable, which lets
+        :mod:`repro.runtime.memo` share solver results across instances.
+        Stateful / composed models return ``None`` (not cacheable).
+        """
+        return None
 
     # -- interface ----------------------------------------------------------
 
@@ -114,6 +129,28 @@ class SystemEfficiencyModel(ABC):
         return i, eta
 
 
+#: Bound on distinct ``(coefficients, IF)`` fuel-map entries; large
+#: enough for every sweep in the repo, small enough to be invisible.
+FUEL_MAP_CACHE_SIZE = 1 << 16
+
+
+@lru_cache(maxsize=FUEL_MAP_CACHE_SIZE)
+def _linear_fuel_map(k_fuel: float, alpha: float, beta: float, i_f: float) -> float:
+    """Eq. 4 with the coefficients in the key: shared across instances.
+
+    Module-level so the table survives model re-construction (sweeps
+    build fresh ``LinearSystemEfficiency`` objects per point) and so
+    instances stay picklable for process-pool dispatch.
+    """
+    denom = alpha - beta * i_f
+    if denom <= 0:
+        raise RangeError(
+            f"IF={i_f:.3f} A is at/beyond the efficiency pole "
+            f"alpha/beta={alpha / beta if beta else float('inf'):.3f} A"
+        )
+    return k_fuel * i_f / denom
+
+
 class LinearSystemEfficiency(SystemEfficiencyModel):
     """``eta_s = alpha - beta * IF`` -- the paper's calibrated model (Eq. 2).
 
@@ -141,6 +178,9 @@ class LinearSystemEfficiency(SystemEfficiencyModel):
             )
         self.alpha = alpha
         self.beta = beta
+        # Pre-bound coefficient key so the cached fuel map is a single
+        # tuple-splat call (the k_fuel property would recompute per call).
+        self._fuel_coeffs = (v_out / zeta, alpha, beta)
 
     @classmethod
     def from_constants(cls, constants: FCSystemConstants) -> "LinearSystemEfficiency":
@@ -164,16 +204,24 @@ class LinearSystemEfficiency(SystemEfficiencyModel):
             raise RangeError("system output current cannot be negative")
         return self.alpha - self.beta * i_f
 
+    @property
+    def cache_token(self):
+        """See :attr:`SystemEfficiencyModel.cache_token`."""
+        return (
+            "linear",
+            self.alpha,
+            self.beta,
+            self.v_out,
+            self.zeta,
+            self.if_min,
+            self.if_max,
+        )
+
     def fc_current(self, i_f: float) -> float:
         if i_f < 0:
             raise RangeError("system output current cannot be negative")
-        denom = self.alpha - self.beta * i_f
-        if denom <= 0:
-            raise RangeError(
-                f"IF={i_f:.3f} A is at/beyond the efficiency pole "
-                f"alpha/beta={self.alpha / self.beta if self.beta else float('inf'):.3f} A"
-            )
-        return self.k_fuel * i_f / denom
+        k_fuel, alpha, beta = self._fuel_coeffs
+        return _linear_fuel_map(k_fuel, alpha, beta, i_f)
 
     def fc_current_derivative(self, i_f: float, h: float = 1e-6) -> float:
         """Analytic ``d Ifc / d IF = k * alpha / (alpha - beta IF)^2``."""
@@ -211,6 +259,11 @@ class ConstantSystemEfficiency(SystemEfficiencyModel):
         if not 0 < eta < 1:
             raise ConfigurationError("eta must be in (0, 1)")
         self.eta = eta
+
+    @property
+    def cache_token(self):
+        """See :attr:`SystemEfficiencyModel.cache_token`."""
+        return ("constant", self.eta, self.v_out, self.zeta, self.if_min, self.if_max)
 
     def efficiency(self, i_f: float) -> float:
         if i_f < 0:

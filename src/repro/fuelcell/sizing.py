@@ -127,9 +127,21 @@ def downsizing_curve(
     trace: LoadTrace,
     device: DeviceParams,
     capacities=(0.0, 1.0, 2.0, 4.0, 6.0, 12.0, 24.0),
+    workers: int = 1,
 ) -> dict[float, SizingResult]:
-    """Required FC output versus storage capacity (Section 2.2's curve)."""
-    return {
-        cap: required_fc_output(trace, device, storage_capacity=cap)
-        for cap in capacities
-    }
+    """Required FC output versus storage capacity (Section 2.2's curve).
+
+    Each capacity is an independent bisection over the same profile, so
+    ``workers > 1`` fans the points out over processes
+    (:class:`~repro.runtime.parallel.ParallelMap`) with bit-identical
+    results in the same capacity order.
+    """
+    from functools import partial
+
+    from ..runtime.parallel import ParallelMap
+
+    capacity_list = list(capacities)
+    results = ParallelMap(workers=workers).map(
+        partial(required_fc_output, trace, device), capacity_list
+    )
+    return dict(zip(capacity_list, results))

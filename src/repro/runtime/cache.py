@@ -1,0 +1,163 @@
+"""On-disk result cache for whole experiments.
+
+``fcdpm`` subcommands and the benchmark suite recompute identical
+tables and sweeps over and over; a full report is seconds of compute
+for bytes of output.  :class:`ResultCache` stores any picklable result
+under a key that is a stable hash of
+
+* a namespace (the experiment name),
+* the experiment parameters (canonical JSON, so dict ordering and
+  int/float spelling cannot change the key), and
+* a fingerprint of the installed ``repro`` source code,
+
+so results are transparently invalidated the moment either the
+parameters *or the code* change.  Corrupt or unreadable entries are
+treated as misses -- the cache can always be deleted wholesale.
+
+The location defaults to ``~/.cache/fcdpm`` and can be redirected with
+the ``FCDPM_CACHE_DIR`` environment variable; the CLI exposes
+``--no-cache`` to bypass it entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from collections.abc import Callable
+from pathlib import Path
+from typing import Any
+
+_FINGERPRINT: str | None = None
+
+
+def code_fingerprint() -> str:
+    """Stable hash of every ``repro`` source file (cached per process).
+
+    Any edit to the package changes the fingerprint and therefore every
+    cache key -- the "code version" part of the invalidation story.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(path.read_bytes())
+        _FINGERPRINT = digest.hexdigest()[:16]
+    return _FINGERPRINT
+
+
+def _canonical(params: Any) -> str:
+    """Canonical JSON for hashing: sorted keys, no whitespace drift."""
+    return json.dumps(params, sort_keys=True, separators=(",", ":"), default=repr)
+
+
+def cache_key(namespace: str, params: Any, fingerprint: str | None = None) -> str:
+    """Hex key for (namespace, params, code version)."""
+    fp = code_fingerprint() if fingerprint is None else fingerprint
+    payload = f"{namespace}\x00{_canonical(params)}\x00{fp}"
+    return hashlib.sha256(payload.encode()).hexdigest()[:32]
+
+
+def default_cache_dir() -> Path:
+    """``$FCDPM_CACHE_DIR`` if set, else ``~/.cache/fcdpm``."""
+    env = os.environ.get("FCDPM_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "fcdpm"
+
+
+class ResultCache:
+    """Pickle-per-entry directory cache with atomic writes.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily).  ``None`` uses
+        :func:`default_cache_dir`.
+    enabled:
+        When False every lookup misses and nothing is written -- the
+        ``--no-cache`` escape hatch without branching at call sites.
+    """
+
+    def __init__(self, root: Path | str | None = None, enabled: bool = True) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    # -- primitive get/put -------------------------------------------------
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Load a cached value, or ``default`` on any kind of miss."""
+        if not self.enabled:
+            return default
+        path = self._path(key)
+        try:
+            with path.open("rb") as fh:
+                value = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            self.misses += 1
+            return default
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store a value atomically (rename over a temp file).
+
+        Best-effort: an unwritable directory or unpicklable value makes
+        this a no-op -- the cache must never break the computation.
+        """
+        if not self.enabled:
+            return
+        tmp = None
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._path(key))
+        except (OSError, pickle.PickleError, AttributeError, TypeError):
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+
+    def contains(self, key: str) -> bool:
+        """True when an entry exists (without loading it)."""
+        return self.enabled and self._path(key).exists()
+
+    # -- the convenience everyone actually uses ----------------------------
+
+    def cached(self, namespace: str, params: Any, compute: Callable[[], Any]) -> Any:
+        """Return the cached result of ``compute()`` for these parameters.
+
+        The key covers the code fingerprint, so a source change recomputes.
+        """
+        key = cache_key(namespace, params)
+        sentinel = object()
+        value = self.get(key, sentinel)
+        if value is sentinel:
+            value = compute()
+            self.put(key, value)
+        return value
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        if not self.root.exists():
+            return 0
+        n = 0
+        for path in self.root.glob("*.pkl"):
+            try:
+                path.unlink()
+                n += 1
+            except OSError:
+                pass
+        return n

@@ -1,0 +1,111 @@
+"""Memoization of the hot closed-form kernels.
+
+Profiling the experiment layer shows two dominant costs per simulated
+slot: the Section-3.3 closed-form solve (:func:`~repro.core.optimizer.
+solve_slot`, ~5 us) and Eq.-4 fuel-map evaluations (~0.2 us each, many
+per slot).  Monte-Carlo sweeps and ablations re-pose *identical*
+problems constantly -- the same trace simulated under several policies,
+the same predictor state recurring across seeds -- so both kernels are
+natural memoization targets:
+
+* the fuel map is cached with ``functools.lru_cache`` inside
+  :mod:`repro.fuelcell.efficiency` (a shared module-level table keyed
+  by the linear-model coefficients);
+* :func:`solve_slot_memo` here keys full slot solves by
+  ``(model.cache_token, SlotProblem)`` -- a frozen dataclass and a
+  tuple, so the key is a plain hash and a cache hit skips the whole
+  decision procedure.
+
+Only models that expose a value-semantics ``cache_token`` participate;
+anything else (e.g. a stateful composed model) transparently degrades
+to a direct solve.  The cache is process-local: parallel workers each
+warm their own, which preserves determinism (the solver is pure).
+
+The solver is imported lazily so this module sits below
+:mod:`repro.core` in the import graph (``core.fc_dpm`` imports us).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.setting import SlotProblem, SlotSolution
+    from ..fuelcell.efficiency import SystemEfficiencyModel
+
+#: Bound on distinct (model, problem) entries; reached only by
+#: adversarial workloads, at which point the table is simply dropped.
+SOLVER_CACHE_MAX = 1 << 17
+
+_CACHE: dict[tuple, "SlotSolution"] = {}
+_SOLVE = None
+
+
+def _solver():
+    """Resolve :func:`repro.core.optimizer.solve_slot` once, lazily."""
+    global _SOLVE
+    if _SOLVE is None:
+        from ..core.optimizer import solve_slot
+
+        _SOLVE = solve_slot
+    return _SOLVE
+
+
+@dataclass
+class SolverCacheStats:
+    """Hit/miss counters of the slot-solver cache."""
+
+    hits: int = 0
+    misses: int = 0
+    uncacheable: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+_STATS = SolverCacheStats()
+
+
+def solve_slot_memo(
+    problem: "SlotProblem", model: "SystemEfficiencyModel"
+) -> "SlotSolution":
+    """Memoized :func:`~repro.core.optimizer.solve_slot`.
+
+    Bit-identical to the direct call (the solver is a pure function of
+    ``(problem, model)``); repeated identical slots return the cached
+    frozen :class:`~repro.core.setting.SlotSolution` in well under a
+    microsecond.
+    """
+    token = getattr(model, "cache_token", None)
+    if token is None:
+        _STATS.uncacheable += 1
+        return _solver()(problem, model)
+    key = (token, problem)
+    solution = _CACHE.get(key)
+    if solution is None:
+        _STATS.misses += 1
+        if len(_CACHE) >= SOLVER_CACHE_MAX:
+            _CACHE.clear()
+        solution = _CACHE[key] = _solver()(problem, model)
+    else:
+        _STATS.hits += 1
+    return solution
+
+
+def solver_cache_stats() -> SolverCacheStats:
+    """Current counters (live object; copy if you need a snapshot)."""
+    return _STATS
+
+
+def clear_solver_cache() -> None:
+    """Drop every cached solution and zero the counters."""
+    _CACHE.clear()
+    _STATS.hits = _STATS.misses = _STATS.uncacheable = 0
+
+
+def solver_cache_size() -> int:
+    """Number of memoized (model, problem) entries."""
+    return len(_CACHE)

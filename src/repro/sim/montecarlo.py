@@ -76,28 +76,46 @@ def summarize(name: str, values) -> SeedSummary:
 def run_seeds(
     experiment: Callable[[int], dict[str, float]],
     seeds,
+    workers: int = 1,
 ) -> dict[str, SeedSummary]:
     """Run ``experiment(seed) -> {metric: value}`` across ``seeds``.
 
     Every run must return the same metric keys.  Returns a summary per
-    metric.
+    metric, with metrics in the key order of the *first* run -- so the
+    report layout is deterministic regardless of execution order.
+
+    Parameters
+    ----------
+    workers:
+        Fan the seeds out over this many processes
+        (:class:`~repro.runtime.parallel.ParallelMap`).  ``1`` (the
+        default) runs inline; any value yields bit-identical summaries
+        because each run is an independent pure function of its seed and
+        results are reduced in seed order.  For ``workers > 1`` the
+        ``experiment`` callable must be picklable (a module-level
+        function or ``functools.partial``); unpicklable callables fall
+        back to serial execution.
     """
-    seed_list = list(seeds)
+    from ..runtime.parallel import ParallelMap
+
+    seed_list = [int(seed) for seed in seeds]
     if not seed_list:
         raise ConfigurationError("need at least one seed")
-    samples: dict[str, list[float]] = {}
-    keys: set[str] | None = None
-    for seed in seed_list:
-        result = experiment(int(seed))
-        if keys is None:
-            keys = set(result)
-        elif set(result) != keys:
+    results = ParallelMap(workers=workers).map(experiment, seed_list)
+
+    # Metric order is pinned to the first run's dict order (PEP 468
+    # insertion order), not a sorted or set order.
+    keys = list(results[0])
+    key_set = set(keys)
+    samples: dict[str, list[float]] = {key: [] for key in keys}
+    for seed, result in zip(seed_list, results):
+        if set(result) != key_set:
             raise ConfigurationError(
                 f"seed {seed} returned metrics {sorted(result)}, "
-                f"expected {sorted(keys)}"
+                f"expected {sorted(key_set)}"
             )
-        for key, value in result.items():
-            samples.setdefault(key, []).append(float(value))
+        for key in keys:
+            samples[key].append(float(result[key]))
     return {key: summarize(key, values) for key, values in samples.items()}
 
 

@@ -11,6 +11,12 @@ from repro.fuelcell.efficiency import LinearSystemEfficiency
 from repro.workload.trace import LoadTrace, TaskSlot
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Keep the on-disk result cache out of the user's home during tests."""
+    monkeypatch.setenv("FCDPM_CACHE_DIR", str(tmp_path / "fcdpm-cache"))
+
+
 @pytest.fixture
 def linear_model() -> LinearSystemEfficiency:
     """The paper's calibrated efficiency model (alpha=0.45, beta=0.13)."""

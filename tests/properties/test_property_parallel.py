@@ -1,0 +1,74 @@
+"""Property: parallel execution is bit-identical to serial execution.
+
+This is the contract the whole runtime subsystem stands on -- the
+``workers=`` knob may only change *where* work runs, never a single
+bit of any result.  CI runs this file explicitly as the
+parallel-vs-serial equivalence gate (see .github/workflows/ci.yml).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.devices.camcorder import camcorder_device_params
+from repro.fuelcell.sizing import downsizing_curve
+from repro.sim.montecarlo import run_seeds, table2_metrics
+from repro.workload.mpeg import generate_mpeg_trace
+
+WORKER_COUNTS = (2, 3)
+
+
+def _summary_bits(summaries):
+    """Exact float tuple per metric -- equality here is bit-identity."""
+    return {
+        name: (s.n, s.mean, s.stdev, s.minimum, s.maximum)
+        for name, s in summaries.items()
+    }
+
+
+class TestRunSeedsEquivalence:
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return run_seeds(table2_metrics, range(6))
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_bit_identical_summaries(self, serial, workers):
+        parallel = run_seeds(table2_metrics, range(6), workers=workers)
+        assert _summary_bits(parallel) == _summary_bits(serial)
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_metric_order_preserved(self, serial, workers):
+        parallel = run_seeds(table2_metrics, range(6), workers=workers)
+        assert list(parallel) == list(serial)
+
+    def test_all_cores_spelling(self, serial):
+        parallel = run_seeds(table2_metrics, range(6), workers=0)
+        assert _summary_bits(parallel) == _summary_bits(serial)
+
+
+class TestDownsizingCurveEquivalence:
+    @pytest.fixture(scope="class")
+    def inputs(self):
+        return generate_mpeg_trace(duration_s=300.0, seed=11), camcorder_device_params()
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_bit_identical_curve(self, inputs, workers):
+        trace, dev = inputs
+        caps = (0.0, 2.0, 6.0, 24.0)
+        serial = downsizing_curve(trace, dev, capacities=caps)
+        parallel = downsizing_curve(trace, dev, capacities=caps, workers=workers)
+        assert list(parallel) == list(serial)
+        for cap in caps:
+            assert dataclasses.asdict(parallel[cap]) == dataclasses.asdict(
+                serial[cap]
+            )
+
+
+class TestSweepEquivalence:
+    def test_efficiency_slope_sweep(self):
+        from repro.analysis.sweep import efficiency_slope_sweep
+
+        betas = (0.0, 0.13)
+        serial = efficiency_slope_sweep(betas=betas, seed=5)
+        parallel = efficiency_slope_sweep(betas=betas, seed=5, workers=2)
+        assert parallel == serial

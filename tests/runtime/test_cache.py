@@ -1,0 +1,112 @@
+"""Unit tests for the on-disk result cache: key stability + invalidation."""
+
+import pickle
+
+from repro.runtime.cache import ResultCache, cache_key, code_fingerprint
+
+
+class TestCacheKey:
+    def test_stable_across_calls(self):
+        assert cache_key("t2", {"seed": 1}) == cache_key("t2", {"seed": 1})
+
+    def test_dict_order_does_not_matter(self):
+        assert cache_key("x", {"a": 1, "b": 2}) == cache_key("x", {"b": 2, "a": 1})
+
+    def test_config_change_invalidates(self):
+        base = cache_key("table2", {"seed": 2007, "capacity": 6.0})
+        assert cache_key("table2", {"seed": 2008, "capacity": 6.0}) != base
+        assert cache_key("table2", {"seed": 2007, "capacity": 12.0}) != base
+
+    def test_namespace_separates(self):
+        assert cache_key("table2", {"seed": 1}) != cache_key("table3", {"seed": 1})
+
+    def test_code_version_invalidates(self):
+        real = cache_key("t", {"s": 1})
+        other = cache_key("t", {"s": 1}, fingerprint="0" * 16)
+        assert real != other
+
+    def test_fingerprint_is_cached_and_stable(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 16
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        cache.put("k", {"answer": 42})
+        assert cache.get("k") == {"answer": 42}
+        assert cache.contains("k")
+
+    def test_miss_returns_default(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        assert cache.get("absent", default="nope") == "nope"
+        assert cache.misses == 1
+
+    def test_cached_computes_once(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return [1.0, 2.0]
+
+        assert cache.cached("exp", {"seed": 0}, compute) == [1.0, 2.0]
+        assert cache.cached("exp", {"seed": 0}, compute) == [1.0, 2.0]
+        assert len(calls) == 1
+
+    def test_cached_recomputes_on_param_change(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        calls = []
+        for seed in (0, 1):
+            cache.cached("exp", {"seed": seed}, lambda: calls.append(1) or seed)
+        assert len(calls) == 2
+
+    def test_disabled_cache_always_recomputes(self, tmp_path):
+        cache = ResultCache(root=tmp_path, enabled=False)
+        calls = []
+        for _ in range(2):
+            cache.cached("exp", {}, lambda: calls.append(1) or 7)
+        assert len(calls) == 2
+        assert list(tmp_path.iterdir()) == []
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        cache.put("k", 1)
+        next(tmp_path.glob("*.pkl")).write_bytes(b"not a pickle")
+        assert cache.get("k", default="fallback") == "fallback"
+
+    def test_unwritable_root_is_silent(self, tmp_path):
+        target = tmp_path / "blocked"
+        target.write_text("a file, not a directory")
+        cache = ResultCache(root=target)
+        cache.put("k", 1)  # must not raise
+        assert cache.get("k") is None
+
+    def test_unpicklable_value_is_silent(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        cache.put("k", lambda: None)  # lambdas don't pickle; must not raise
+        assert cache.get("k") is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.clear() == 2
+        assert not cache.contains("a")
+        assert cache.clear() == 0
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        cache.put("k", list(range(1000)))
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_values_survive_new_instance(self, tmp_path):
+        ResultCache(root=tmp_path).put("k", "persisted")
+        assert ResultCache(root=tmp_path).get("k") == "persisted"
+
+    def test_entry_is_plain_pickle(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        cache.put("k", {"v": 3})
+        path = next(tmp_path.glob("*.pkl"))
+        with path.open("rb") as fh:
+            assert pickle.load(fh) == {"v": 3}

@@ -1,0 +1,111 @@
+"""Unit tests for the solver memoization layer."""
+
+import pytest
+
+from repro.core.optimizer import solve_slot
+from repro.core.setting import SlotProblem
+from repro.fuelcell.efficiency import (
+    ComposedSystemEfficiency,
+    ConstantSystemEfficiency,
+    LinearSystemEfficiency,
+)
+from repro.runtime.memo import (
+    clear_solver_cache,
+    solve_slot_memo,
+    solver_cache_size,
+    solver_cache_stats,
+)
+
+PROBLEM = SlotProblem(
+    t_idle=12.0, t_active=3.0, i_idle=0.2, i_active=1.22,
+    c_ini=3.0, c_end=3.0, c_max=6.0, sleeping=True,
+    t_wu=0.5, t_pd=0.5, i_wu=0.4, i_pd=0.4,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_solver_cache()
+    yield
+    clear_solver_cache()
+
+
+class TestEquivalence:
+    def test_identical_to_direct_solve(self):
+        model = LinearSystemEfficiency()
+        assert solve_slot_memo(PROBLEM, model) == solve_slot(PROBLEM, model)
+
+    def test_hit_returns_same_object(self):
+        model = LinearSystemEfficiency()
+        first = solve_slot_memo(PROBLEM, model)
+        assert solve_slot_memo(PROBLEM, model) is first
+
+    def test_shared_across_equal_model_instances(self):
+        a = LinearSystemEfficiency()
+        b = LinearSystemEfficiency()
+        solve_slot_memo(PROBLEM, a)
+        before = solver_cache_stats().hits
+        solve_slot_memo(PROBLEM, b)
+        assert solver_cache_stats().hits == before + 1
+
+    def test_distinct_models_do_not_collide(self):
+        lo = LinearSystemEfficiency(beta=0.0)
+        hi = LinearSystemEfficiency(beta=0.13)
+        assert solve_slot_memo(PROBLEM, lo) != solve_slot_memo(PROBLEM, hi)
+
+    def test_distinct_problems_do_not_collide(self):
+        model = LinearSystemEfficiency()
+        other = SlotProblem(
+            t_idle=11.0, t_active=3.0, i_idle=0.2, i_active=1.22,
+            c_ini=3.0, c_end=3.0, c_max=6.0,
+        )
+        solve_slot_memo(PROBLEM, model)
+        assert solve_slot_memo(other, model) == solve_slot(other, model)
+        assert solver_cache_size() == 2
+
+
+class TestCacheTokens:
+    def test_linear_token_is_value_semantics(self):
+        assert (
+            LinearSystemEfficiency().cache_token
+            == LinearSystemEfficiency().cache_token
+        )
+        assert (
+            LinearSystemEfficiency(beta=0.1).cache_token
+            != LinearSystemEfficiency(beta=0.2).cache_token
+        )
+
+    def test_constant_model_has_token(self):
+        assert ConstantSystemEfficiency().cache_token is not None
+
+    def test_composed_model_not_cacheable(self):
+        model = ComposedSystemEfficiency()
+        assert model.cache_token is None
+        before = solver_cache_size()
+        result = solve_slot_memo(PROBLEM, model)
+        assert solver_cache_size() == before
+        assert solver_cache_stats().uncacheable >= 1
+        assert result == solve_slot(PROBLEM, model)
+
+
+class TestStats:
+    def test_counters(self):
+        model = LinearSystemEfficiency()
+        solve_slot_memo(PROBLEM, model)
+        solve_slot_memo(PROBLEM, model)
+        solve_slot_memo(PROBLEM, model)
+        stats = solver_cache_stats()
+        assert stats.misses == 1
+        assert stats.hits == 2
+        assert stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_clear_resets(self):
+        model = LinearSystemEfficiency()
+        solve_slot_memo(PROBLEM, model)
+        clear_solver_cache()
+        assert solver_cache_size() == 0
+        assert solver_cache_stats().hits == 0
+        assert solver_cache_stats().misses == 0
+
+    def test_empty_hit_rate(self):
+        assert solver_cache_stats().hit_rate == 0.0

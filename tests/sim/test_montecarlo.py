@@ -58,6 +58,25 @@ class TestRunSeeds:
         with pytest.raises(ConfigurationError):
             run_seeds(experiment, [0, 1])
 
+    def test_metric_order_follows_first_run(self):
+        """Summaries come back in the first run's insertion order."""
+
+        def experiment(seed: int) -> dict[str, float]:
+            return {"zeta": 1.0, "alpha": 2.0, "mid": float(seed)}
+
+        out = run_seeds(experiment, [3, 1, 2])
+        assert list(out) == ["zeta", "alpha", "mid"]
+
+    def test_same_keys_in_different_order_accepted(self):
+        def experiment(seed: int) -> dict[str, float]:
+            if seed % 2:
+                return {"b": 1.0, "a": 0.0}
+            return {"a": 0.0, "b": 1.0}
+
+        out = run_seeds(experiment, [0, 1, 2])
+        assert list(out) == ["a", "b"]
+        assert out["b"].n == 3
+
 
 class TestTable2Stability:
     def test_headline_stable_across_seeds(self):

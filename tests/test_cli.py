@@ -48,3 +48,30 @@ class TestCli:
         out = capsys.readouterr().out
         assert "run-to-empty" in out
         assert "fc-dpm" in out
+
+
+class TestRuntimeFlags:
+    @pytest.fixture(autouse=True)
+    def isolated_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("FCDPM_CACHE_DIR", str(tmp_path / "cache"))
+
+    def test_workers_flag_output_identical(self, capsys):
+        assert main(["--no-cache", "sweep", "beta"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["--no-cache", "--workers", "2", "sweep", "beta"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_cache_round_trip(self, capsys, tmp_path):
+        assert main(["table2"]) == 0
+        first = capsys.readouterr().out
+        assert (tmp_path / "cache").exists()
+        assert main(["table2"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_no_cache_writes_nothing(self, capsys, tmp_path):
+        assert main(["--no-cache", "table2"]) == 0
+        assert not (tmp_path / "cache").exists()
+
+    def test_workers_zero_means_all_cores(self, capsys):
+        assert main(["--no-cache", "--workers", "0", "sweep", "recharge"]) == 0
+        assert "sweep: recharge" in capsys.readouterr().out
