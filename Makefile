@@ -2,13 +2,22 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-smoke report export examples all
+.PHONY: install test lint bench bench-smoke report export examples all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Static checks: ruff if available, byte-compilation always.
+lint:
+	@if $(PYTHON) -c "import ruff" 2>/dev/null; then \
+		$(PYTHON) -m ruff check .; \
+	else \
+		echo "ruff not installed (pip install -e '.[lint]'); skipping ruff"; \
+	fi
+	$(PYTHON) -m compileall -q src tests benchmarks examples
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -10,7 +10,8 @@ The package provides the fuel-cell hybrid power source substrate
 workload models (:mod:`repro.devices`, :mod:`repro.workload`), DPM
 policies and predictors (:mod:`repro.dpm`, :mod:`repro.prediction`),
 the paper's optimization framework and FC-DPM algorithm
-(:mod:`repro.core`), simulators (:mod:`repro.sim`) and experiment
+(:mod:`repro.core`), simulators (:mod:`repro.sim`), declarative
+experiment scenarios (:mod:`repro.scenario`) and experiment
 regeneration (:mod:`repro.analysis`).
 
 Quickstart::
@@ -30,7 +31,14 @@ from .fuelcell import (
     ConstantSystemEfficiency,
     ComposedSystemEfficiency,
 )
-from .power import HybridPowerSource, SuperCapacitor, LiIonBattery
+from .power import (
+    BatteryOnlySource,
+    HybridPowerSource,
+    LiIonBattery,
+    MultiStackHybrid,
+    PowerSource,
+    SuperCapacitor,
+)
 from .devices import (
     DeviceParams,
     DPMDevice,
@@ -52,6 +60,7 @@ from .core import (
     PowerManager,
 )
 from .sim import SlotSimulator, simulate_policies
+from .scenario import Scenario, get_scenario, scenario_names
 from .analysis import table2, table3, fig4_motivational
 
 __version__ = "1.0.0"
@@ -67,7 +76,10 @@ __all__ = [
     "LinearSystemEfficiency",
     "ConstantSystemEfficiency",
     "ComposedSystemEfficiency",
+    "PowerSource",
     "HybridPowerSource",
+    "MultiStackHybrid",
+    "BatteryOnlySource",
     "SuperCapacitor",
     "LiIonBattery",
     "DeviceParams",
@@ -92,6 +104,9 @@ __all__ = [
     "PowerManager",
     "SlotSimulator",
     "simulate_policies",
+    "Scenario",
+    "get_scenario",
+    "scenario_names",
     "table2",
     "table3",
     "fig4_motivational",

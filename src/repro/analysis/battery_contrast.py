@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 from ..errors import ConfigurationError
 from ..fuelcell.efficiency import LinearSystemEfficiency, SystemEfficiencyModel
+from ..power.battery_only import BatteryOnlySource
 from ..power.storage import LiIonBattery
 
 
@@ -59,9 +60,9 @@ def battery_shaping_cost(
     if avg_current <= 0 or cycle <= 0 or n_cycles < 1:
         raise ConfigurationError("bad shaping parameters")
 
-    def fresh() -> LiIonBattery:
+    def fresh() -> BatteryOnlySource:
         if battery is not None:
-            return LiIonBattery(
+            store = LiIonBattery(
                 capacity=battery.capacity,
                 initial_charge=battery.capacity,
                 rated_current=battery.rated_current,
@@ -69,32 +70,34 @@ def battery_shaping_cost(
                 recovery_fraction=battery.recovery_fraction,
                 recovery_tau=battery.recovery_tau,
             )
-        # Recovery-dominant chemistry (the refs [5, 8] premise): most of
-        # the rate-capacity waste is recoverable during rests.
-        return LiIonBattery(
-            capacity=1e6,
-            initial_charge=1e6,
-            rated_current=0.4,
-            peukert=1.3,
-            recovery_fraction=0.85,
-            recovery_tau=5.0,
-        )
+        else:
+            # Recovery-dominant chemistry (the refs [5, 8] premise): most
+            # of the rate-capacity waste is recoverable during rests.
+            store = LiIonBattery(
+                capacity=1e6,
+                initial_charge=1e6,
+                rated_current=0.4,
+                peukert=1.3,
+                recovery_fraction=0.85,
+                recovery_tau=5.0,
+            )
+        return BatteryOnlySource(store)
 
     delivered = avg_current * cycle * n_cycles
 
-    flat_batt = fresh()
+    flat = fresh()
     for _ in range(n_cycles):
-        flat_batt.step(-avg_current, cycle)
-    flat_drawn = flat_batt.capacity - flat_batt.charge
+        flat.step(avg_current, cycle)
+    flat_drawn = flat.storage.capacity - flat.storage.charge
 
-    pulsed_batt = fresh()
+    pulsed = fresh()
     burst = avg_current / duty
     for _ in range(n_cycles):
-        pulsed_batt.step(-burst, duty * cycle)
-        pulsed_batt.step(0.0, (1 - duty) * cycle)
+        pulsed.step(burst, duty * cycle)
+        pulsed.step(0.0, (1 - duty) * cycle)
     # Let the final rest complete so recovery is fully credited.
-    pulsed_batt.step(0.0, 10 * pulsed_batt.recovery_tau)
-    pulsed_drawn = pulsed_batt.capacity - pulsed_batt.charge
+    pulsed.step(0.0, 10 * pulsed.storage.recovery_tau)
+    pulsed_drawn = pulsed.storage.capacity - pulsed.storage.charge
 
     return ShapingCost(flat=flat_drawn / delivered, pulsed=pulsed_drawn / delivered)
 

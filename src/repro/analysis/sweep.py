@@ -36,6 +36,22 @@ def _exp1_trace(seed: int) -> LoadTrace:
     return generate_mpeg_trace(seed=seed)
 
 
+def _sweep_base(scenario, seed: int) -> tuple[LoadTrace, DeviceParams]:
+    """Workload + device for a sweep: Experiment 1 or a named scenario.
+
+    ``scenario`` is a registry name or a
+    :class:`~repro.scenario.spec.Scenario`; ``None`` keeps the historical
+    Experiment-1 default bit-identically.  Only the scenario's workload
+    and device are used -- the swept knob itself overrides the rest.
+    """
+    if scenario is None:
+        return _exp1_trace(seed), camcorder_device_params()
+    from ..scenario import Scenario, get_scenario
+
+    sc = scenario if isinstance(scenario, Scenario) else get_scenario(scenario)
+    return sc.build_trace(seed), sc.build_device()
+
+
 # -- per-point task functions (module-level so they pickle) -----------------
 
 
@@ -127,6 +143,7 @@ def storage_capacity_sweep(
     capacities=(1.0, 2.0, 4.0, 6.0, 12.0, 24.0, 60.0),
     seed: int = 2007,
     workers: int = 1,
+    scenario=None,
 ) -> dict[float, dict[str, float]]:
     """Normalized fuel vs storage capacity ``Cmax``.
 
@@ -139,23 +156,23 @@ def storage_capacity_sweep(
     for cap in capacity_list:
         if cap <= 0:
             raise ConfigurationError("capacity must be positive")
-    trace = _exp1_trace(seed)
-    dev = camcorder_device_params()
+    trace, dev = _sweep_base(scenario, seed)
     results = ParallelMap(workers=workers).map(
         partial(_storage_capacity_point, trace, dev), capacity_list
     )
     return dict(zip(capacity_list, results))
 
 
-def predictor_sweep(seed: int = 2007, workers: int = 1) -> dict[str, float]:
+def predictor_sweep(
+    seed: int = 2007, workers: int = 1, scenario=None
+) -> dict[str, float]:
     """FC-DPM fuel (normalized to Conv-DPM) per idle-period predictor.
 
     Exercises the exponential filter the paper uses against last-value,
     regression, and learning-tree predictors -- quantifying how much
     headroom better prediction buys.
     """
-    trace = _exp1_trace(seed)
-    dev = camcorder_device_params()
+    trace, dev = _sweep_base(scenario, seed)
     names = list(_PREDICTOR_FACTORIES)
     results = ParallelMap(workers=workers).map(
         partial(_predictor_point, trace, dev), names
@@ -167,6 +184,7 @@ def efficiency_slope_sweep(
     betas=(0.0, 0.04, 0.08, 0.13, 0.18, 0.24),
     seed: int = 2007,
     workers: int = 1,
+    scenario=None,
 ) -> dict[float, float]:
     """FC-DPM's fuel saving over ASAP-DPM versus the efficiency slope.
 
@@ -176,8 +194,7 @@ def efficiency_slope_sweep(
     ``{beta: fractional_saving_vs_asap}``.
     """
     beta_list = list(betas)
-    trace = _exp1_trace(seed)
-    dev = camcorder_device_params()
+    trace, dev = _sweep_base(scenario, seed)
     results = ParallelMap(workers=workers).map(
         partial(_efficiency_slope_point, trace, dev), beta_list
     )
@@ -188,6 +205,7 @@ def recharge_threshold_sweep(
     thresholds=(0.1, 0.25, 0.5, 0.75, 0.9),
     seed: int = 2007,
     workers: int = 1,
+    scenario=None,
 ) -> dict[float, float]:
     """ASAP-DPM fuel (normalized to Conv-DPM) vs recharge threshold.
 
@@ -195,8 +213,7 @@ def recharge_threshold_sweep(
     this sweep shows its (mild) sensitivity.
     """
     threshold_list = list(thresholds)
-    trace = _exp1_trace(seed)
-    dev = camcorder_device_params()
+    trace, dev = _sweep_base(scenario, seed)
     results = ParallelMap(workers=workers).map(
         partial(_recharge_threshold_point, trace, dev), threshold_list
     )

@@ -10,6 +10,7 @@ the paper's tables and figures::
     fcdpm fig4              # motivational example
     fcdpm fig7              # current profiles (first 300 s)
     fcdpm sweep <name>      # ablation sweeps
+    fcdpm run --scenario X  # run one named scenario (run --list to list)
 
 Global knobs: ``--workers N`` fans seed sweeps and ablations out over N
 processes (results stay bit-identical; default 1 = serial) and results
@@ -41,6 +42,7 @@ from .analysis.sweep import (
     storage_capacity_sweep,
 )
 from .runtime.cache import ResultCache
+from .scenario import experiment_scenarios, get_scenario, scenario_names
 
 
 def _cache(args: argparse.Namespace) -> ResultCache:
@@ -48,10 +50,26 @@ def _cache(args: argparse.Namespace) -> ResultCache:
     return ResultCache(enabled=not args.no_cache)
 
 
+def _workers_arg(value: str) -> int:
+    """Validated ``--workers``: a non-negative int (0 = all cores)."""
+    try:
+        workers = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"workers must be an integer, got {value!r}")
+    if workers < 0:
+        raise argparse.ArgumentTypeError(
+            f"workers must be >= 0 (0 = all cores), got {workers}"
+        )
+    return workers
+
+
 def _cmd_table(which: str, args: argparse.Namespace) -> int:
+    # The cache key names the exact scenarios behind the table, so
+    # editing a registered configuration invalidates the entry.
+    scenarios = experiment_scenarios("exp1" if which == "table2" else "exp2")
     result = _cache(args).cached(
         which,
-        {"seed": args.seed},
+        {"seed": args.seed, "scenarios": [sc.to_dict() for sc in scenarios]},
         lambda: table2(seed=args.seed) if which == "table2" else table3(seed=args.seed),
     )
     print(format_table(result.rows(), title=f"{result.name} (normalized fuel)"))
@@ -128,6 +146,43 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.list or args.scenario is None:
+        rows = [["scenario", "description"]]
+        for name in scenario_names():
+            rows.append([name, get_scenario(name).description])
+        print(format_table(rows, title="registered scenarios"))
+        if args.scenario is None and not args.list:
+            print("pick one with: fcdpm run --scenario <name>")
+        return 0
+    sc = get_scenario(args.scenario)
+
+    def compute() -> dict[str, float]:
+        from .sim.slotsim import SlotSimulator
+
+        result = SlotSimulator(sc.build_manager()).run(sc.build_trace(args.seed))
+        return {
+            "fuel": result.fuel,
+            "load_charge": result.load_charge,
+            "bled": result.bled,
+            "deficit": result.deficit,
+            "duration": result.duration,
+            "n_sleeps": float(result.n_sleeps),
+            "wakeup_latency": result.wakeup_latency,
+        }
+
+    metrics = _cache(args).cached(
+        "run", {"seed": args.seed, "scenario": sc.to_dict()}, compute
+    )
+    rows = [["metric", "value"]]
+    for key, value in metrics.items():
+        rows.append([key, f"{value:.6g}"])
+    print(format_table(rows, title=f"scenario: {sc.name} (seed {args.seed})"))
+    if sc.description:
+        print(sc.description)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for the ``fcdpm`` console script."""
     parser = argparse.ArgumentParser(
@@ -137,7 +192,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=2007, help="trace RNG seed")
     parser.add_argument(
         "--workers",
-        type=int,
+        type=_workers_arg,
         default=1,
         help="processes for seed sweeps and ablations (default 1 = serial; "
         "0 = all cores); results are bit-identical for any value",
@@ -152,6 +207,12 @@ def main(argv: list[str] | None = None) -> int:
         sub.add_parser(name, help=f"regenerate {name}")
     sweep = sub.add_parser("sweep", help="run an ablation sweep")
     sweep.add_argument("name", help="storage | predictor | beta | recharge")
+
+    run = sub.add_parser("run", help="run one named scenario")
+    run.add_argument("--scenario", help="registered scenario name")
+    run.add_argument(
+        "--list", action="store_true", help="list registered scenarios"
+    )
 
     sub.add_parser("report", help="run the full evaluation report")
     export = sub.add_parser("export", help="write figure/table CSVs")
@@ -204,6 +265,7 @@ def main(argv: list[str] | None = None) -> int:
         "fig4": _cmd_fig4,
         "fig7": _cmd_fig7,
         "sweep": _cmd_sweep,
+        "run": _cmd_run,
     }
     return handlers[args.command](args)
 

@@ -21,6 +21,7 @@ from ..fuelcell.efficiency import LinearSystemEfficiency, SystemEfficiencyModel
 from ..fuelcell.fuel import FuelTank, GibbsFuelModel
 from ..fuelcell.system import FCSystem
 from ..power.hybrid import HybridPowerSource
+from ..power.source import PowerSource
 from ..power.storage import ChargeStorage, SuperCapacitor
 from ..prediction.exponential import ExponentialAveragePredictor
 from .baselines import ASAPDPMController, ConvDPMController, SourceController
@@ -40,7 +41,7 @@ class PowerManager:
     device: DeviceParams
     policy: DPMPolicy
     controller: SourceController
-    source: HybridPowerSource
+    source: PowerSource
 
     # -- factories ---------------------------------------------------------
 

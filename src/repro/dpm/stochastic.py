@@ -67,11 +67,20 @@ class GeometricMixture:
         )
 
     def posterior_long(self, t: float) -> float:
-        """``P(long mode | T > t)`` -- survival sharpens the belief."""
-        s = self.survival(t)
-        if s == 0:
+        """``P(long mode | T > t)`` -- survival sharpens the belief.
+
+        Computed from the mode-survival *ratio* rather than the two raw
+        survivals: exact for ``tau_short == tau_long`` (constant
+        ``1 - w``) and monotone in ``t``, where the naive quotient loses
+        both to cancellation once the exponentials underflow.
+        """
+        if t < 0:
+            raise RangeError("time cannot be negative")
+        ratio = math.exp(-t * (1.0 / self.tau_short - 1.0 / self.tau_long))
+        denom = self.w * ratio + (1 - self.w)
+        if denom == 0:
             return 1.0
-        return (1 - self.w) * math.exp(-t / self.tau_long) / s
+        return (1 - self.w) / denom
 
     def expected_remaining(self, t: float) -> float:
         """``E[T - t | T > t]`` -- memoryless within each mode."""

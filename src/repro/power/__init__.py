@@ -1,4 +1,11 @@
-"""Power-electronics substrate: DC-DC converters, charge storage, hybrid source."""
+"""Power-electronics substrate: converters, storage, pluggable power sources.
+
+The plant seam is :class:`~repro.power.source.PowerSource`; the
+reference implementation is the paper's single-stack
+:class:`~repro.power.hybrid.HybridPowerSource`, with
+:class:`~repro.power.multistack.MultiStackHybrid` and
+:class:`~repro.power.battery_only.BatteryOnlySource` proving the seam.
+"""
 
 from .converter import (
     ConverterModel,
@@ -8,7 +15,15 @@ from .converter import (
     PWMPFMConverter,
 )
 from .storage import ChargeStorage, SuperCapacitor, LiIonBattery, IdealStorage
+from .source import PowerSource, SourceStep
 from .hybrid import HybridPowerSource, HybridStep
+from .multistack import (
+    MultiStackHybrid,
+    LoadSharingStrategy,
+    EqualShare,
+    EfficiencyProportional,
+)
+from .battery_only import BatteryOnlySource
 
 __all__ = [
     "ConverterModel",
@@ -20,6 +35,13 @@ __all__ = [
     "SuperCapacitor",
     "LiIonBattery",
     "IdealStorage",
+    "PowerSource",
+    "SourceStep",
     "HybridPowerSource",
     "HybridStep",
+    "MultiStackHybrid",
+    "LoadSharingStrategy",
+    "EqualShare",
+    "EfficiencyProportional",
+    "BatteryOnlySource",
 ]

@@ -10,49 +10,31 @@ output ``IF`` and the embedded-system load ``Ild``:
   the storage; an empty storage means the load is not met, which the
   simulator records as a brown-out deficit (a policy bug if it happens).
 
-The class keeps a full ledger -- fuel burned, energy delivered, charge
+This is the reference implementation of the
+:class:`~repro.power.source.PowerSource` protocol: the shared base
+class keeps the full ledger -- fuel burned, energy delivered, charge
 bled, deficits -- so policies can be compared on exactly the quantities
 the paper tabulates.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from ..errors import RangeError
+from .source import PowerSource, SourceStep
 from .storage import ChargeStorage, SuperCapacitor
 
 if TYPE_CHECKING:  # avoid a circular import with repro.fuelcell at runtime
     from ..fuelcell.system import FCSystem
 
-
-@dataclass(frozen=True)
-class HybridStep:
-    """Record of one constant-current interval of hybrid operation."""
-
-    #: Interval length (s).
-    dt: float
-    #: Embedded-system load current (A).
-    i_load: float
-    #: FC system output current (A).
-    i_f: float
-    #: FC stack current (A) -- the fuel rate.
-    i_fc: float
-    #: Fuel consumed this interval (stack A-s).
-    fuel: float
-    #: Signed storage charge change actually applied (A-s).
-    storage_delta: float
-    #: Charge dissipated in the bleeder this interval (A-s).
-    bled: float
-    #: Unmet load charge this interval (A-s); nonzero means brown-out.
-    deficit: float
-    #: Storage charge after the interval (A-s).
-    storage_charge: float
+#: Backward-compatible alias: one hybrid interval is one source step.
+HybridStep = SourceStep
 
 
-class HybridPowerSource:
+class HybridPowerSource(PowerSource):
     """FC system + charge storage, with conservation bookkeeping."""
+
+    kind = "hybrid"
 
     def __init__(
         self,
@@ -64,16 +46,16 @@ class HybridPowerSource:
 
             fc = FCSystem.paper_system()
         self.fc = fc
-        self.storage = (
+        super().__init__(
             storage if storage is not None else SuperCapacitor(capacity=6.0)
         )
-        self.total_fuel = 0.0
-        self.total_load_charge = 0.0
-        self.total_time = 0.0
-        self.history: list[HybridStep] = []
-        self.record_history = True
 
     # -- control -------------------------------------------------------------
+
+    @property
+    def v_out(self) -> float:
+        """Regulated rail voltage (V), set by the FC system's converter."""
+        return self.fc.v_out
 
     def set_fc_output(self, i_f: float, *, clamp: bool = True) -> float:
         """Command the FC system output current (delegates to the FC)."""
@@ -81,65 +63,15 @@ class HybridPowerSource:
 
     # -- dynamics ------------------------------------------------------------
 
-    def step(self, i_load: float, dt: float, *, strict_fuel: bool = True) -> HybridStep:
-        """Advance ``dt`` seconds with constant load ``i_load`` (A).
-
-        The FC holds its commanded output; the storage absorbs/sources
-        the difference.  Returns the step ledger entry.
-        """
-        if i_load < 0:
-            raise RangeError("load current cannot be negative")
-        if dt < 0:
-            raise RangeError("dt cannot be negative")
-
+    def _generate(
+        self, dt: float, strict_fuel: bool
+    ) -> tuple[float, float, float, tuple[float, ...]]:
         i_f = self.fc.output_current
         i_fc = self.fc.fc_current()
         fuel = self.fc.run(dt, strict_fuel=strict_fuel)
-
-        bled_before = self.storage.bled_charge
-        deficit_before = self.storage.deficit_charge
-        delta = self.storage.step(i_f - i_load, dt)
-        bled = self.storage.bled_charge - bled_before
-        deficit = self.storage.deficit_charge - deficit_before
-
-        self.total_fuel += fuel
-        self.total_load_charge += i_load * dt
-        self.total_time += dt
-
-        record = HybridStep(
-            dt=dt,
-            i_load=i_load,
-            i_f=i_f,
-            i_fc=i_fc,
-            fuel=fuel,
-            storage_delta=delta,
-            bled=bled,
-            deficit=deficit,
-            storage_charge=self.storage.charge,
-        )
-        if self.record_history:
-            self.history.append(record)
-        return record
-
-    # -- reporting -----------------------------------------------------------
-
-    @property
-    def delivered_energy(self) -> float:
-        """Energy delivered to the load so far (J) at the regulated rail."""
-        return self.fc.v_out * self.total_load_charge
-
-    @property
-    def average_fuel_rate(self) -> float:
-        """Mean stack current over the run (A)."""
-        if self.total_time == 0:
-            return 0.0
-        return self.total_fuel / self.total_time
+        return i_f, i_fc, fuel, (i_f,)
 
     def reset(self, storage_charge: float = 0.0) -> None:
         """Reset ledgers, fuel tank and storage for a fresh run."""
-        self.total_fuel = 0.0
-        self.total_load_charge = 0.0
-        self.total_time = 0.0
-        self.history.clear()
-        self.storage.reset(storage_charge)
+        super().reset(storage_charge)
         self.fc.tank.reset()

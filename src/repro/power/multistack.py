@@ -1,0 +1,163 @@
+"""Multi-stack hybrid source: N FC systems behind one charge storage.
+
+Small FC stacks are cheaper to manufacture and cool than one large
+stack, so production hybrids gang several systems on the shared rail
+(Shi et al., *Health-aware energy management for multiple stack hydrogen
+fuel cell and battery hybrid systems*; Suresh et al., *Optimal Power
+Distribution Control for a Network of Fuel Cell Stacks*).  The
+controller still commands one total output current; a pluggable
+:class:`LoadSharingStrategy` decides how that total is split across the
+stacks:
+
+* :class:`EqualShare` -- every stack carries ``I/N``.  For identical
+  stacks with an efficiency law that falls with load this is also the
+  fuel-optimal split (the fuel map is convex, so equalizing currents
+  minimises total stack current).
+* :class:`EfficiencyProportional` -- stacks carry load in proportion to
+  their system efficiency near the operating point, so a degraded or
+  smaller stack is automatically relieved (the health-aware rule of the
+  multi-stack papers, evaluated at the equal-share point).
+
+Each FC system keeps its own fuel tank and load-following range; the
+shared storage buffers the difference between the summed output and the
+load exactly as in the single-stack hybrid.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+from ..errors import ConfigurationError
+from .source import PowerSource
+from .storage import ChargeStorage, SuperCapacitor
+
+if TYPE_CHECKING:  # avoid a circular import with repro.fuelcell at runtime
+    from ..fuelcell.system import FCSystem
+
+
+class LoadSharingStrategy(ABC):
+    """Splits one commanded total output current across N FC systems."""
+
+    @abstractmethod
+    def shares(self, i_total: float, systems: Sequence["FCSystem"]) -> list[float]:
+        """Per-system output-current commands summing to ``i_total``.
+
+        The commands are *requests*: each system still clamps its share
+        into its own load-following range.
+        """
+
+
+class EqualShare(LoadSharingStrategy):
+    """Every stack carries ``i_total / N`` (fuel-optimal for twins)."""
+
+    def shares(self, i_total: float, systems: Sequence["FCSystem"]) -> list[float]:
+        n = len(systems)
+        return [i_total / n] * n
+
+
+class EfficiencyProportional(LoadSharingStrategy):
+    """Share in proportion to each system's efficiency at ``I/N``.
+
+    A one-step relaxation of the health-aware optimal dispatch: evaluate
+    every stack's system efficiency at the equal-share operating point
+    and let the more efficient stacks carry proportionally more of the
+    load.  Identical stacks degenerate to :class:`EqualShare` exactly.
+    """
+
+    def shares(self, i_total: float, systems: Sequence["FCSystem"]) -> list[float]:
+        n = len(systems)
+        base = i_total / n
+        weights = [
+            max(fc.model.efficiency(fc.model.clamp(base)), 1e-12) for fc in systems
+        ]
+        total = sum(weights)
+        return [i_total * w / total for w in weights]
+
+
+class MultiStackHybrid(PowerSource):
+    """N FC systems + one shared charge storage.
+
+    Parameters
+    ----------
+    systems:
+        The FC systems (each with its own efficiency model and tank).
+        All must regulate to the same rail voltage.
+    storage:
+        Shared charge buffer; defaults to the paper's 6 A-s supercap.
+    sharing:
+        Load-sharing strategy; defaults to :class:`EqualShare`.
+    """
+
+    kind = "multi-stack"
+
+    def __init__(
+        self,
+        systems: Sequence["FCSystem"],
+        storage: ChargeStorage | None = None,
+        sharing: LoadSharingStrategy | None = None,
+    ) -> None:
+        systems = list(systems)
+        if not systems:
+            raise ConfigurationError("need at least one FC system")
+        rails = {fc.v_out for fc in systems}
+        if len(rails) != 1:
+            raise ConfigurationError(
+                f"all stacks must regulate to one rail voltage, got {sorted(rails)}"
+            )
+        self.systems = systems
+        self.sharing = sharing if sharing is not None else EqualShare()
+        super().__init__(
+            storage if storage is not None else SuperCapacitor(capacity=6.0)
+        )
+
+    # -- control -------------------------------------------------------------
+
+    @property
+    def v_out(self) -> float:
+        """Shared regulated rail voltage (V)."""
+        return self.systems[0].v_out
+
+    @property
+    def n_stacks(self) -> int:
+        """Number of ganged FC systems."""
+        return len(self.systems)
+
+    @property
+    def load_following_range(self) -> tuple[float, float]:
+        """Aggregate ``(sum IF_min, sum IF_max)`` across the stacks (A)."""
+        return (
+            sum(fc.model.if_min for fc in self.systems),
+            sum(fc.model.if_max for fc in self.systems),
+        )
+
+    def set_fc_output(self, i_f: float, *, clamp: bool = True) -> float:
+        """Command a total output; returns the total actually realised.
+
+        The sharing strategy proposes per-stack commands; each stack
+        clamps its own share into its load-following range, so the
+        realised total can differ from the command near the range edges.
+        """
+        shares = self.sharing.shares(i_f, self.systems)
+        return sum(
+            fc.set_output(share, clamp=clamp)
+            for fc, share in zip(self.systems, shares)
+        )
+
+    # -- dynamics ------------------------------------------------------------
+
+    def _generate(
+        self, dt: float, strict_fuel: bool
+    ) -> tuple[float, float, float, tuple[float, ...]]:
+        stack_currents = tuple(fc.output_current for fc in self.systems)
+        i_f = sum(stack_currents)
+        i_fc = sum(fc.fc_current() for fc in self.systems)
+        fuel = sum(fc.run(dt, strict_fuel=strict_fuel) for fc in self.systems)
+        return i_f, i_fc, fuel, stack_currents
+
+    def reset(self, storage_charge: float = 0.0) -> None:
+        """Reset ledgers, every stack's tank, and the shared storage."""
+        super().reset(storage_charge)
+        for fc in self.systems:
+            fc.tank.reset()

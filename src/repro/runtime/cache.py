@@ -33,21 +33,29 @@ from typing import Any
 _FINGERPRINT: str | None = None
 
 
-def code_fingerprint() -> str:
-    """Stable hash of every ``repro`` source file (cached per process).
+def code_fingerprint(root: Path | str | None = None) -> str:
+    """Stable hash of every ``*.py`` file under ``root``.
 
-    Any edit to the package changes the fingerprint and therefore every
-    cache key -- the "code version" part of the invalidation story.
+    ``root`` defaults to the installed ``repro`` package tree (cached
+    per process -- the common case hashes the source exactly once).
+    Adding, removing, or editing any module under the root changes the
+    fingerprint and therefore every cache key -- the "code version"
+    part of the invalidation story.
     """
     global _FINGERPRINT
-    if _FINGERPRINT is None:
-        package_root = Path(__file__).resolve().parent.parent
-        digest = hashlib.sha256()
-        for path in sorted(package_root.rglob("*.py")):
-            digest.update(str(path.relative_to(package_root)).encode())
-            digest.update(path.read_bytes())
-        _FINGERPRINT = digest.hexdigest()[:16]
-    return _FINGERPRINT
+    if root is None and _FINGERPRINT is not None:
+        return _FINGERPRINT
+    package_root = (
+        Path(__file__).resolve().parent.parent if root is None else Path(root)
+    )
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode())
+        digest.update(path.read_bytes())
+    fingerprint = digest.hexdigest()[:16]
+    if root is None:
+        _FINGERPRINT = fingerprint
+    return fingerprint
 
 
 def _canonical(params: Any) -> str:

@@ -1,0 +1,27 @@
+"""Declarative scenario layer: named, serializable experiment configs.
+
+One :class:`~repro.scenario.spec.Scenario` names a complete experimental
+setup (workload + device + policy + power source + constants) and builds
+the live objects on demand; the registry holds the paper's canonical
+configurations plus pluggable-source variants.
+"""
+
+from .spec import DeviceSpec, PolicySpec, Scenario, SourceSpec, WorkloadSpec
+from .registry import (
+    experiment_scenarios,
+    get_scenario,
+    register,
+    scenario_names,
+)
+
+__all__ = [
+    "Scenario",
+    "WorkloadSpec",
+    "DeviceSpec",
+    "PolicySpec",
+    "SourceSpec",
+    "register",
+    "get_scenario",
+    "scenario_names",
+    "experiment_scenarios",
+]

@@ -1,6 +1,13 @@
 """Simulation substrate: slot-level and event-driven trace simulators."""
 
 from .recorder import Recorder, Sample
+from .integrator import (
+    Segment,
+    SegmentIntegrator,
+    chunk_segments,
+    plan_active_segments,
+    plan_idle_segments,
+)
 from .metrics import (
     RunMetrics,
     normalized_fuel,
@@ -11,13 +18,24 @@ from .metrics import (
 from .slotsim import SlotSimulator, SimulationResult, SlotResult, simulate_policies
 from .engine import Engine, Event
 from .eventsim import EventDrivenSimulator
-from .montecarlo import SeedSummary, run_seeds, summarize, table2_metrics
+from .montecarlo import (
+    SeedSummary,
+    run_seeds,
+    scenario_metrics,
+    summarize,
+    table2_metrics,
+)
 from .faults import DegradedEfficiency, FadedStorage, NoisyPredictor
 from .lifetime import LifetimeResult, lifetime_comparison, run_until_empty
 
 __all__ = [
     "Recorder",
     "Sample",
+    "Segment",
+    "SegmentIntegrator",
+    "chunk_segments",
+    "plan_active_segments",
+    "plan_idle_segments",
     "RunMetrics",
     "normalized_fuel",
     "lifetime_extension",
@@ -32,6 +50,7 @@ __all__ = [
     "EventDrivenSimulator",
     "SeedSummary",
     "run_seeds",
+    "scenario_metrics",
     "summarize",
     "table2_metrics",
     "DegradedEfficiency",

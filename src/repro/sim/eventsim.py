@@ -4,23 +4,31 @@ Drives the same :class:`~repro.core.manager.PowerManager` abstractions
 as :class:`~repro.sim.slotsim.SlotSimulator`, but through the generic
 :class:`~repro.sim.engine.Engine`: task requests arrive as events, the
 device is a live :class:`~repro.devices.device.DPMDevice` state machine,
-and the hybrid source integrates charge between events.
+and the power source integrates charge between events.
 
-The two simulators are written against the same controller protocol but
-share no integration code; the test suite asserts their fuel totals
-agree to float precision on identical traces, which guards both against
-bookkeeping bugs.
+The two simulators are *scheduled* completely differently -- that
+independence is the cross-check -- but both execute segments through the
+shared :class:`~repro.sim.integrator.SegmentIntegrator`, so the ledger
+math exists exactly once.  The test suite asserts their fuel totals
+agree to float precision on identical traces, which guards the
+scheduling layers against bookkeeping bugs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.baselines import SegmentContext, SlotActuals, SlotStart
+from ..core.baselines import SlotActuals, SlotStart
 from ..core.manager import PowerManager
 from ..devices.device import DPMDevice
 from ..devices.states import PowerState
 from ..workload.trace import LoadTrace
+from .integrator import (
+    Segment,
+    SegmentIntegrator,
+    plan_active_segments,
+    plan_idle_segments,
+)
 from .slotsim import SimulationResult
 
 
@@ -29,7 +37,7 @@ class _PhasePlan:
     """Load segments of the phase currently executing."""
 
     phase: str
-    segments: list[tuple[float, float, str]]  # (duration, i_load, kind)
+    segments: list[Segment]
 
 
 class EventDrivenSimulator:
@@ -47,45 +55,45 @@ class EventDrivenSimulator:
         source = mgr.source
         device = DPMDevice(mgr.device)
         engine = Engine()
-        mgr.controller.start_run(source.storage.charge, source.storage.capacity)
+        integrator = SegmentIntegrator(mgr)
+        integrator.start_run()
 
         state = {
             "slot": 0,
             "n_sleeps": 0,
             "n_aborted": 0,
-            "fuel_per_slot": [],
         }
         slots = list(trace)
 
         def execute_phase(plan: _PhasePlan, then) -> None:
-            """Chain the phase's segments through timed events."""
-            remaining = sum(d for d, _i, _k in plan.segments)
-            demand = sum(d * i for d, i, _k in plan.segments)
+            """Chain the phase's segments through timed events.
+
+            Each segment is integrated when its event fires.  Events of
+            a phase chain strictly sequentially and nothing else touches
+            the source in between, so integrating at fire time sees the
+            same storage state the segment started with.
+            """
+            remaining = sum(s.duration for s in plan.segments)
+            demand = sum(s.duration * s.i_load for s in plan.segments)
 
             def run_segment(idx: int, remaining: float, demand: float) -> None:
                 if idx >= len(plan.segments):
                     then()
                     return
-                duration, i_load, kind = plan.segments[idx]
-                ctx = SegmentContext(
-                    slot_index=state["slot"],
-                    phase=plan.phase,
-                    kind=kind,
-                    duration=duration,
-                    i_load=i_load,
-                    storage_charge=source.storage.charge,
-                    storage_capacity=source.storage.capacity,
-                    phase_duration=remaining,
-                    phase_demand=demand,
-                )
-                source.set_fc_output(mgr.controller.output(ctx))
+                seg = plan.segments[idx]
 
                 def finish() -> None:
-                    source.step(i_load, duration)
-                    _account_device(kind, duration, i_load)
-                    run_segment(idx + 1, remaining - duration, demand - i_load * duration)
+                    integrator.integrate(
+                        state["slot"], plan.phase, seg, remaining, demand
+                    )
+                    _account_device(seg.kind, seg.duration, seg.i_load)
+                    run_segment(
+                        idx + 1,
+                        remaining - seg.duration,
+                        demand - seg.i_load * seg.duration,
+                    )
 
-                engine.schedule(duration, finish)
+                engine.schedule(seg.duration, finish)
 
             run_segment(0, remaining, demand)
 
@@ -117,10 +125,10 @@ class EventDrivenSimulator:
             slot = slots[state["slot"]]
             decision = mgr.policy.on_idle_start()
             p = mgr.device
-            overhead = decision.sleep_after + p.t_pd + p.t_wu
-            slept = decision.sleep and slot.t_idle >= overhead
-            if decision.sleep and not slept:
-                state["n_aborted"] += 1
+            idle_segments, slept, aborted = plan_idle_segments(
+                p, slot.t_idle, decision.sleep, decision.sleep_after
+            )
+            state["n_aborted"] += aborted
             state["n_sleeps"] += slept
 
             mgr.controller.on_idle_start(
@@ -132,22 +140,7 @@ class EventDrivenSimulator:
                 )
             )
 
-            if slept:
-                idle_segments = []
-                if decision.sleep_after > 0:
-                    idle_segments.append(
-                        (decision.sleep_after, p.i_sdb, "standby")
-                    )
-                idle_segments.append((p.t_pd, p.i_pd, "pd"))
-                dwell = slot.t_idle - overhead
-                if dwell > 0:
-                    idle_segments.append((dwell, p.i_slp, "sleep"))
-                idle_segments.append((p.t_wu, p.i_wu, "wu"))
-            else:
-                idle_segments = [(slot.t_idle, p.i_sdb, "standby")]
-
-            active_duration = p.t_sdb_to_run + slot.t_active + p.t_run_to_sdb
-            active = _PhasePlan("active", [(active_duration, slot.i_active, "run")])
+            active = _PhasePlan("active", plan_active_segments(p, slot))
 
             def after_active() -> None:
                 mgr.policy.on_idle_end(slot.t_idle)

@@ -1,0 +1,198 @@
+"""Shared per-segment integration core for both trace simulators.
+
+The slot-level simulator (:mod:`repro.sim.slotsim`) and the event-driven
+simulator (:mod:`repro.sim.eventsim`) schedule work completely
+differently -- closed-form slot iteration vs a calendar-queue engine --
+and that independence is deliberate: their agreeing fuel totals is the
+repository's strongest internal cross-check.  What they must *not* do is
+re-implement the ledger math.  This module owns the single copy of
+
+* the segment layout rules (how an idle period decomposes into
+  standby / power-down / sleep / wake-up segments, and how STANDBY<->RUN
+  overheads are absorbed into the active period -- the timeline
+  convention documented in DESIGN.md), and
+* the per-segment integration step (build the
+  :class:`~repro.core.baselines.SegmentContext`, ask the controller for
+  an output current, command the :class:`~repro.power.source.PowerSource`,
+  integrate one interval, feed the recorder).
+
+Each simulator decides *when* a segment executes; the
+:class:`SegmentIntegrator` decides what executing it means.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..core.baselines import SegmentContext
+from .recorder import Recorder, Sample
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.manager import PowerManager
+    from ..devices.device import DeviceParams
+    from ..power.source import SourceStep
+    from ..workload.trace import TaskSlot
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One constant-load interval of the simulated timeline."""
+
+    #: Segment length (s).
+    duration: float
+    #: Load current during the segment (A).
+    i_load: float
+    #: 'standby' | 'pd' | 'sleep' | 'wu' | 'run'.
+    kind: str
+
+
+# -- segment layout ---------------------------------------------------------
+
+
+def plan_idle_segments(
+    device: "DeviceParams", t_idle: float, sleep: bool, sleep_after: float
+) -> tuple[list[Segment], bool, bool]:
+    """Lay out one idle period; returns ``(segments, slept, aborted)``.
+
+    A sleeping idle period is ``[standby dwell][power-down][sleep]
+    [wake-up]`` summing to ``t_idle``; an idle period too short to host
+    the committed sleep stays in STANDBY and counts as an aborted sleep.
+    """
+    if not sleep:
+        return [Segment(t_idle, device.i_sdb, "standby")], False, False
+    overhead = sleep_after + device.t_pd + device.t_wu
+    if t_idle < overhead:
+        # The idle period cannot host the committed sleep: the device
+        # stays in STANDBY (counted as an aborted sleep).
+        return [Segment(t_idle, device.i_sdb, "standby")], False, True
+    segments = []
+    if sleep_after > 0:
+        segments.append(Segment(sleep_after, device.i_sdb, "standby"))
+    segments.append(Segment(device.t_pd, device.i_pd, "pd"))
+    dwell = t_idle - overhead
+    if dwell > 0:
+        segments.append(Segment(dwell, device.i_slp, "sleep"))
+    segments.append(Segment(device.t_wu, device.i_wu, "wu"))
+    return segments, True, False
+
+
+def plan_active_segments(device: "DeviceParams", slot: "TaskSlot") -> list[Segment]:
+    """The active period with STANDBY<->RUN overheads absorbed.
+
+    The transitions run at the slot's active current, as the paper does
+    (Section 3.3.2, assumption 2).
+    """
+    duration = device.t_sdb_to_run + slot.t_active + device.t_run_to_sdb
+    return [Segment(duration, slot.i_active, "run")]
+
+
+def chunk_segments(
+    segments: list[Segment], max_segment: float | None
+) -> list[Segment]:
+    """Split long segments into equal re-decision chunks (if configured)."""
+    if max_segment is None:
+        return segments
+    out: list[Segment] = []
+    for seg in segments:
+        if seg.duration <= max_segment:
+            out.append(seg)
+            continue
+        n = math.ceil(seg.duration / max_segment)
+        chunk = seg.duration / n
+        out.extend(Segment(chunk, seg.i_load, seg.kind) for _ in range(n))
+    return out
+
+
+def phase_totals(segments: list[Segment]) -> tuple[float, float]:
+    """``(duration, load charge)`` of a phase -- the controller's lookahead."""
+    return (
+        sum(s.duration for s in segments),
+        sum(s.duration * s.i_load for s in segments),
+    )
+
+
+# -- integration ------------------------------------------------------------
+
+
+class SegmentIntegrator:
+    """Executes segments against one manager's controller + power source.
+
+    Owns the simulation clock (``t_now``), the optional
+    :class:`~repro.sim.recorder.Recorder`, and the one copy of the
+    controller-query / source-step sequence.  Simulators call
+    :meth:`integrate` per segment in whatever order their scheduling
+    produces; :meth:`run_phase` is the convenience loop for schedulers
+    that execute a whole phase back to back.
+    """
+
+    def __init__(self, manager: "PowerManager", recorder: Recorder | None = None) -> None:
+        self.manager = manager
+        self.recorder = recorder
+        self.t_now = 0.0
+
+    def start_run(self) -> None:
+        """Announce the run to the controller (records ``Cini(1)``)."""
+        source = self.manager.source
+        self.manager.controller.start_run(
+            source.storage.charge, source.storage.capacity
+        )
+
+    def integrate(
+        self,
+        slot_index: int,
+        phase: str,
+        segment: Segment,
+        phase_duration: float,
+        phase_demand: float,
+    ) -> "SourceStep":
+        """Execute one segment: query the controller, step the source.
+
+        ``phase_duration`` / ``phase_demand`` are the remaining time and
+        load charge of the current phase *including* this segment.
+        """
+        mgr = self.manager
+        source = mgr.source
+        ctx = SegmentContext(
+            slot_index=slot_index,
+            phase=phase,
+            kind=segment.kind,
+            duration=segment.duration,
+            i_load=segment.i_load,
+            storage_charge=source.storage.charge,
+            storage_capacity=source.storage.capacity,
+            phase_duration=phase_duration,
+            phase_demand=phase_demand,
+        )
+        source.set_fc_output(mgr.controller.output(ctx))
+        step = source.step(segment.i_load, segment.duration)
+        if self.recorder is not None:
+            self.recorder.add(
+                Sample(
+                    t=self.t_now,
+                    dt=segment.duration,
+                    i_load=segment.i_load,
+                    i_f=step.i_f,
+                    i_fc=step.i_fc,
+                    storage_charge=source.storage.charge,
+                    fuel_cumulative=source.total_fuel,
+                    kind=segment.kind,
+                    source_kind=step.source_kind,
+                    stack_currents=step.stack_currents,
+                )
+            )
+        self.t_now += segment.duration
+        return step
+
+    def run_phase(
+        self, slot_index: int, phase: str, segments: list[Segment]
+    ) -> list["SourceStep"]:
+        """Execute a whole phase back to back; returns the step records."""
+        remaining, demand = phase_totals(segments)
+        steps = []
+        for seg in segments:
+            steps.append(self.integrate(slot_index, phase, seg, remaining, demand))
+            remaining -= seg.duration
+            demand -= seg.i_load * seg.duration
+        return steps

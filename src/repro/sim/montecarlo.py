@@ -130,3 +130,23 @@ def table2_metrics(seed: int) -> dict[str, float]:
     out = dict(result.normalized)
     out["fc_saving_vs_asap"] = result.fc_vs_asap_saving
     return out
+
+
+def scenario_metrics(name: str, seed: int) -> dict[str, float]:
+    """Run one registered scenario on one seed; returns its run metrics.
+
+    Module-level (not a closure) so ``functools.partial(scenario_metrics,
+    name)`` stays picklable for multi-process :func:`run_seeds` fan-out.
+    """
+    from ..scenario import get_scenario
+    from .slotsim import SlotSimulator
+
+    sc = get_scenario(name)
+    result = SlotSimulator(sc.build_manager()).run(sc.build_trace(seed))
+    return {
+        "fuel": result.fuel,
+        "load_charge": result.load_charge,
+        "bled": result.bled,
+        "deficit": result.deficit,
+        "n_sleeps": float(result.n_sleeps),
+    }

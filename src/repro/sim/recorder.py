@@ -21,6 +21,12 @@ class Sample:
     storage_charge: float
     fuel_cumulative: float
     kind: str = ""
+    #: Which plant produced the interval ('hybrid' | 'multi-stack' |
+    #: 'battery' | ...), for plots that compare source architectures.
+    source_kind: str = ""
+    #: Per-stack output currents (A) for multi-stack sources; empty for
+    #: single-stack plants.  Enables per-stack load-sharing plots.
+    stack_currents: tuple[float, ...] = ()
 
 
 class Recorder:
@@ -83,11 +89,20 @@ class Recorder:
         return grid, np.asarray(vals)[idx]
 
     def to_csv(self) -> str:
-        """Export all samples as CSV."""
-        lines = ["t_s,dt_s,i_load_a,i_f_a,i_fc_a,storage_as,fuel_as,kind"]
+        """Export all samples as CSV.
+
+        ``stack_a`` joins the per-stack currents with ``|`` (empty for
+        single-stack sources) so the file stays one row per interval.
+        """
+        lines = [
+            "t_s,dt_s,i_load_a,i_f_a,i_fc_a,storage_as,fuel_as,kind,"
+            "source_kind,stack_a"
+        ]
         for s in self._samples:
+            stacks = "|".join(repr(c) for c in s.stack_currents)
             lines.append(
                 f"{s.t!r},{s.dt!r},{s.i_load!r},{s.i_f!r},{s.i_fc!r},"
-                f"{s.storage_charge!r},{s.fuel_cumulative!r},{s.kind}"
+                f"{s.storage_charge!r},{s.fuel_cumulative!r},{s.kind},"
+                f"{s.source_kind},{stacks}"
             )
         return "\n".join(lines) + "\n"

@@ -3,7 +3,7 @@
 Executes a :class:`~repro.workload.trace.LoadTrace` against a
 :class:`~repro.core.manager.PowerManager`: for every task slot the
 device-side DPM policy commits a sleep decision, the FC controller sets
-the output current, and the hybrid source integrates fuel and storage.
+the output current, and the power source integrates fuel and storage.
 
 Timeline convention (documented in DESIGN.md): the trace's ``Ti`` is the
 request-free interval.  A sleeping idle period is laid out as
@@ -13,25 +13,28 @@ active period by ``tau_WU`` -- the charge accounting is identical, and
 keeping slots equal-length lets all policies run the same wall clock).
 The STANDBY<->RUN transitions are absorbed into the active period at the
 slot's active current, as the paper does (Section 3.3.2, assumption 2).
+
+The segment layout and integration math live in
+:mod:`repro.sim.integrator`, shared with the event-driven simulator;
+this module only owns the closed-form slot scheduling.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..core.baselines import SegmentContext, SlotActuals, SlotStart
+from ..core.baselines import SlotActuals, SlotStart
 from ..core.manager import PowerManager
 from ..errors import SimulationError
-from ..workload.trace import LoadTrace, TaskSlot
+from ..workload.trace import LoadTrace
+from .integrator import (
+    SegmentIntegrator,
+    chunk_segments,
+    plan_active_segments,
+    plan_idle_segments,
+)
 from .metrics import RunMetrics
-from .recorder import Recorder, Sample
-
-
-@dataclass(frozen=True)
-class _Segment:
-    duration: float
-    i_load: float
-    kind: str
+from .recorder import Recorder
 
 
 @dataclass(frozen=True)
@@ -103,7 +106,7 @@ class SlotSimulator:
     Parameters
     ----------
     manager:
-        Device parameters + DPM policy + FC controller + hybrid source.
+        Device parameters + DPM policy + FC controller + power source.
     record:
         Keep a :class:`~repro.sim.recorder.Recorder` time series
         (needed for Fig. 7; off by default to keep long sweeps cheap).
@@ -138,52 +141,6 @@ class SlotSimulator:
         self.max_deficit_fraction = max_deficit_fraction
         self.max_segment = max_segment
 
-    # -- segment construction ---------------------------------------------
-
-    def _idle_segments(
-        self, slot: TaskSlot, sleep: bool, sleep_after: float
-    ) -> tuple[list[_Segment], bool, bool]:
-        """Lay out the idle period; returns (segments, slept, aborted)."""
-        p = self.manager.device
-        if not sleep:
-            return [_Segment(slot.t_idle, p.i_sdb, "standby")], False, False
-        overhead = sleep_after + p.t_pd + p.t_wu
-        if slot.t_idle < overhead:
-            # The idle period cannot host the committed sleep: the
-            # device stays in STANDBY (counted as an aborted sleep).
-            return [_Segment(slot.t_idle, p.i_sdb, "standby")], False, True
-        segments = []
-        if sleep_after > 0:
-            segments.append(_Segment(sleep_after, p.i_sdb, "standby"))
-        segments.append(_Segment(p.t_pd, p.i_pd, "pd"))
-        dwell = slot.t_idle - overhead
-        if dwell > 0:
-            segments.append(_Segment(dwell, p.i_slp, "sleep"))
-        segments.append(_Segment(p.t_wu, p.i_wu, "wu"))
-        return segments, True, False
-
-    def _active_segments(self, slot: TaskSlot) -> list[_Segment]:
-        """The active period with STANDBY<->RUN overheads absorbed."""
-        p = self.manager.device
-        duration = p.t_sdb_to_run + slot.t_active + p.t_run_to_sdb
-        return [_Segment(duration, slot.i_active, "run")]
-
-    def _chunked(self, segments: list[_Segment]) -> list[_Segment]:
-        """Split long segments into re-decision chunks (if configured)."""
-        if self.max_segment is None:
-            return segments
-        out: list[_Segment] = []
-        for seg in segments:
-            if seg.duration <= self.max_segment:
-                out.append(seg)
-                continue
-            import math
-
-            n = math.ceil(seg.duration / self.max_segment)
-            chunk = seg.duration / n
-            out.extend(_Segment(chunk, seg.i_load, seg.kind) for _ in range(n))
-        return out
-
     # -- execution ---------------------------------------------------------
 
     def run(self, trace: LoadTrace) -> SimulationResult:
@@ -191,18 +148,18 @@ class SlotSimulator:
         mgr = self.manager
         source = mgr.source
         recorder = Recorder() if self.record else None
+        integrator = SegmentIntegrator(mgr, recorder=recorder)
 
-        mgr.controller.start_run(source.storage.charge, source.storage.capacity)
+        integrator.start_run()
 
-        t_now = 0.0
         n_sleeps = 0
         n_aborted = 0
         slot_results: list[SlotResult] = []
 
         for index, slot in enumerate(trace):
             decision = mgr.policy.on_idle_start()
-            idle_segments, slept, aborted = self._idle_segments(
-                slot, decision.sleep, decision.sleep_after
+            idle_segments, slept, aborted = plan_idle_segments(
+                mgr.device, slot.t_idle, decision.sleep, decision.sleep_after
             )
             n_sleeps += slept
             n_aborted += aborted
@@ -223,48 +180,23 @@ class SlotSimulator:
             if_active_used = 0.0
 
             for phase, segments in (
-                ("idle", self._chunked(idle_segments)),
-                ("active", self._chunked(self._active_segments(slot))),
+                ("idle", chunk_segments(idle_segments, self.max_segment)),
+                (
+                    "active",
+                    chunk_segments(
+                        plan_active_segments(mgr.device, slot), self.max_segment
+                    ),
+                ),
             ):
-                remaining = sum(s.duration for s in segments)
-                demand = sum(s.duration * s.i_load for s in segments)
-                for seg in segments:
-                    ctx = SegmentContext(
-                        slot_index=index,
-                        phase=phase,
-                        kind=seg.kind,
-                        duration=seg.duration,
-                        i_load=seg.i_load,
-                        storage_charge=source.storage.charge,
-                        storage_capacity=source.storage.capacity,
-                        phase_duration=remaining,
-                        phase_demand=demand,
-                    )
-                    i_f = mgr.controller.output(ctx)
-                    source.set_fc_output(i_f)
-                    step = source.step(seg.i_load, seg.duration)
-                    if phase == "idle":
-                        if_idle_used = step.i_f
-                    else:
-                        if_active_used = step.i_f
+                steps = integrator.run_phase(index, phase, segments)
+                for step in steps:
                     slot_fuel += step.fuel
-                    slot_load += seg.i_load * seg.duration
-                    if recorder is not None:
-                        recorder.add(
-                            Sample(
-                                t=t_now,
-                                dt=seg.duration,
-                                i_load=seg.i_load,
-                                i_f=step.i_f,
-                                i_fc=step.i_fc,
-                                storage_charge=source.storage.charge,
-                                fuel_cumulative=source.total_fuel,
-                                kind=seg.kind,
-                            )
-                        )
-                    t_now += seg.duration
-                    remaining -= seg.duration
-                    demand -= seg.i_load * seg.duration
+                    slot_load += step.i_load * step.dt
+                if steps:
+                    if phase == "idle":
+                        if_idle_used = steps[-1].i_f
+                    else:
+                        if_active_used = steps[-1].i_f
 
             mgr.policy.on_idle_end(slot.t_idle)
             mgr.controller.on_slot_end(
@@ -304,7 +236,7 @@ class SlotSimulator:
             delivered_charge=sum(h.i_f * h.dt for h in source.history)
             if source.history
             else source.total_load_charge,
-            duration=t_now,
+            duration=integrator.t_now,
             bled=source.storage.bled_charge,
             deficit=source.storage.deficit_charge,
             n_slots=len(trace),

@@ -1,7 +1,5 @@
 """PowerManager wiring tests."""
 
-import pytest
-
 from repro.core.baselines import ASAPDPMController, ConvDPMController
 from repro.core.fc_dpm import FCDPMController
 from repro.core.manager import PowerManager

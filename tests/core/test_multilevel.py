@@ -7,7 +7,6 @@ from repro.core.multilevel import (
     quantization_loss_curve,
     solve_slot_discrete,
 )
-from repro.core.optimizer import solve_slot
 from repro.core.setting import SlotProblem
 from repro.errors import ConfigurationError, InfeasibleError
 from repro.fuelcell.efficiency import LinearSystemEfficiency

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.manager import PowerManager
-from repro.core.optimizer import solve_horizon
 from repro.core.oracle_controller import OracleFCDPMController
 from repro.devices.camcorder import camcorder_device_params
 from repro.errors import ConfigurationError

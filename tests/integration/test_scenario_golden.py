@@ -1,0 +1,71 @@
+"""Scenario-built runs must be bit-identical to the table reproductions.
+
+The acceptance bar for the declarative layer: ``fcdpm run --scenario
+exp1-fc-dpm`` (and friends) must produce *exactly* the floats the
+hand-assembled ``table2()``/``table3()`` pipelines produce -- ``==``,
+not ``approx`` -- so the registry can never drift from the paper's
+configurations unnoticed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import table2, table3
+from repro.scenario import get_scenario
+from repro.sim.slotsim import SlotSimulator
+
+POLICIES = ("conv-dpm", "asap-dpm", "fc-dpm")
+
+
+@pytest.fixture(scope="module")
+def table2_results():
+    return table2(seed=2007).results
+
+
+@pytest.fixture(scope="module")
+def table3_results():
+    return table3(seed=2007).results
+
+
+class TestScenarioBitIdentity:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_exp1_scenarios_match_table2_exactly(self, policy, table2_results):
+        sc = get_scenario(f"exp1-{policy}")
+        run = SlotSimulator(sc.build_manager()).run(sc.build_trace(2007))
+        ref = table2_results[policy]
+        assert run.fuel == ref.fuel
+        assert run.load_charge == ref.load_charge
+        assert run.bled == ref.bled
+        assert run.deficit == ref.deficit
+        assert run.n_sleeps == ref.n_sleeps
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_exp2_scenarios_match_table3_exactly(self, policy, table3_results):
+        sc = get_scenario(f"exp2-{policy}")
+        run = SlotSimulator(sc.build_manager()).run(sc.build_trace(2007))
+        ref = table3_results[policy]
+        assert run.fuel == ref.fuel
+        assert run.load_charge == ref.load_charge
+        assert run.bled == ref.bled
+        assert run.deficit == ref.deficit
+        assert run.n_sleeps == ref.n_sleeps
+
+
+class TestVariantScenariosRun:
+    def test_multistack_serves_exp1_with_less_fuel_than_single(
+        self, table2_results
+    ):
+        sc = get_scenario("exp1-fc-dpm-multistack")
+        run = SlotSimulator(sc.build_manager()).run(sc.build_trace(2007))
+        # Two half-load stacks sit higher on the falling efficiency law,
+        # so the ganged plant strictly beats the single stack on fuel.
+        assert 0 < run.fuel < table2_results["fc-dpm"].fuel
+        assert run.deficit == 0.0
+
+    def test_battery_scenario_serves_exp1_without_deficit(self):
+        sc = get_scenario("exp1-battery")
+        run = SlotSimulator(sc.build_manager()).run(sc.build_trace(2007))
+        assert run.fuel == 0.0
+        assert run.deficit == 0.0
+        assert run.load_charge > 0

@@ -1,0 +1,65 @@
+"""Battery-only source: the degenerate no-generator plant."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.power.battery_only import BatteryOnlySource
+from repro.power.storage import LiIonBattery, SuperCapacitor
+
+
+def _source(capacity: float = 100.0) -> BatteryOnlySource:
+    return BatteryOnlySource(
+        SuperCapacitor(capacity=capacity, initial_charge=capacity)
+    )
+
+
+class TestBatteryOnly:
+    def test_no_fuel_is_ever_consumed(self):
+        src = _source()
+        for _ in range(10):
+            src.step(0.5, 5.0)
+        assert src.total_fuel == 0.0
+        assert src.average_fuel_rate == 0.0
+
+    def test_load_drains_storage_coulomb_for_coulomb(self):
+        src = _source(100.0)
+        step = src.step(1.0, 10.0)
+        assert step.i_f == 0.0
+        assert step.storage_delta == pytest.approx(-10.0)
+        assert src.storage.charge == pytest.approx(90.0)
+        assert src.total_load_charge == pytest.approx(10.0)
+
+    def test_output_commands_are_ignored(self):
+        src = _source()
+        assert src.set_fc_output(1.2) == 0.0
+        step = src.step(0.5, 2.0)
+        assert step.i_f == 0.0
+        assert step.stack_currents == ()
+
+    def test_overdraw_lands_in_deficit_ledger(self):
+        src = _source(5.0)
+        step = src.step(1.0, 10.0)  # needs 10 A-s from a 5 A-s store
+        assert step.deficit == pytest.approx(5.0)
+        assert src.storage.charge == 0.0
+
+    def test_source_kind_tag(self):
+        assert _source().kind == "battery"
+        assert _source().step(0.1, 1.0).source_kind == "battery"
+
+    def test_works_with_liion_nonlinearity(self):
+        src = BatteryOnlySource(
+            LiIonBattery(capacity=100.0, initial_charge=100.0, rated_current=0.5,
+                         peukert=1.2)
+        )
+        src.step(1.0, 10.0)  # above rated current: Peukert waste applies
+        drawn = 100.0 - src.storage.charge
+        assert drawn > 10.0
+
+    def test_custom_rail_voltage_scales_delivered_energy(self):
+        src = BatteryOnlySource(
+            SuperCapacitor(capacity=100.0, initial_charge=100.0), v_out=5.0
+        )
+        src.step(1.0, 10.0)
+        assert src.v_out == 5.0
+        assert src.delivered_energy == pytest.approx(5.0 * 10.0)

@@ -1,0 +1,141 @@
+"""Multi-stack hybrid source: sharing strategies and ledger behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import FCSystemConstants
+from repro.errors import ConfigurationError, RangeError
+from repro.fuelcell.efficiency import LinearSystemEfficiency
+from repro.fuelcell.fuel import FuelTank, GibbsFuelModel
+from repro.fuelcell.system import FCSystem
+from repro.power.hybrid import HybridPowerSource
+from repro.power.multistack import (
+    EfficiencyProportional,
+    EqualShare,
+    MultiStackHybrid,
+)
+from repro.power.storage import SuperCapacitor
+
+
+def _system(model=None) -> FCSystem:
+    m = model if model is not None else LinearSystemEfficiency.from_constants(
+        FCSystemConstants()
+    )
+    return FCSystem(m, tank=FuelTank(model=GibbsFuelModel(zeta=m.zeta)))
+
+
+def _twins(n: int) -> MultiStackHybrid:
+    return MultiStackHybrid(
+        [_system() for _ in range(n)],
+        storage=SuperCapacitor(capacity=6.0, initial_charge=3.0),
+    )
+
+
+class TestConstruction:
+    def test_rejects_empty_system_list(self):
+        with pytest.raises(ConfigurationError):
+            MultiStackHybrid([])
+
+    def test_rejects_mismatched_rails(self):
+        a = _system()
+        b = _system(LinearSystemEfficiency(v_out=24.0))
+        with pytest.raises(ConfigurationError):
+            MultiStackHybrid([a, b])
+
+    def test_aggregate_load_following_range(self):
+        src = _twins(3)
+        lo, hi = src.load_following_range
+        one = _system().model
+        assert lo == pytest.approx(3 * one.if_min)
+        assert hi == pytest.approx(3 * one.if_max)
+
+    def test_kind_tag(self):
+        assert _twins(2).kind == "multi-stack"
+
+
+class TestSharing:
+    def test_equal_share_splits_evenly(self):
+        src = _twins(2)
+        realised = src.set_fc_output(0.8)
+        assert realised == pytest.approx(0.8)
+        assert [fc.output_current for fc in src.systems] == pytest.approx([0.4, 0.4])
+
+    def test_efficiency_proportional_degenerates_for_twins(self):
+        src = MultiStackHybrid(
+            [_system(), _system()],
+            storage=SuperCapacitor(capacity=6.0, initial_charge=3.0),
+            sharing=EfficiencyProportional(),
+        )
+        src.set_fc_output(0.8)
+        assert [fc.output_current for fc in src.systems] == pytest.approx([0.4, 0.4])
+
+    def test_efficiency_proportional_relieves_weaker_stack(self):
+        strong = LinearSystemEfficiency(alpha=0.45, beta=0.13)
+        weak = LinearSystemEfficiency(alpha=0.30, beta=0.13)
+        src = MultiStackHybrid(
+            [_system(strong), _system(weak)],
+            storage=SuperCapacitor(capacity=6.0, initial_charge=3.0),
+            sharing=EfficiencyProportional(),
+        )
+        src.set_fc_output(0.8)
+        a, b = (fc.output_current for fc in src.systems)
+        assert a > b
+        assert a + b == pytest.approx(0.8)
+
+    def test_per_stack_clamping_bounds_realised_total(self):
+        src = _twins(2)
+        realised = src.set_fc_output(10.0)  # far above 2 * IF_max
+        _, hi = src.load_following_range
+        assert realised == pytest.approx(hi)
+
+
+class TestStep:
+    def test_step_sums_stack_fuel_and_buffers_difference(self):
+        src = _twins(2)
+        src.set_fc_output(0.8)
+        step = src.step(i_load=0.5, dt=10.0)
+        assert step.stack_currents == pytest.approx((0.4, 0.4))
+        assert step.i_f == pytest.approx(0.8)
+        assert step.storage_delta == pytest.approx(0.3 * 10.0)
+        assert step.fuel > 0
+        assert step.source_kind == "multi-stack"
+
+    def test_two_half_stacks_match_one_full_stack_fuel(self):
+        # eta(I/2) > eta(I) for the falling linear law, so two half-load
+        # stacks consume *less* stack charge than one stack at full load
+        # -- the economic argument for ganging.
+        single = HybridPowerSource(
+            storage=SuperCapacitor(capacity=6.0, initial_charge=3.0)
+        )
+        double = _twins(2)
+        single.set_fc_output(0.8)
+        double.set_fc_output(0.8)
+        s1 = single.step(0.8, 10.0)
+        s2 = double.step(0.8, 10.0)
+        assert s2.fuel < s1.fuel
+
+    def test_negative_load_rejected(self):
+        src = _twins(2)
+        with pytest.raises(RangeError):
+            src.step(-0.1, 1.0)
+
+    def test_reset_clears_every_tank_and_ledger(self):
+        src = _twins(3)
+        src.set_fc_output(0.9)
+        src.step(0.5, 20.0)
+        assert src.total_fuel > 0
+        src.reset(storage_charge=3.0)
+        assert src.total_fuel == 0.0
+        assert src.storage.charge == 3.0
+        for fc in src.systems:
+            assert fc.tank.consumed == 0.0
+
+
+class TestShareInvariants:
+    @pytest.mark.parametrize("strategy", [EqualShare(), EfficiencyProportional()])
+    def test_shares_sum_to_command(self, strategy):
+        systems = [_system() for _ in range(3)]
+        shares = strategy.shares(0.9, systems)
+        assert len(shares) == 3
+        assert sum(shares) == pytest.approx(0.9)

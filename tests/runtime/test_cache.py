@@ -29,6 +29,29 @@ class TestCacheKey:
         assert code_fingerprint() == code_fingerprint()
         assert len(code_fingerprint()) == 16
 
+    def test_fingerprint_covers_whole_tree(self, tmp_path):
+        # Any added module under the root must change the fingerprint --
+        # the "code version" invalidation covers the full package tree.
+        pkg = tmp_path / "pkg"
+        (pkg / "sub").mkdir(parents=True)
+        (pkg / "a.py").write_text("A = 1\n")
+        (pkg / "sub" / "b.py").write_text("B = 2\n")
+        base = code_fingerprint(root=pkg)
+        assert code_fingerprint(root=pkg) == base
+
+        (pkg / "sub" / "c.py").write_text("C = 3\n")
+        added = code_fingerprint(root=pkg)
+        assert added != base
+
+        (pkg / "sub" / "b.py").write_text("B = 99\n")
+        assert code_fingerprint(root=pkg) != added
+
+    def test_explicit_root_does_not_poison_default_cache(self, tmp_path):
+        default = code_fingerprint()
+        (tmp_path / "x.py").write_text("X = 1\n")
+        assert code_fingerprint(root=tmp_path) != default
+        assert code_fingerprint() == default
+
 
 class TestResultCache:
     def test_roundtrip(self, tmp_path):

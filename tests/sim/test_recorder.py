@@ -1,6 +1,5 @@
 """Recorder time-series tests."""
 
-import numpy as np
 import pytest
 
 from repro.errors import SimulationError
@@ -73,3 +72,38 @@ class TestRecorder:
         r = Recorder()
         r.add(sample(0.0, 1.0))
         assert isinstance(r.samples, tuple)
+
+
+class TestSourceKindRecording:
+    def test_sample_defaults_are_sourceless(self):
+        s = sample(0.0, 1.0)
+        assert s.source_kind == ""
+        assert s.stack_currents == ()
+
+    def test_csv_exports_source_kind_and_stack_currents(self):
+        r = Recorder()
+        r.add(
+            Sample(
+                t=0.0, dt=5.0, i_load=0.8, i_f=0.8, i_fc=1.0,
+                storage_charge=3.0, fuel_cumulative=1.0, kind="run",
+                source_kind="multi-stack", stack_currents=(0.4, 0.4),
+            )
+        )
+        text = r.to_csv()
+        header, row = text.strip().split("\n")
+        assert header.endswith("source_kind,stack_a")
+        assert "multi-stack" in row
+        assert "0.4|0.4" in row
+
+    def test_recorded_run_carries_source_kind(self, camcorder_params):
+        from repro.core.manager import PowerManager
+        from repro.sim.slotsim import SlotSimulator
+        from repro.workload.trace import LoadTrace, TaskSlot
+
+        mgr = PowerManager.fc_dpm(
+            camcorder_params, storage_capacity=6.0, storage_initial=3.0
+        )
+        trace = LoadTrace([TaskSlot(t_idle=12.0, t_active=3.0, i_active=1.2)])
+        result = SlotSimulator(mgr, record=True).run(trace)
+        assert result.recorder is not None
+        assert all(s.source_kind == "hybrid" for s in result.recorder.samples)

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.manager import PowerManager
-from repro.devices.camcorder import randomized_device_params
 from repro.errors import SimulationError
 from repro.sim.slotsim import SlotSimulator, simulate_policies
 from repro.workload.trace import LoadTrace, TaskSlot

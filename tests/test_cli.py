@@ -50,6 +50,56 @@ class TestCli:
         assert "fc-dpm" in out
 
 
+class TestRunCommand:
+    def test_run_list_shows_registered_scenarios(self, capsys):
+        assert main(["run", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "exp1-fc-dpm" in out
+        assert "exp2-conv-dpm" in out
+        assert "exp1-fc-dpm-multistack" in out
+
+    def test_run_without_scenario_lists_and_hints(self, capsys):
+        assert main(["run"]) == 0
+        out = capsys.readouterr().out
+        assert "exp1-fc-dpm" in out
+        assert "--scenario" in out
+
+    def test_run_scenario_prints_metrics(self, capsys):
+        assert main(["--no-cache", "run", "--scenario", "exp1-fc-dpm"]) == 0
+        out = capsys.readouterr().out
+        assert "exp1-fc-dpm" in out
+        assert "fuel" in out and "deficit" in out
+
+    def test_run_unknown_scenario_raises_with_known_names(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="exp1-fc-dpm"):
+            main(["--no-cache", "run", "--scenario", "nope"])
+
+    def test_run_results_are_cached(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("FCDPM_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["run", "--scenario", "exp2-fc-dpm"]) == 0
+        first = capsys.readouterr().out
+        assert (tmp_path / "cache").exists()
+        assert main(["run", "--scenario", "exp2-fc-dpm"]) == 0
+        assert capsys.readouterr().out == first
+
+
+class TestWorkersValidation:
+    def test_negative_workers_rejected_with_clear_message(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--workers", "-1", "table2"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "workers must be >= 0" in err
+
+    def test_non_integer_workers_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--workers", "two", "table2"])
+        assert exc.value.code == 2
+        assert "workers must be an integer" in capsys.readouterr().err
+
+
 class TestRuntimeFlags:
     @pytest.fixture(autouse=True)
     def isolated_cache(self, tmp_path, monkeypatch):
