@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test lint bench bench-smoke report export examples all
+.PHONY: install test lint bench bench-smoke bench-vector report export examples all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -23,10 +23,17 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 # Runtime smoke bench: parallel-vs-serial run_seeds, memoized solver,
-# sizing-curve fan-out.  Fast enough for CI; writes benchmarks/out/.
+# sizing-curve fan-out, vectorized-kernel speedup gates.  Fast enough
+# for CI; writes benchmarks/out/ (.txt reports + .json measurements).
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/test_bench_microbench.py -s \
-		-k "parallel or cached"
+		-k "parallel or cached or vectorized"
+
+# Just the vectorized-kernel gates: single-trace >= 4x, batch >= 10x,
+# bit-exact equality with the scalar simulator.
+bench-vector:
+	$(PYTHON) -m pytest benchmarks/test_bench_microbench.py -s \
+		-k "vectorized"
 
 report:
 	$(PYTHON) -m repro.cli report

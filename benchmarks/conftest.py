@@ -8,6 +8,7 @@ computation with pytest-benchmark.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -24,10 +25,19 @@ def out_dir() -> pathlib.Path:
 
 @pytest.fixture
 def emit(out_dir):
-    """Print a report block and mirror it to benchmarks/out/<name>.txt."""
+    """Print a report block and mirror it to benchmarks/out/<name>.txt.
 
-    def _emit(name: str, text: str) -> None:
+    Pass ``data=`` (any JSON-serializable mapping) to also drop a
+    machine-readable ``<name>.json`` next to the text -- CI uploads
+    those as artifacts so speedup numbers are diffable across runs.
+    """
+
+    def _emit(name: str, text: str, data: dict | None = None) -> None:
         print(f"\n{text}\n")
         (out_dir / f"{name}.txt").write_text(text + "\n")
+        if data is not None:
+            (out_dir / f"{name}.json").write_text(
+                json.dumps(data, indent=2, sort_keys=True) + "\n"
+            )
 
     return _emit

@@ -168,3 +168,103 @@ def test_bench_downsizing_curve_parallel(emit):
         f"({os.cpu_count()} cpus on host)",
     )
     assert parallel == serial
+
+
+# -- vectorized kernel benches (this PR) -------------------------------------
+
+
+def test_bench_vectorized_table2(emit):
+    """Single-trace array kernel vs scalar simulator on the Exp-1 trace.
+
+    Conv-DPM and ASAP-DPM hold static controllers, so the kernel runs
+    end to end; each must come out >= 4x faster with a bit-identical
+    result.  FC-DPM is adaptive -- its fallback parity is asserted
+    (untimed) to pin the "never a wrong answer" contract.
+    """
+    from repro.sim.vectorized import simulate_fast
+
+    trace = generate_mpeg_trace(seed=2007)
+    dev = camcorder_device_params()
+    builders = {
+        "conv-dpm": PowerManager.conv_dpm,
+        "asap-dpm": PowerManager.asap_dpm,
+    }
+    lines = ["vectorized simulate_fast vs SlotSimulator (Exp-1 trace)"]
+    data: dict[str, dict[str, float]] = {}
+    for name, build in builders.items():
+        def scalar():
+            mgr = build(dev, storage_capacity=6.0, storage_initial=3.0)
+            return SlotSimulator(mgr).run(trace)
+
+        def fast():
+            mgr = build(dev, storage_capacity=6.0, storage_initial=3.0)
+            return simulate_fast(mgr, trace)
+
+        assert fast() == scalar()
+        t_scalar = _best_of(scalar, repeats=3, number=5)
+        t_fast = _best_of(fast, repeats=3, number=25)
+        ratio = t_scalar / t_fast
+        lines.append(
+            f"{name}: scalar {1e3 * t_scalar:.3f} ms | "
+            f"fast {1e3 * t_fast:.3f} ms | speedup {ratio:.1f}x"
+        )
+        data[name] = {
+            "scalar_ms": 1e3 * t_scalar,
+            "fast_ms": 1e3 * t_fast,
+            "speedup": ratio,
+        }
+        assert ratio >= 4.0, f"{name} only {ratio:.1f}x faster"
+
+    # Adaptive FC-DPM: simulate_fast must transparently match the
+    # scalar simulator (it falls back -- parity, not speed, is the gate).
+    fc_fast = simulate_fast(
+        PowerManager.fc_dpm(dev, storage_capacity=6.0, storage_initial=3.0),
+        trace,
+    )
+    fc_scalar = SlotSimulator(
+        PowerManager.fc_dpm(dev, storage_capacity=6.0, storage_initial=3.0)
+    ).run(trace)
+    assert fc_fast == fc_scalar
+    lines.append("fc-dpm: adaptive -> scalar fallback, results identical")
+    emit("microbench_vectorized_table2", "\n".join(lines), data=data)
+
+
+def test_bench_vectorized_batch(emit):
+    """100-seed x 3-policy Monte-Carlo batch: >= 10x over the scalar path.
+
+    Traces are pre-built outside the timed region (shared by both paths)
+    so the comparison isolates simulation, and the nested result dicts
+    must match exactly.
+    """
+    from repro.scenario import get_scenario
+    from repro.sim.vectorized import simulate_batch
+
+    sc = get_scenario("exp1-conv-dpm")
+    seeds = list(range(100))
+    policies = ["conv-dpm", "asap-dpm", "static:0.8"]
+    traces = {s: sc.build_trace(s) for s in seeds}
+
+    t0 = time.perf_counter()
+    scalar = simulate_batch(sc, seeds, policies, fast=False, traces=traces)
+    t_scalar = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    fast = simulate_batch(sc, seeds, policies, fast=True, traces=traces)
+    t_fast = time.perf_counter() - t0
+
+    assert fast == scalar
+    ratio = t_scalar / t_fast
+    emit(
+        "microbench_vectorized_batch",
+        "simulate_batch: 100 seeds x 3 policies (exp1-conv-dpm)\n"
+        f"scalar (fast=False): {1e3 * t_scalar:.1f} ms\n"
+        f"fast (fast=True):    {1e3 * t_fast:.1f} ms\n"
+        f"speedup: {ratio:.1f}x",
+        data={
+            "n_seeds": len(seeds),
+            "policies": policies,
+            "scalar_ms": 1e3 * t_scalar,
+            "fast_ms": 1e3 * t_fast,
+            "speedup": ratio,
+        },
+    )
+    assert ratio >= 10.0, f"batch only {ratio:.1f}x faster"

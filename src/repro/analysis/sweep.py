@@ -56,20 +56,20 @@ def _sweep_base(scenario, seed: int) -> tuple[LoadTrace, DeviceParams]:
 
 
 def _storage_capacity_point(
-    trace: LoadTrace, dev: DeviceParams, cap: float
+    trace: LoadTrace, dev: DeviceParams, cap: float, *, fast: bool = False
 ) -> dict[str, float]:
     managers = [
         PowerManager.conv_dpm(dev, storage_capacity=cap, storage_initial=cap / 2),
         PowerManager.asap_dpm(dev, storage_capacity=cap, storage_initial=cap / 2),
         PowerManager.fc_dpm(dev, storage_capacity=cap, storage_initial=cap / 2),
     ]
-    results = simulate_policies(trace, managers)
+    results = simulate_policies(trace, managers, fast=fast)
     conv = results["conv-dpm"].fuel
     return {name: r.fuel / conv for name, r in results.items()}
 
 
 def _efficiency_slope_point(
-    trace: LoadTrace, dev: DeviceParams, beta: float
+    trace: LoadTrace, dev: DeviceParams, beta: float, *, fast: bool = False
 ) -> float:
     model = LinearSystemEfficiency(alpha=0.45, beta=beta)
     managers = [
@@ -80,12 +80,12 @@ def _efficiency_slope_point(
             dev, model=model, storage_capacity=6.0, storage_initial=3.0
         ),
     ]
-    results = simulate_policies(trace, managers)
+    results = simulate_policies(trace, managers, fast=fast)
     return 1.0 - results["fc-dpm"].fuel / results["asap-dpm"].fuel
 
 
 def _recharge_threshold_point(
-    trace: LoadTrace, dev: DeviceParams, th: float
+    trace: LoadTrace, dev: DeviceParams, th: float, *, fast: bool = False
 ) -> float:
     managers = [
         PowerManager.conv_dpm(dev, storage_capacity=6.0, storage_initial=3.0),
@@ -96,7 +96,7 @@ def _recharge_threshold_point(
             recharge_threshold=th,
         ),
     ]
-    results = simulate_policies(trace, managers)
+    results = simulate_policies(trace, managers, fast=fast)
     return results["asap-dpm"].fuel / results["conv-dpm"].fuel
 
 
@@ -113,7 +113,9 @@ _PREDICTOR_FACTORIES = {
 }
 
 
-def _predictor_point(trace: LoadTrace, dev: DeviceParams, name: str) -> float:
+def _predictor_point(
+    trace: LoadTrace, dev: DeviceParams, name: str, *, fast: bool = False
+) -> float:
     model = LinearSystemEfficiency()
     idle_predictor = _PREDICTOR_FACTORIES[name]()
     policy = PredictiveShutdownPolicy(dev, idle_predictor)
@@ -132,7 +134,7 @@ def _predictor_point(trace: LoadTrace, dev: DeviceParams, name: str) -> float:
         PowerManager.conv_dpm(dev, storage_capacity=6.0, storage_initial=3.0),
         mgr,
     ]
-    results = simulate_policies(trace, managers)
+    results = simulate_policies(trace, managers, fast=fast)
     return results[name].fuel / results["conv-dpm"].fuel
 
 
@@ -144,6 +146,7 @@ def storage_capacity_sweep(
     seed: int = 2007,
     workers: int = 1,
     scenario=None,
+    fast: bool = False,
 ) -> dict[float, dict[str, float]]:
     """Normalized fuel vs storage capacity ``Cmax``.
 
@@ -151,6 +154,11 @@ def storage_capacity_sweep(
     FC-DPM degenerates toward ASAP-DPM; large ``Cmax`` lets FC-DPM hold
     the globally flat optimum.  Returns
     ``{capacity: {policy: fuel_normalized_to_conv}}``.
+
+    ``fast=True`` routes each point's static policies through the
+    vectorized kernel; results are bit-identical either way (adaptive
+    controllers fall back to the scalar path inside
+    :func:`~repro.sim.slotsim.simulate_policies`).
     """
     capacity_list = list(capacities)
     for cap in capacity_list:
@@ -158,13 +166,13 @@ def storage_capacity_sweep(
             raise ConfigurationError("capacity must be positive")
     trace, dev = _sweep_base(scenario, seed)
     results = ParallelMap(workers=workers).map(
-        partial(_storage_capacity_point, trace, dev), capacity_list
+        partial(_storage_capacity_point, trace, dev, fast=fast), capacity_list
     )
     return dict(zip(capacity_list, results))
 
 
 def predictor_sweep(
-    seed: int = 2007, workers: int = 1, scenario=None
+    seed: int = 2007, workers: int = 1, scenario=None, fast: bool = False
 ) -> dict[str, float]:
     """FC-DPM fuel (normalized to Conv-DPM) per idle-period predictor.
 
@@ -175,7 +183,7 @@ def predictor_sweep(
     trace, dev = _sweep_base(scenario, seed)
     names = list(_PREDICTOR_FACTORIES)
     results = ParallelMap(workers=workers).map(
-        partial(_predictor_point, trace, dev), names
+        partial(_predictor_point, trace, dev, fast=fast), names
     )
     return dict(zip(names, results))
 
@@ -185,6 +193,7 @@ def efficiency_slope_sweep(
     seed: int = 2007,
     workers: int = 1,
     scenario=None,
+    fast: bool = False,
 ) -> dict[float, float]:
     """FC-DPM's fuel saving over ASAP-DPM versus the efficiency slope.
 
@@ -196,7 +205,7 @@ def efficiency_slope_sweep(
     beta_list = list(betas)
     trace, dev = _sweep_base(scenario, seed)
     results = ParallelMap(workers=workers).map(
-        partial(_efficiency_slope_point, trace, dev), beta_list
+        partial(_efficiency_slope_point, trace, dev, fast=fast), beta_list
     )
     return dict(zip(beta_list, results))
 
@@ -206,6 +215,7 @@ def recharge_threshold_sweep(
     seed: int = 2007,
     workers: int = 1,
     scenario=None,
+    fast: bool = False,
 ) -> dict[float, float]:
     """ASAP-DPM fuel (normalized to Conv-DPM) vs recharge threshold.
 
@@ -215,6 +225,6 @@ def recharge_threshold_sweep(
     threshold_list = list(thresholds)
     trace, dev = _sweep_base(scenario, seed)
     results = ParallelMap(workers=workers).map(
-        partial(_recharge_threshold_point, trace, dev), threshold_list
+        partial(_recharge_threshold_point, trace, dev, fast=fast), threshold_list
     )
     return dict(zip(threshold_list, results))

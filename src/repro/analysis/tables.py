@@ -84,6 +84,7 @@ def table2(
     seed: int = 2007,
     record: bool = False,
     constants: Experiment1Constants | None = None,
+    fast: bool = False,
 ) -> TableResult:
     """Reproduce Table 2: the 28-minute MPEG camcorder experiment.
 
@@ -93,6 +94,11 @@ def table2(
     presumes).  Prediction factor ``rho = 0.5``; the active period is
     fixed by the buffer/writer so no active-length prediction is needed
     (the sigma filter converges to the constant immediately).
+
+    ``fast=True`` routes each policy through the vectorized kernel
+    (:func:`repro.sim.vectorized.simulate_fast`); the numbers are
+    identical -- FC-DPM is adaptive and transparently takes the scalar
+    path either way.
     """
     c = constants if constants is not None else Experiment1Constants()
     trace = generate_mpeg_trace(duration_s=c.duration_s, seed=seed)
@@ -105,7 +111,7 @@ def table2(
         sigma=c.rho,
         active_current_estimate=None,
     )
-    results = simulate_policies(trace, managers, record=record)
+    results = simulate_policies(trace, managers, record=record, fast=fast)
     return TableResult(
         name="table2",
         normalized=compare([r.metrics for r in results.values()]),
@@ -118,6 +124,7 @@ def table3(
     seed: int = 2007,
     record: bool = False,
     constants: Experiment2Constants | None = None,
+    fast: bool = False,
 ) -> TableResult:
     """Reproduce Table 3: the randomized synthetic experiment.
 
@@ -125,6 +132,8 @@ def table3(
     SLEEP overheads (1 s at 1.2 A each way), ``Tbe = 10 s``,
     ``rho = sigma = 0.5`` and the future active current estimated as the
     constant 1.2 A -- all per paper Section 5.2.
+
+    ``fast=True`` as in :func:`table2`.
     """
     e = constants if constants is not None else Experiment2Constants()
     trace = experiment2_trace(constants=e, seed=seed)
@@ -137,7 +146,7 @@ def table3(
         sigma=e.sigma,
         active_current_estimate=e.i_active_estimate,
     )
-    results = simulate_policies(trace, managers, record=record)
+    results = simulate_policies(trace, managers, record=record, fast=fast)
     return TableResult(
         name="table3",
         normalized=compare([r.metrics for r in results.values()]),

@@ -158,9 +158,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     sc = get_scenario(args.scenario)
 
     def compute() -> dict[str, float]:
-        from .sim.slotsim import SlotSimulator
+        manager = sc.build_manager()
+        trace = sc.build_trace(args.seed)
+        if args.fast:
+            from .sim.vectorized import simulate_fast
 
-        result = SlotSimulator(sc.build_manager()).run(sc.build_trace(args.seed))
+            result = simulate_fast(manager, trace)
+        else:
+            from .sim.slotsim import SlotSimulator
+
+            result = SlotSimulator(manager).run(trace)
         return {
             "fuel": result.fuel,
             "load_charge": result.load_charge,
@@ -171,6 +178,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "wakeup_latency": result.wakeup_latency,
         }
 
+    # --fast is deliberately NOT part of the cache key: the vectorized
+    # kernel is gated on bit-exact equality with the scalar simulator,
+    # so both paths must share (and may serve each other's) entries.
     metrics = _cache(args).cached(
         "run", {"seed": args.seed, "scenario": sc.to_dict()}, compute
     )
@@ -212,6 +222,13 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument("--scenario", help="registered scenario name")
     run.add_argument(
         "--list", action="store_true", help="list registered scenarios"
+    )
+    run.add_argument(
+        "--fast",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="use the vectorized kernel (bit-identical output; adaptive "
+        "controllers transparently fall back to the scalar simulator)",
     )
 
     sub.add_parser("report", help="run the full evaluation report")

@@ -43,6 +43,14 @@ class IdleDecision:
             raise ConfigurationError("sleep_after cannot be negative")
 
 
+#: Shared immutable decisions for the two immediate outcomes.  Policies
+#: that decide at idle start (no timeout dwell) hand one out per slot;
+#: interning them keeps frozen-dataclass construction (and its
+#: validation) out of per-slot simulator and replay loops.
+SLEEP_NOW = IdleDecision(sleep=True, sleep_after=0.0)
+STAY_AWAKE = IdleDecision(sleep=False, sleep_after=0.0)
+
+
 class DPMPolicy(ABC):
     """Base class for device-side power management policies."""
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 from ..devices.device import DeviceParams
 from ..prediction.base import Predictor
 from ..prediction.exponential import ExponentialAveragePredictor
-from .policy import DPMPolicy, IdleDecision
+from .policy import DPMPolicy, IdleDecision, SLEEP_NOW, STAY_AWAKE
 
 
 class PredictiveShutdownPolicy(DPMPolicy):
@@ -50,7 +50,7 @@ class PredictiveShutdownPolicy(DPMPolicy):
         # A sleep also needs to physically fit the transitions.
         fits = predicted >= self.params.t_pd + self.params.t_wu
         sleep = predicted >= self.threshold and fits
-        return self._count(IdleDecision(sleep=sleep, sleep_after=0.0))
+        return self._count(SLEEP_NOW if sleep else STAY_AWAKE)
 
     def on_idle_end(self, t_idle: float) -> None:
         self.predictor.observe(t_idle)

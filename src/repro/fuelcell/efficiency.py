@@ -111,6 +111,24 @@ class SystemEfficiencyModel(ABC):
             raise RangeError("duration cannot be negative")
         return self.fc_current(i_f) * duration
 
+    def fuel_map_array(self, i_f: np.ndarray) -> np.ndarray:
+        """Vectorized fuel map: ``Ifc`` for an array of output currents.
+
+        The generic implementation evaluates :meth:`fc_current` per
+        element, so any model is array-capable; subclasses with a
+        closed-form law override it with real array arithmetic.  Each
+        returned element is **bit-identical** to the scalar call -- the
+        vectorized simulator (:mod:`repro.sim.vectorized`) relies on
+        that to stay exactly equivalent to the scalar path.
+        """
+        arr = np.asarray(i_f, dtype=float)
+        out = np.empty(arr.shape, dtype=float)
+        flat_in = arr.reshape(-1)
+        flat_out = out.reshape(-1)
+        for j in range(flat_in.size):
+            flat_out[j] = self.fc_current(float(flat_in[j]))
+        return out
+
     # -- range helpers --------------------------------------------------------
 
     def clamp(self, i_f: float) -> float:
@@ -230,6 +248,31 @@ class LinearSystemEfficiency(SystemEfficiencyModel):
             raise RangeError("IF at/beyond the efficiency pole")
         return self.k_fuel * self.alpha / (denom * denom)
 
+    def fuel_map_array(self, i_f: np.ndarray) -> np.ndarray:
+        """Closed-form Eq. 4 over an array, bit-identical per element.
+
+        ``k * IF / (alpha - beta * IF)`` evaluates each element with the
+        same IEEE-754 operation sequence as :func:`_linear_fuel_map`, so
+        every entry equals the scalar :meth:`fc_current` result exactly.
+        Subclasses that disable :attr:`cache_token` fall back to the
+        per-element base implementation (they may have overridden the
+        scalar law).
+        """
+        if self.cache_token is None:
+            return super().fuel_map_array(i_f)
+        arr = np.asarray(i_f, dtype=float)
+        if arr.size and float(arr.min()) < 0:
+            raise RangeError("system output current cannot be negative")
+        k_fuel, alpha, beta = self._fuel_coeffs
+        denom = alpha - beta * arr
+        if arr.size and float(denom.min()) <= 0:
+            worst = float(arr[int(np.argmin(denom))])
+            raise RangeError(
+                f"IF={worst:.3f} A is at/beyond the efficiency pole "
+                f"alpha/beta={alpha / beta if beta else float('inf'):.3f} A"
+            )
+        return k_fuel * arr / denom
+
     def inverse_fc_current(self, i_fc: float) -> float:
         """Invert the fuel map: the ``IF`` whose stack current is ``i_fc``."""
         if i_fc < 0:
@@ -269,6 +312,19 @@ class ConstantSystemEfficiency(SystemEfficiencyModel):
         if i_f < 0:
             raise RangeError("system output current cannot be negative")
         return self.eta
+
+    def fuel_map_array(self, i_f: np.ndarray) -> np.ndarray:
+        """Linear fuel map over an array, bit-identical per element.
+
+        ``VF * IF / (zeta * eta)`` with the scalar's operation order;
+        zero inputs yield exactly 0.0 as in the scalar shortcut.
+        """
+        if self.cache_token is None:
+            return super().fuel_map_array(i_f)
+        arr = np.asarray(i_f, dtype=float)
+        if arr.size and float(arr.min()) < 0:
+            raise RangeError("system output current cannot be negative")
+        return self.v_out * arr / (self.zeta * self.eta)
 
 
 class TabulatedSystemEfficiency(SystemEfficiencyModel):

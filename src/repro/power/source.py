@@ -77,8 +77,13 @@ class PowerSource(ABC):
         self.total_fuel = 0.0
         self.total_load_charge = 0.0
         self.total_time = 0.0
+        self.total_delivered_charge = 0.0
         self.history: list[SourceStep] = []
-        self.record_history = True
+        # One SourceStep per segment is unbounded memory over long
+        # sweeps; everything the metrics layer needs lives in the
+        # running ledger, so history stays off unless a consumer that
+        # actually replays steps (the Recorder) switches it on.
+        self.record_history = False
 
     # -- plant hooks --------------------------------------------------------
 
@@ -126,6 +131,7 @@ class PowerSource(ABC):
         self.total_fuel += fuel
         self.total_load_charge += i_load * dt
         self.total_time += dt
+        self.total_delivered_charge += i_f * dt
 
         record = SourceStep(
             dt=dt,
@@ -163,5 +169,6 @@ class PowerSource(ABC):
         self.total_fuel = 0.0
         self.total_load_charge = 0.0
         self.total_time = 0.0
+        self.total_delivered_charge = 0.0
         self.history.clear()
         self.storage.reset(storage_charge)

@@ -27,6 +27,14 @@ from .montecarlo import (
 )
 from .faults import DegradedEfficiency, FadedStorage, NoisyPredictor
 from .lifetime import LifetimeResult, lifetime_comparison, run_until_empty
+from .vectorized import (
+    TraceArrays,
+    clamped_cumsum,
+    fast_path_ineligibility,
+    plan_trace_arrays,
+    simulate_batch,
+    simulate_fast,
+)
 
 __all__ = [
     "Recorder",
@@ -59,4 +67,10 @@ __all__ = [
     "LifetimeResult",
     "lifetime_comparison",
     "run_until_empty",
+    "TraceArrays",
+    "clamped_cumsum",
+    "fast_path_ineligibility",
+    "plan_trace_arrays",
+    "simulate_batch",
+    "simulate_fast",
 ]

@@ -168,9 +168,7 @@ class EventDrivenSimulator:
             name=mgr.name,
             fuel=source.total_fuel,
             load_charge=source.total_load_charge,
-            delivered_charge=sum(h.i_f * h.dt for h in source.history)
-            if source.history
-            else source.total_load_charge,
+            delivered_charge=source.total_delivered_charge,
             duration=duration,
             bled=source.storage.bled_charge,
             deficit=source.storage.deficit_charge,

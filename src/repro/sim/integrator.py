@@ -23,8 +23,7 @@ Each simulator decides *when* a segment executes; the
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, NamedTuple
 
 from ..core.baselines import SegmentContext
 from .recorder import Recorder, Sample
@@ -36,9 +35,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..workload.trace import TaskSlot
 
 
-@dataclass(frozen=True)
-class Segment:
-    """One constant-load interval of the simulated timeline."""
+class Segment(NamedTuple):
+    """One constant-load interval of the simulated timeline.
+
+    A ``NamedTuple`` rather than a frozen dataclass: simulators create
+    one per planned segment (hundreds per trace), and tuple construction
+    is several times cheaper than ``object.__setattr__``-based frozen
+    init -- it is the planners' hottest allocation.
+    """
 
     #: Segment length (s).
     duration: float
@@ -89,14 +93,25 @@ def plan_active_segments(device: "DeviceParams", slot: "TaskSlot") -> list[Segme
 
 
 def chunk_segments(
-    segments: list[Segment], max_segment: float | None
+    segments: list[Segment],
+    max_segment: float | None,
+    rel_tol: float = 1e-12,
 ) -> list[Segment]:
-    """Split long segments into equal re-decision chunks (if configured)."""
+    """Split long segments into equal re-decision chunks (if configured).
+
+    A duration within ``rel_tol`` (relative) of ``max_segment`` passes
+    through unsplit: a duration a few ULP above the limit -- e.g. one
+    produced by accumulated float arithmetic on a nominally equal slot
+    -- would otherwise split into two chunks, one of them re-deciding
+    after ~nothing.  No emitted chunk ever exceeds
+    ``max_segment * (1 + rel_tol)``.
+    """
     if max_segment is None:
         return segments
+    limit = max_segment * (1.0 + rel_tol)
     out: list[Segment] = []
     for seg in segments:
-        if seg.duration <= max_segment:
+        if seg.duration <= limit:
             out.append(seg)
             continue
         n = math.ceil(seg.duration / max_segment)

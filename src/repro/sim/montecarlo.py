@@ -12,18 +12,23 @@ import math
 import statistics
 from collections.abc import Callable
 from dataclasses import dataclass
+from functools import lru_cache
 
 from ..errors import ConfigurationError
 
-#: Two-sided 95 % Student-t critical values by degrees of freedom (1-30);
-#: falls back to the normal 1.96 beyond the table.
-_T95 = {
-    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
-    7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179,
-    13: 2.160, 14: 2.145, 15: 2.131, 16: 2.120, 17: 2.110, 18: 2.101,
-    19: 2.093, 20: 2.086, 21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064,
-    25: 2.060, 26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
-}
+
+@lru_cache(maxsize=None)
+def _t95(df: int) -> float:
+    """Two-sided 95 % Student-t critical value for ``df`` degrees of freedom.
+
+    Computed from ``scipy.stats.t.ppf`` (scipy is a hard dependency),
+    replacing the hand-coded 30-entry table this module used to carry;
+    the test suite pins the old table's values to 1e-3.  Imported lazily
+    and cached so summary statistics stay cheap in tight loops.
+    """
+    from scipy.stats import t
+
+    return float(t.ppf(0.975, df))
 
 
 @dataclass(frozen=True)
@@ -42,8 +47,7 @@ class SeedSummary:
         """Half-width of the 95 % t-interval for the mean."""
         if self.n < 2:
             return float("inf")
-        t = _T95.get(self.n - 1, 1.96)
-        return t * self.stdev / math.sqrt(self.n)
+        return _t95(self.n - 1) * self.stdev / math.sqrt(self.n)
 
     @property
     def ci95(self) -> tuple[float, float]:
@@ -132,17 +136,24 @@ def table2_metrics(seed: int) -> dict[str, float]:
     return out
 
 
-def scenario_metrics(name: str, seed: int) -> dict[str, float]:
+def scenario_metrics(name: str, seed: int, fast: bool = False) -> dict[str, float]:
     """Run one registered scenario on one seed; returns its run metrics.
 
     Module-level (not a closure) so ``functools.partial(scenario_metrics,
     name)`` stays picklable for multi-process :func:`run_seeds` fan-out.
+    ``fast=True`` routes through :func:`repro.sim.vectorized.simulate_fast`
+    (identical metrics, array kernel when eligible).
     """
     from ..scenario import get_scenario
     from .slotsim import SlotSimulator
 
     sc = get_scenario(name)
-    result = SlotSimulator(sc.build_manager()).run(sc.build_trace(seed))
+    if fast:
+        from .vectorized import simulate_fast
+
+        result = simulate_fast(sc.build_manager(), sc.build_trace(seed))
+    else:
+        result = SlotSimulator(sc.build_manager()).run(sc.build_trace(seed))
     return {
         "fuel": result.fuel,
         "load_charge": result.load_charge,

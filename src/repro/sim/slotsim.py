@@ -22,6 +22,7 @@ this module only owns the closed-form slot scheduling.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 from ..core.baselines import SlotActuals, SlotStart
 from ..core.manager import PowerManager
@@ -37,9 +38,13 @@ from .metrics import RunMetrics
 from .recorder import Recorder
 
 
-@dataclass(frozen=True)
-class SlotResult:
-    """Outcome of one simulated task slot."""
+class SlotResult(NamedTuple):
+    """Outcome of one simulated task slot.
+
+    A ``NamedTuple`` (not a frozen dataclass) because one is created per
+    task slot on every run; tuple construction keeps the per-slot
+    bookkeeping cheap for both the scalar and the vectorized simulator.
+    """
 
     index: int
     slept: bool
@@ -148,6 +153,10 @@ class SlotSimulator:
         mgr = self.manager
         source = mgr.source
         recorder = Recorder() if self.record else None
+        if recorder is not None:
+            # The recorder replays SourceStep entries into its time
+            # series; history is otherwise off (see PowerSource).
+            source.record_history = True
         integrator = SegmentIntegrator(mgr, recorder=recorder)
 
         integrator.start_run()
@@ -233,9 +242,7 @@ class SlotSimulator:
             name=mgr.name,
             fuel=source.total_fuel,
             load_charge=source.total_load_charge,
-            delivered_charge=sum(h.i_f * h.dt for h in source.history)
-            if source.history
-            else source.total_load_charge,
+            delivered_charge=source.total_delivered_charge,
             duration=integrator.t_now,
             bled=source.storage.bled_charge,
             deficit=source.storage.deficit_charge,
@@ -252,9 +259,23 @@ def simulate_policies(
     trace: LoadTrace,
     managers: list[PowerManager],
     record: bool = False,
+    fast: bool = False,
 ) -> dict[str, SimulationResult]:
-    """Run several manager configurations over the same trace."""
+    """Run several manager configurations over the same trace.
+
+    With ``fast=True`` each manager goes through
+    :func:`repro.sim.vectorized.simulate_fast`, which uses the array
+    kernel when the configuration is eligible and silently falls back
+    to this scalar simulator otherwise -- the results are identical
+    either way.
+    """
     results: dict[str, SimulationResult] = {}
+    if fast:
+        from .vectorized import simulate_fast
+
+        for mgr in managers:
+            results[mgr.name] = simulate_fast(mgr, trace, record=record)
+        return results
     for mgr in managers:
         results[mgr.name] = SlotSimulator(mgr, record=record).run(trace)
     return results

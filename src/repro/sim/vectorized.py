@@ -1,0 +1,1001 @@
+"""Vectorized trace simulation: ``simulate_fast`` / ``simulate_batch``.
+
+The scalar simulators execute one Python call chain per segment
+(``SegmentIntegrator.integrate`` -> ``PowerSource.step`` ->
+``ChargeStorage.step``), allocating a frozen ``SourceStep`` each time.
+For the paper's piecewise-constant traces the whole run is really three
+array computations -- the fuel integral ``sum Ifc(IF) * T`` over
+segments (Eqs. 3-4), a clamped cumulative sum for the storage, and
+per-slot reductions -- which is what this module does:
+
+1. :func:`plan_trace_arrays` compiles a trace into structure-of-arrays
+   form, reusing :func:`~repro.sim.integrator.plan_idle_segments` /
+   :func:`~repro.sim.integrator.plan_active_segments` so the timeline
+   convention stays single-sourced;
+2. :meth:`~repro.fuelcell.efficiency.SystemEfficiencyModel.fuel_map_array`
+   evaluates the fuel map over the whole command array at once;
+3. :func:`clamped_cumsum` reproduces the
+   :meth:`~repro.power.storage.ChargeStorage.step` saturation / bleed /
+   deficit semantics with O(#clamp-events) array rescans;
+4. :func:`simulate_fast` assembles a
+   :class:`~repro.sim.slotsim.SimulationResult` **bit-identical** to
+   ``SlotSimulator.run`` -- every arithmetic step replicates the
+   scalar's IEEE-754 operation sequence exactly (seeded ``cumsum`` for
+   running ledgers, elementwise closed forms for the fuel map, a
+   sequential tail for clamp-heavy storage stretches), so equality is
+   ``==``, not ``approx``.
+
+Eligibility is conservative: the kernel runs only for the reference
+hybrid plant (``HybridPowerSource`` + ``FCSystem`` + supercap/ideal
+storage) under a *trace-functional* controller
+(:attr:`~repro.core.baselines.SourceController.is_trace_functional`).
+ASAP-DPM's storage-coupled recharge hysteresis is handled natively by a
+dedicated sequential pass over precomputed per-mode arrays.  Everything
+else -- adaptive controllers (FC-DPM, stochastic, receding), exotic
+plants, recording runs, manual ``record_history`` -- falls back to the
+scalar :class:`~repro.sim.slotsim.SlotSimulator`: never a wrong answer,
+only a slower one.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..core.baselines import (
+    ASAPDPMController,
+    SegmentContext,
+    SlotActuals,
+    SlotStart,
+    StaticController,
+)
+from ..errors import ConfigurationError, SimulationError
+from ..fuelcell.efficiency import SystemEfficiencyModel
+from ..fuelcell.fuel import FuelTank
+from ..fuelcell.system import FCSystem
+from ..power.hybrid import HybridPowerSource
+from ..power.storage import IdealStorage, SuperCapacitor
+from .integrator import (
+    chunk_segments,
+    plan_active_segments,
+    plan_idle_segments,
+)
+from .slotsim import SimulationResult, SlotResult, SlotSimulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.manager import PowerManager
+    from ..dpm.policy import DPMPolicy, IdleDecision
+    from ..scenario.spec import Scenario
+    from ..workload.trace import LoadTrace
+
+#: Segment-kind encoding for the int8 ``TraceArrays.kind`` column.
+_KIND_CODES = {"standby": 0, "pd": 1, "sleep": 2, "wu": 3, "run": 4}
+_KIND_NAMES = ("standby", "pd", "sleep", "wu", "run")
+
+#: After this many storage clamp events the kernel stops rescanning
+#: arrays and finishes the stretch with a compiled-float sequential
+#: loop -- cheaper than per-event numpy work on clamp-heavy runs
+#: (conv-dpm saturates the storage on a large fraction of segments).
+_MAX_RESCANS = 8
+
+
+# -- trace compilation -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TraceArrays:
+    """A whole trace compiled to structure-of-arrays form.
+
+    One row per executed segment, in execution order; slot boundaries
+    and the idle/active split are kept as index arrays so per-slot
+    reductions and the generic controller replay can address segments
+    without re-planning.
+    """
+
+    #: Segment length (s), one per segment.
+    duration: np.ndarray
+    #: Load current (A), one per segment.
+    i_load: np.ndarray
+    #: Kind code per segment (see ``_KIND_CODES``), int8.
+    kind: np.ndarray
+    #: Remaining phase duration *including* the segment (s) -- the
+    #: scalar ``SegmentContext.phase_duration`` lookahead.  ``None``
+    #: when compiled with ``phase_context=False`` (the fast path does
+    #: this: closed-form controllers never read it, and the generic
+    #: replay derives the exact values from ``duration`` on demand).
+    phase_duration: np.ndarray | None
+    #: Remaining phase load charge including the segment (A-s), or
+    #: ``None`` (see ``phase_duration``).
+    phase_demand: np.ndarray | None
+    #: Segment index where each slot starts; length ``n_slots + 1``.
+    slot_bounds: np.ndarray
+    #: Segment index where each slot's active phase starts.
+    active_start: np.ndarray
+    #: Per-slot sleep decision outcome (bool).
+    slept: np.ndarray
+    #: Per-slot aborted-sleep flag (bool).
+    aborted: np.ndarray
+
+    @property
+    def n_segments(self) -> int:
+        return self.duration.shape[0]
+
+    @property
+    def n_slots(self) -> int:
+        return self.slot_bounds.shape[0] - 1
+
+
+def replay_policy(policy: "DPMPolicy", trace: "LoadTrace") -> list["IdleDecision"]:
+    """Collect the per-slot sleep decisions by replaying the policy.
+
+    Device-side DPM policies are pure functions of the observed idle
+    history (they never see the power source), so firing
+    ``on_idle_start`` / ``on_idle_end`` in slot order yields exactly the
+    decisions -- and the same policy end state -- the scalar simulator
+    produces while interleaving integration in between.
+    """
+    decisions = []
+    for slot in trace:
+        decisions.append(policy.on_idle_start())
+        policy.on_idle_end(slot.t_idle)
+    return decisions
+
+
+def plan_trace_arrays(
+    device,
+    trace: "LoadTrace",
+    decisions,
+    max_segment: float | None = None,
+    *,
+    phase_context: bool = True,
+) -> TraceArrays:
+    """Compile ``trace`` + per-slot ``decisions`` into :class:`TraceArrays`.
+
+    Reuses :func:`plan_idle_segments` / :func:`plan_active_segments` /
+    :func:`chunk_segments`, so the segment layout is the scalar
+    simulator's, row for row.  ``phase_context=False`` skips the
+    remaining-phase lookahead columns (``phase_duration`` /
+    ``phase_demand`` come back ``None``) -- the fast path uses this
+    because its closed-form controllers never read them and the generic
+    replay derives them on demand; the per-segment bookkeeping is a
+    measurable share of compile time.
+    """
+    slots = list(trace)
+    decisions = list(decisions)
+    if len(decisions) != len(slots):
+        raise ConfigurationError(
+            f"got {len(decisions)} decisions for {len(slots)} slots"
+        )
+    durations: list[float] = []
+    loads: list[float] = []
+    kinds: list[int] = []
+    phase_dur: list[float] = []
+    phase_dem: list[float] = []
+    slot_bounds = [0]
+    active_start: list[int] = []
+    slept_l: list[bool] = []
+    aborted_l: list[bool] = []
+    dur_append = durations.append
+    load_append = loads.append
+    kind_append = kinds.append
+    pdur_append = phase_dur.append
+    pdem_append = phase_dem.append
+    astart_append = active_start.append
+    bounds_append = slot_bounds.append
+    codes = _KIND_CODES
+
+    for slot, decision in zip(slots, decisions):
+        idle_segments, slept, aborted = plan_idle_segments(
+            device, slot.t_idle, decision.sleep, decision.sleep_after
+        )
+        slept_l.append(slept)
+        aborted_l.append(aborted)
+        active_segments = plan_active_segments(device, slot)
+        if max_segment is not None:
+            idle_segments = chunk_segments(idle_segments, max_segment)
+            active_segments = chunk_segments(active_segments, max_segment)
+        if phase_context:
+            for segments in (idle_segments, active_segments):
+                if segments is active_segments:
+                    astart_append(len(durations))
+                # Inlined phase_totals(): plain sequential accumulation,
+                # bit-identical to the sum() calls run_phase makes.
+                remaining = 0.0
+                demand = 0.0
+                for d, i_l, _ in segments:
+                    remaining += d
+                    demand += d * i_l
+                for d, i_l, kind in segments:
+                    dur_append(d)
+                    load_append(i_l)
+                    kind_append(codes[kind])
+                    pdur_append(remaining)
+                    pdem_append(demand)
+                    remaining -= d
+                    demand -= i_l * d
+        else:
+            for d, i_l, kind in idle_segments:
+                dur_append(d)
+                load_append(i_l)
+                kind_append(codes[kind])
+            astart_append(len(durations))
+            for d, i_l, kind in active_segments:
+                dur_append(d)
+                load_append(i_l)
+                kind_append(codes[kind])
+        bounds_append(len(durations))
+
+    return TraceArrays(
+        duration=np.asarray(durations, dtype=float),
+        i_load=np.asarray(loads, dtype=float),
+        kind=np.asarray(kinds, dtype=np.int8),
+        phase_duration=np.asarray(phase_dur, dtype=float) if phase_context else None,
+        phase_demand=np.asarray(phase_dem, dtype=float) if phase_context else None,
+        slot_bounds=np.asarray(slot_bounds, dtype=np.intp),
+        active_start=np.asarray(active_start, dtype=np.intp),
+        slept=np.asarray(slept_l, dtype=bool),
+        aborted=np.asarray(aborted_l, dtype=bool),
+    )
+
+
+# -- exact array kernels -----------------------------------------------------
+
+
+def _running_sums(initial: float, values: np.ndarray) -> np.ndarray:
+    """Sequential running sums: ``out[k] = initial + values[0] + ... + values[k-1]``.
+
+    ``np.cumsum`` accumulates strictly left to right (``out[i] =
+    out[i-1] + in[i]``), so seeding the first element with ``initial``
+    reproduces a scalar ``+=`` loop bit for bit.  ``np.sum`` would not
+    (pairwise summation).
+    """
+    out = np.empty(values.shape[0] + 1, dtype=float)
+    out[0] = initial
+    if values.shape[0]:
+        seg = values.astype(float, copy=True)
+        seg[0] += initial
+        np.cumsum(seg, out=seg)
+        out[1:] = seg
+    return out
+
+
+def clamped_cumsum(
+    deltas: np.ndarray,
+    initial: float,
+    capacity: float,
+    bled: float = 0.0,
+    deficit: float = 0.0,
+    max_rescans: int = _MAX_RESCANS,
+) -> tuple[np.ndarray, float, float]:
+    """Bounded-bucket recurrence over ``deltas``, exactly as the scalar.
+
+    Reproduces :meth:`ChargeStorage._apply` semantics: the charge
+    accumulates sequentially; overflow above ``capacity`` is bled and
+    the level pins to ``capacity``; underflow below zero is recorded as
+    deficit and the level pins to ``0.0``.  Returns ``(charges, bled,
+    deficit)`` with ``charges[0] == initial`` and one entry per delta.
+
+    Strategy: a seeded cumulative sum is bit-identical to the scalar
+    ``+=`` loop *between* clamp events, so cumsum to the first
+    violation, apply the scalar clamp arithmetic there, and resume.
+    After ``max_rescans`` violations the remaining stretch runs as a
+    plain sequential float loop, which beats per-event array rescans on
+    clamp-heavy runs.
+    """
+    n = deltas.shape[0]
+    charges = np.empty(n + 1, dtype=float)
+    charges[0] = initial
+    cur = float(initial)
+    start = 0
+    rescans = 0
+    while start < n and rescans < max_rescans:
+        seg = deltas[start:].astype(float, copy=True)
+        seg[0] += cur
+        np.cumsum(seg, out=seg)
+        bad = (seg > capacity) | (seg < 0.0)
+        nbad = int(np.count_nonzero(bad))
+        if not nbad:
+            charges[start + 1 :] = seg
+            return charges, bled, deficit
+        k = int(np.argmax(bad))
+        if k:
+            charges[start + 1 : start + k + 1] = seg[:k]
+        new = float(seg[k])
+        if new > capacity:
+            bled += new - capacity
+            cur = capacity
+        else:
+            deficit += -new
+            cur = 0.0
+        charges[start + k + 1] = cur
+        start += k + 1
+        if nbad > max_rescans - rescans:
+            # The unclamped trajectory violates the bounds more times
+            # than there are rescans left -- a clamp-dense stretch.
+            # Skip straight to the sequential tail instead of paying
+            # an array copy + cumsum per clamp event (a density
+            # heuristic: it only changes speed, never values).
+            break
+        rescans += 1
+    if start < n:
+        tail = deltas[start:].tolist()
+        for i, delta in enumerate(tail):
+            new = cur + delta
+            if new > capacity:
+                bled += new - capacity
+                cur = capacity
+            elif new < 0.0:
+                deficit += -new
+                cur = 0.0
+            else:
+                cur = new
+            charges[start + i + 1] = cur
+    return charges, bled, deficit
+
+
+def _realize_commands(fc: FCSystem, commands: np.ndarray) -> np.ndarray:
+    """Vectorized ``FCSystem.set_output(cmd, clamp=True)`` per segment."""
+    model = fc.model
+    realized = np.minimum(np.maximum(commands, model.if_min), model.if_max)
+    if fc.allow_zero_output:
+        realized = np.where(commands == 0.0, 0.0, realized)
+    return realized
+
+
+def _fuel_currents(fc: FCSystem, realized: np.ndarray) -> np.ndarray:
+    """Vectorized ``FCSystem.fc_current()``: the zero shortcut + fuel map."""
+    i_fc = fc.model.fuel_map_array(realized)
+    # FCSystem.fc_current returns exactly 0.0 for a zero setting even
+    # when the model itself would not (e.g. composed models with fan
+    # standby draw) -- mask after the map to match.
+    return np.where(realized == 0.0, 0.0, i_fc)
+
+
+def _storage_deltas(
+    storage, i_f: np.ndarray, i_load: np.ndarray, durations: np.ndarray
+) -> np.ndarray:
+    """Per-segment signed charge delta, exactly as ``storage.step``."""
+    raw = (i_f - i_load) * durations
+    if type(storage) is SuperCapacitor:
+        delta = np.where(raw > 0, raw * storage.coulombic_efficiency, raw)
+        return delta - storage.leakage_current * durations
+    return raw  # IdealStorage: step() applies current * dt unmodified
+
+
+# -- eligibility -------------------------------------------------------------
+
+
+def fast_path_ineligibility(
+    manager: "PowerManager", *, record: bool = False
+) -> str | None:
+    """Why this configuration cannot take the array kernel (None = it can).
+
+    The checks are exact-type on purpose: a subclass may override any
+    of the semantics the kernel replicates, so it routes to the scalar
+    simulator instead.  The returned string is a human-readable reason
+    (used in docs/tests); callers treat any non-None as "fall back".
+    """
+    if record:
+        return "recording requested (Recorder consumes per-segment steps)"
+    source = manager.source
+    if type(source) is not HybridPowerSource:
+        return f"source type {type(source).__name__} has no array kernel"
+    if type(source.fc) is not FCSystem:
+        return f"FC system type {type(source.fc).__name__} has no array kernel"
+    if type(source.fc.tank) is not FuelTank:
+        return f"fuel tank type {type(source.fc.tank).__name__} has no array kernel"
+    if type(source.fc.model).clamp is not SystemEfficiencyModel.clamp:
+        return "efficiency model overrides clamp()"
+    if type(source.storage) not in (SuperCapacitor, IdealStorage):
+        return f"storage type {type(source.storage).__name__} has no array kernel"
+    if source.record_history:
+        return "source.record_history is enabled"
+    if not manager.controller.is_trace_functional:
+        return (
+            f"controller {type(manager.controller).__name__} "
+            "is not trace-functional"
+        )
+    return None
+
+
+# -- kernel passes -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _KernelRun:
+    """Raw per-segment outputs of one kernel pass."""
+
+    i_f: np.ndarray
+    i_fc: np.ndarray
+    fuel: np.ndarray
+    charges: np.ndarray
+    bled: float
+    deficit: float
+    #: Final ASAP recharge flag, or None for non-ASAP controllers.
+    recharging: bool | None
+
+
+def _controller_commands(
+    manager: "PowerManager", plan: TraceArrays, trace: "LoadTrace"
+) -> np.ndarray:
+    """Commanded output current per segment for a trace-functional controller.
+
+    Prefers the controller's closed-form
+    :meth:`~repro.core.baselines.SourceController.output_array` hook;
+    otherwise replays :meth:`output` segment by segment with the scalar
+    call order (slot lifecycle callbacks included) and the storage
+    context fields poisoned to NaN -- a controller that claims to be
+    trace-functional but reads storage state produces NaN results
+    instead of silently wrong ones.
+    """
+    controller = manager.controller
+    commands = controller.output_array(plan)
+    if commands is not None:
+        return np.asarray(commands, dtype=float)
+    nan = float("nan")
+    device = manager.device
+    out = np.empty(plan.n_segments, dtype=float)
+    durations = plan.duration.tolist()
+    loads = plan.i_load.tolist()
+    kinds = plan.kind.tolist()
+    have_context = plan.phase_duration is not None
+    if have_context:
+        phase_dur = plan.phase_duration.tolist()
+        phase_dem = plan.phase_demand.tolist()
+    bounds = plan.slot_bounds.tolist()
+    astart = plan.active_start.tolist()
+    slept = plan.slept.tolist()
+    for s, slot in enumerate(trace):
+        controller.on_idle_start(
+            SlotStart(
+                slot_index=s,
+                sleeping=slept[s],
+                i_idle=device.i_slp if slept[s] else device.i_sdb,
+                storage_charge=nan,
+            )
+        )
+        for phase, lo, hi in (
+            ("idle", bounds[s], astart[s]),
+            ("active", astart[s], bounds[s + 1]),
+        ):
+            if not have_context:
+                # Derive the remaining-phase lookahead exactly as
+                # run_phase does: sequential sums over the phase.
+                remaining = 0.0
+                demand = 0.0
+                for k in range(lo, hi):
+                    remaining += durations[k]
+                    demand += durations[k] * loads[k]
+            for k in range(lo, hi):
+                if have_context:
+                    remaining = phase_dur[k]
+                    demand = phase_dem[k]
+                out[k] = controller.output(
+                    SegmentContext(
+                        slot_index=s,
+                        phase=phase,
+                        kind=_KIND_NAMES[kinds[k]],
+                        duration=durations[k],
+                        i_load=loads[k],
+                        storage_charge=nan,
+                        storage_capacity=nan,
+                        phase_duration=remaining,
+                        phase_demand=demand,
+                    )
+                )
+                if not have_context:
+                    remaining -= durations[k]
+                    demand -= loads[k] * durations[k]
+        controller.on_slot_end(
+            SlotActuals(
+                slot_index=s,
+                t_idle=slot.t_idle,
+                t_active=slot.t_active,
+                i_active=slot.i_active,
+            )
+        )
+    return out
+
+
+def _run_from_plan(
+    manager: "PowerManager", plan: TraceArrays, commands: np.ndarray
+) -> _KernelRun | None:
+    """Array pass for storage-independent command sequences.
+
+    Returns None when a finite fuel tank would deplete mid-run -- the
+    caller reruns the scalar path, which raises the exact
+    ``DepletedError`` at the exact segment.
+    """
+    source = manager.source
+    fc = source.fc
+    storage = source.storage
+    n = plan.n_segments
+    if n and commands[0] == commands[-1] and not bool(np.any(commands != commands[0])):
+        # Constant command sequence (conv-dpm, static controllers):
+        # realize and map once with the exact scalar expressions, then
+        # broadcast.  A NaN-poisoned sequence never matches (NaN !=
+        # NaN) and keeps the elementwise path.
+        model = fc.model
+        cmd0 = float(commands[0])
+        if fc.allow_zero_output and cmd0 == 0.0:
+            r0 = 0.0
+        else:
+            r0 = min(max(cmd0, model.if_min), model.if_max)
+        realized = np.full(n, r0)
+        i_fc = np.full(n, 0.0 if r0 == 0.0 else model.fc_current(r0))
+    else:
+        realized = _realize_commands(fc, commands)
+        i_fc = _fuel_currents(fc, realized)
+    fuel = i_fc * plan.duration
+    tank = fc.tank
+    if math.isfinite(tank.capacity) and plan.n_segments:
+        consumed = _running_sums(tank.consumed, fuel)
+        # Exact scalar depletion test: request > capacity - consumed-so-far.
+        if bool(np.any(fuel > tank.capacity - consumed[:-1])):
+            return None
+    deltas = _storage_deltas(storage, realized, plan.i_load, plan.duration)
+    charges, bled, deficit = clamped_cumsum(
+        deltas,
+        storage.charge,
+        storage.capacity,
+        bled=storage.bled_charge,
+        deficit=storage.deficit_charge,
+    )
+    return _KernelRun(realized, i_fc, fuel, charges, bled, deficit, None)
+
+
+def _run_asap(manager: "PowerManager", plan: TraceArrays) -> _KernelRun | None:
+    """Native pass for ASAP-DPM's storage-coupled recharge hysteresis.
+
+    Both candidate modes (load-follow, full-output recharge) are
+    precomputed as arrays; one sequential float pass then plays the
+    scalar hysteresis -- per-segment ``soc = charge / capacity``
+    compared against the thresholds *before* the segment integrates,
+    exactly as ``ASAPDPMController.output`` does -- while applying the
+    storage clamp arithmetic inline.
+    """
+    controller = manager.controller
+    source = manager.source
+    fc = source.fc
+    storage = source.storage
+    model = fc.model
+    n = plan.n_segments
+
+    cmd_follow = np.minimum(np.maximum(plan.i_load, model.if_min), model.if_max)
+    real_follow = _realize_commands(fc, cmd_follow)
+    ifc_follow = _fuel_currents(fc, real_follow)
+    fuel_follow = ifc_follow * plan.duration
+    delta_follow = _storage_deltas(storage, real_follow, plan.i_load, plan.duration)
+
+    cmd_re = model.if_max
+    if cmd_re == 0.0 and fc.allow_zero_output:
+        real_re = 0.0
+    else:
+        real_re = min(max(cmd_re, model.if_min), model.if_max)
+    ifc_re = 0.0 if real_re == 0.0 else model.fc_current(real_re)
+    real_re_arr = np.full(n, real_re)
+    ifc_re_arr = np.full(n, ifc_re)
+    fuel_re = ifc_re_arr * plan.duration
+    delta_re = _storage_deltas(storage, real_re_arr, plan.i_load, plan.duration)
+
+    threshold = controller.recharge_threshold
+    full_level = controller.full_level
+    recharging = controller.recharging
+    cap = storage.capacity
+    cur = storage.charge
+    bled = storage.bled_charge
+    deficit = storage.deficit_charge
+    tank = fc.tank
+    tank_cap = tank.capacity
+    consumed = tank.consumed
+    finite = math.isfinite(tank_cap)
+
+    charges = np.empty(n + 1, dtype=float)
+    charges[0] = cur
+    mode = np.empty(n, dtype=bool)
+    f_fo = fuel_follow.tolist()
+    f_re = fuel_re.tolist()
+    d_fo = delta_follow.tolist()
+    d_re = delta_re.tolist()
+    for k in range(n):
+        if cap > 0:
+            soc = cur / cap
+            if soc < threshold:
+                recharging = True
+            elif soc >= full_level:
+                recharging = False
+        if recharging:
+            fuel_k = f_re[k]
+            delta = d_re[k]
+        else:
+            fuel_k = f_fo[k]
+            delta = d_fo[k]
+        if finite and fuel_k > tank_cap - consumed:
+            return None  # scalar rerun raises the exact DepletedError
+        consumed += fuel_k
+        new = cur + delta
+        if new > cap:
+            bled += new - cap
+            cur = cap
+        elif new < 0.0:
+            deficit += -new
+            cur = 0.0
+        else:
+            cur = new
+        charges[k + 1] = cur
+        mode[k] = recharging
+
+    i_f = np.where(mode, real_re_arr, real_follow)
+    i_fc = np.where(mode, ifc_re_arr, ifc_follow)
+    fuel = np.where(mode, fuel_re, fuel_follow)
+    return _KernelRun(i_f, i_fc, fuel, charges, bled, deficit, recharging)
+
+
+# -- result assembly ---------------------------------------------------------
+
+
+def _assemble_result(
+    manager: "PowerManager",
+    plan: TraceArrays,
+    run: _KernelRun,
+    max_deficit_fraction: float,
+) -> SimulationResult:
+    """Reduce kernel arrays to a ``SimulationResult`` and commit end state.
+
+    Every ledger is a *sequential* float reduction (seeded cumsum or a
+    per-slot Python loop) so each total equals the scalar simulator's
+    accumulated value bit for bit.  The manager is left in exactly the
+    state ``SlotSimulator.run`` leaves it in -- including when the
+    deficit guard fires, which the scalar raises only after the whole
+    trace has integrated.
+    """
+    source = manager.source
+    fc = source.fc
+    storage = source.storage
+    n = plan.n_segments
+    n_slots = plan.n_slots
+
+    load_seg = plan.i_load * plan.duration
+    delivered_seg = run.i_f * plan.duration
+
+    total_fuel = float(_running_sums(source.total_fuel, run.fuel)[-1])
+    total_load = float(_running_sums(source.total_load_charge, load_seg)[-1])
+    total_time = float(_running_sums(source.total_time, plan.duration)[-1])
+    total_delivered = float(
+        _running_sums(source.total_delivered_charge, delivered_seg)[-1]
+    )
+    # Equal starting ledgers accumulate identical sequences, so the
+    # totals can be shared instead of re-summed (fresh managers always
+    # start every ledger at 0.0 -- the common case).
+    if source.total_time == 0.0:
+        duration = total_time
+    else:
+        duration = float(_running_sums(0.0, plan.duration)[-1])
+    if fc.tank.consumed == source.total_fuel:
+        consumed = total_fuel
+    else:
+        consumed = float(_running_sums(fc.tank.consumed, run.fuel)[-1])
+
+    bounds = plan.slot_bounds
+    starts = bounds[:-1]
+    ends = bounds[1:]
+    astart = plan.active_start
+    slot_fuel = np.zeros(n_slots)
+    slot_load = np.zeros(n_slots)
+    if n_slots and n:
+        slot_index = np.repeat(np.arange(n_slots), ends - starts)
+        # ufunc.at accumulates unbuffered, applying the adds in index
+        # order -- each slot's sum is therefore built left to right
+        # exactly like the scalar's per-slot += loop (elementwise
+        # adds, never a pairwise reduction).  The property suite
+        # checks this equality on randomized traces.
+        np.add.at(slot_fuel, slot_index, run.fuel)
+        np.add.at(slot_load, slot_index, load_seg)
+    if n:
+        # Idle phase is [start, astart), active is [astart, end); both
+        # are non-empty by construction, but mirror the scalar's
+        # "last executed segment, else 0.0" guards all the same.
+        if_idle = np.where(astart > starts, run.i_f[np.maximum(astart - 1, 0)], 0.0)
+        if_active = np.where(ends > astart, run.i_f[ends - 1], 0.0)
+    else:
+        if_idle = np.zeros(n_slots)
+        if_active = np.zeros(n_slots)
+    storage_end = run.charges[ends]
+
+    n_sleeps = int(np.count_nonzero(plan.slept))
+    n_aborted = int(np.count_nonzero(plan.aborted))
+    slot_results = list(
+        map(
+            SlotResult._make,
+            zip(
+                range(n_slots),
+                plan.slept.tolist(),
+                plan.aborted.tolist(),
+                slot_fuel.tolist(),
+                slot_load.tolist(),
+                if_idle.tolist(),
+                if_active.tolist(),
+                storage_end.tolist(),
+            ),
+        )
+    )
+
+    # Commit the manager end state before the deficit guard can raise,
+    # mirroring the scalar path (which mutates throughout the run).
+    if n:
+        fc._i_f = float(run.i_f[-1])
+    fc.tank._consumed = consumed
+    storage._charge = float(run.charges[-1])
+    storage.bled_charge = run.bled
+    storage.deficit_charge = run.deficit
+    source.total_fuel = total_fuel
+    source.total_load_charge = total_load
+    source.total_time = total_time
+    source.total_delivered_charge = total_delivered
+    if run.recharging is not None:
+        manager.controller._recharging = run.recharging
+
+    threshold = source.total_load_charge * max_deficit_fraction
+    if storage.deficit_charge > threshold:
+        raise SimulationError(
+            f"{manager.name}: storage deficit "
+            f"{storage.deficit_charge:.2f} A-s exceeds "
+            f"{100 * max_deficit_fraction:.0f}% of load -- "
+            "the source is undersized for this workload"
+        )
+
+    return SimulationResult(
+        name=manager.name,
+        fuel=total_fuel,
+        load_charge=total_load,
+        delivered_charge=total_delivered,
+        duration=duration,
+        bled=run.bled,
+        deficit=run.deficit,
+        n_slots=plan.n_slots,
+        n_sleeps=n_sleeps,
+        n_aborted_sleeps=n_aborted,
+        wakeup_latency=n_sleeps * manager.device.t_wu,
+        slots=slot_results,
+        recorder=None,
+    )
+
+
+def _simulate_fast_planned(
+    manager: "PowerManager",
+    trace: "LoadTrace",
+    plan: TraceArrays,
+    max_deficit_fraction: float,
+) -> SimulationResult | None:
+    """Kernel + assembly for an already-compiled plan (no eligibility).
+
+    Returns None when a finite fuel tank would deplete mid-run; the
+    caller owns the scalar fallback (and any state restoration).
+    """
+    source = manager.source
+    manager.controller.start_run(source.storage.charge, source.storage.capacity)
+    if type(manager.controller) is ASAPDPMController:
+        run = _run_asap(manager, plan)
+    else:
+        commands = _controller_commands(manager, plan, trace)
+        run = _run_from_plan(manager, plan, commands)
+    if run is None:
+        return None
+    return _assemble_result(manager, plan, run, max_deficit_fraction)
+
+
+# -- public API --------------------------------------------------------------
+
+
+def simulate_fast(
+    manager: "PowerManager",
+    trace: "LoadTrace",
+    *,
+    record: bool = False,
+    max_deficit_fraction: float = 0.05,
+    max_segment: float | None = None,
+) -> SimulationResult:
+    """Simulate ``trace`` under ``manager``: the vectorized drop-in.
+
+    Returns a :class:`~repro.sim.slotsim.SimulationResult` equal (``==``,
+    every field) to ``SlotSimulator(manager, ...).run(trace)`` and
+    leaves the manager in the same end state.  Configurations the array
+    kernel cannot represent -- adaptive controllers, non-reference
+    plants, recording runs (see :func:`fast_path_ineligibility`) -- run
+    the scalar simulator transparently: never a wrong answer, only a
+    slower one.
+    """
+    if max_deficit_fraction < 0:
+        raise SimulationError("max_deficit_fraction cannot be negative")
+    if max_segment is not None and max_segment <= 0:
+        raise SimulationError("max_segment must be positive")
+    if fast_path_ineligibility(manager, record=record) is not None:
+        return SlotSimulator(
+            manager,
+            record=record,
+            max_deficit_fraction=max_deficit_fraction,
+            max_segment=max_segment,
+        ).run(trace)
+    snapshot = None
+    if math.isfinite(manager.source.fc.tank.capacity):
+        # A finite tank can force a mid-run DepletedError that only the
+        # scalar path reports with per-segment context; snapshot the
+        # stateful pieces so the rerun sees untouched decisions.
+        # (Default tanks are bottomless: zero overhead there.)
+        snapshot = copy.deepcopy((manager.policy, manager.controller))
+    decisions = replay_policy(manager.policy, trace)
+    plan = plan_trace_arrays(
+        manager.device,
+        trace,
+        decisions,
+        max_segment=max_segment,
+        # The lookahead columns are only read by the generic replay,
+        # which derives them on demand; skipping them here keeps the
+        # compile step off the critical path's profile.
+        phase_context=False,
+    )
+    result = _simulate_fast_planned(manager, trace, plan, max_deficit_fraction)
+    if result is not None:
+        return result
+    if snapshot is not None:
+        manager.policy, manager.controller = snapshot
+    return SlotSimulator(
+        manager,
+        record=record,
+        max_deficit_fraction=max_deficit_fraction,
+        max_segment=max_segment,
+    ).run(trace)
+
+
+def _parse_policy_spec(spec) -> None:
+    """Validate a ``simulate_batch`` policy spec; raises ``ConfigurationError``."""
+    from ..scenario.spec import _POLICY_KINDS
+
+    if not isinstance(spec, str):
+        raise ConfigurationError(
+            f"policy spec must be a string, got {type(spec).__name__}"
+        )
+    if spec.startswith("static:"):
+        try:
+            float(spec.split(":", 1)[1])
+        except ValueError:
+            raise ConfigurationError(
+                f"bad static policy spec {spec!r}; expected 'static:<IF amps>'"
+            ) from None
+        return
+    if spec not in _POLICY_KINDS:
+        raise ConfigurationError(
+            f"unknown policy {spec!r}; expected one of {_POLICY_KINDS} "
+            "or 'static:<IF amps>'"
+        )
+
+
+def _policy_manager(scenario: "Scenario", spec: str) -> "PowerManager":
+    """Build the scenario's manager with its policy swapped to ``spec``.
+
+    ``spec`` is a registered policy kind (``conv-dpm`` / ``asap-dpm`` /
+    ``fc-dpm``) or ``static:<IF>`` -- a fixed FC setting riding on the
+    conv-dpm device policy.  The manager is renamed to the spec so batch
+    results key on the policy, not the scenario.
+    """
+    from dataclasses import replace
+
+    _parse_policy_spec(spec)
+    if spec.startswith("static:"):
+        i_f = float(spec.split(":", 1)[1])
+        base = replace(scenario, policy=replace(scenario.policy, kind="conv-dpm"))
+        mgr = base.build_manager()
+        # StaticController validates the range (ConfigurationError if not).
+        mgr.controller = StaticController(mgr.controller.model, i_f)
+    else:
+        mgr = replace(
+            scenario, policy=replace(scenario.policy, kind=spec)
+        ).build_manager()
+    mgr.name = spec
+    return mgr
+
+
+def simulate_batch(
+    scenario: "Scenario | str",
+    seeds,
+    policies=None,
+    *,
+    fast: bool = True,
+    traces: dict | None = None,
+    max_deficit_fraction: float = 0.05,
+) -> dict[int, dict[str, SimulationResult]]:
+    """Monte-Carlo sweep: every (seed, policy) run of one scenario.
+
+    Parameters
+    ----------
+    scenario:
+        A :class:`~repro.scenario.spec.Scenario` or a registered name.
+    seeds:
+        Trace seeds; must be non-empty.
+    policies:
+        Policy specs (see :func:`_policy_manager`); defaults to the
+        scenario's own policy kind.
+    fast:
+        Route eligible runs through the array kernel (default).  The
+        trace compilation is shared across a seed's eligible policies
+        -- the device-side DPM decisions depend only on the trace and
+        the shared predictor configuration, so the plan is computed
+        once per seed.  ``fast=False`` is the scalar reference path
+        (one ``SlotSimulator`` per run) used by the equivalence tests.
+    traces:
+        Optional pre-built ``{seed: LoadTrace}``; seeds not present are
+        generated from the scenario.  Lets callers amortize trace
+        synthesis (the dominant per-seed cost) across both paths.
+    max_deficit_fraction:
+        Deficit guard, as in :class:`~repro.sim.slotsim.SlotSimulator`.
+
+    Returns ``{seed: {policy_spec: SimulationResult}}``.  Results are
+    identical between ``fast=True`` and ``fast=False``.
+    """
+    from ..scenario import get_scenario
+
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    seed_list = [int(s) for s in seeds]
+    if not seed_list:
+        raise ConfigurationError("simulate_batch needs at least one seed")
+    specs = list(policies) if policies is not None else [scenario.policy.kind]
+    if not specs:
+        raise ConfigurationError("simulate_batch needs at least one policy")
+    for spec in specs:
+        _parse_policy_spec(spec)
+
+    results: dict[int, dict[str, SimulationResult]] = {}
+    # Eligible managers are built once and reset() between seeds -- a
+    # reset manager is state-identical to a fresh build (ledgers, tank,
+    # storage level, policy/controller learning state), and rebuilding
+    # the whole plant per (seed, policy) is pure overhead in a sweep.
+    # Ineligible specs keep fresh builds: the scalar path mutates
+    # recorder/history state the kernel never touches.
+    cached: dict[str, tuple["PowerManager", float]] = {}
+    for seed in seed_list:
+        trace = None if traces is None else traces.get(seed)
+        if trace is None:
+            trace = scenario.build_trace(seed)
+        per_policy: dict[str, SimulationResult] = {}
+        plan: TraceArrays | None = None
+        for spec in specs:
+            entry = cached.get(spec) if fast else None
+            if entry is None:
+                mgr = _policy_manager(scenario, spec)
+            else:
+                mgr, initial_charge = entry
+                mgr.reset(initial_charge)
+            if not fast or fast_path_ineligibility(mgr) is not None:
+                per_policy[mgr.name] = SlotSimulator(
+                    mgr, max_deficit_fraction=max_deficit_fraction
+                ).run(trace)
+                continue
+            if entry is None:
+                cached[spec] = (mgr, mgr.source.storage.charge)
+            if plan is None:
+                # First eligible policy replays its (fresh) device-side
+                # policy to compile the plan; later eligible managers
+                # reuse it -- their own policy objects stay fresh, an
+                # internal detail batch results never observe.
+                plan = plan_trace_arrays(
+                    mgr.device,
+                    trace,
+                    replay_policy(mgr.policy, trace),
+                    phase_context=False,
+                )
+            result = _simulate_fast_planned(mgr, trace, plan, max_deficit_fraction)
+            if result is None:
+                # Finite tank depleted mid-run: rerun a fresh manager on
+                # the scalar path for the exact DepletedError context.
+                result = SlotSimulator(
+                    _policy_manager(scenario, spec),
+                    max_deficit_fraction=max_deficit_fraction,
+                ).run(trace)
+            per_policy[mgr.name] = result
+        results[seed] = per_policy
+    return results

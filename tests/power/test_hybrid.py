@@ -52,16 +52,25 @@ class TestStep:
         with pytest.raises(RangeError):
             source.step(0.1, -1.0)
 
-    def test_history_recorded(self, source):
+    def test_history_recorded_when_enabled(self, source):
+        source.record_history = True
         source.step(0.2, 5.0)
         source.step(0.4, 5.0)
         assert len(source.history) == 2
         assert source.history[0].i_load == 0.2
 
-    def test_history_can_be_disabled(self, source):
-        source.record_history = False
+    def test_history_off_by_default(self, source):
         source.step(0.2, 5.0)
         assert not source.history
+
+    def test_history_off_over_long_run(self, source):
+        # Regression for the unbounded-memory default: 1000 slots of
+        # stepping must leave the history empty unless a consumer
+        # (the Recorder) opts in.
+        source.set_fc_output(0.8)
+        for _ in range(1000):
+            source.step(0.4, 1.0)
+        assert len(source.history) == 0
 
 
 class TestLedger:

@@ -62,7 +62,7 @@ class TestSimulationAccounting:
         # Adversarial traces may legitimately overwhelm the tiny storage;
         # this test checks accounting, not sizing, so disable the guard.
         result = SlotSimulator(mgr, max_deficit_fraction=1.0).run(trace)
-        delivered = sum(h.i_f * h.dt for h in mgr.source.history)
+        delivered = mgr.source.total_delivered_charge
         assert result.fuel >= 0.32 * delivered / 0.45 - 1e-6
 
     @given(slots)
@@ -75,7 +75,7 @@ class TestSimulationAccounting:
         )
         result = SlotSimulator(mgr, max_deficit_fraction=1.0).run(trace)
         source = mgr.source
-        supplied = sum(h.i_f * h.dt for h in source.history)
+        supplied = source.total_delivered_charge
         storage_delta = source.storage.charge - 3.0
         assert supplied == pytest.approx(
             result.load_charge

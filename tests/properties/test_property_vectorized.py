@@ -1,0 +1,230 @@
+"""Property-based scalar-equivalence gates for the vectorized kernel.
+
+These are the acceptance tests that let ``simulate_fast`` exist at all:
+over randomized traces the array kernel must reproduce the scalar
+simulator *exactly* -- ``==`` on every ledger (fuel, load charge, bled,
+deficit, storage trajectory), not approximately.  A single differing
+bit is a failure.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.baselines import StaticController
+from repro.core.manager import PowerManager
+from repro.devices.camcorder import camcorder_device_params
+from repro.sim.integrator import Segment, chunk_segments
+from repro.sim.slotsim import SlotSimulator
+from repro.sim.vectorized import clamped_cumsum, simulate_fast
+from repro.workload.trace import LoadTrace, TaskSlot
+
+slots = st.lists(
+    st.builds(
+        TaskSlot,
+        t_idle=st.floats(min_value=2.0, max_value=60.0, allow_nan=False),
+        t_active=st.floats(min_value=0.5, max_value=10.0, allow_nan=False),
+        i_active=st.floats(min_value=0.1, max_value=1.3, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+def _end_state(mgr):
+    src = mgr.source
+    return (
+        src.total_fuel,
+        src.total_time,
+        src.total_load_charge,
+        src.total_delivered_charge,
+        src.storage.charge,
+        src.storage.bled_charge,
+        src.storage.deficit_charge,
+        src.fc.tank.consumed,
+    )
+
+
+def _assert_exact(build, slot_list):
+    """Fast and scalar runs of ``build()``'s manager must match exactly."""
+    trace = LoadTrace(slot_list)
+    m_fast, m_scalar = build(), build()
+    # Adversarial traces may overwhelm the tiny storage; accounting is
+    # under test here, not sizing, so the deficit guard is disabled.
+    r_fast = simulate_fast(m_fast, trace, max_deficit_fraction=1.0)
+    r_scalar = SlotSimulator(m_scalar, max_deficit_fraction=1.0).run(trace)
+    assert r_fast == r_scalar  # every field: fuel, charge, slots, ...
+    assert r_fast.fuel == r_scalar.fuel
+    assert r_fast.load_charge == r_scalar.load_charge
+    assert r_fast.bled == r_scalar.bled
+    assert r_fast.deficit == r_scalar.deficit
+    assert _end_state(m_fast) == _end_state(m_scalar)
+
+
+class TestSimulateFastEquivalence:
+    @given(slots)
+    @settings(max_examples=25, deadline=None)
+    def test_conv_dpm_exact(self, slot_list):
+        dev = camcorder_device_params()
+        _assert_exact(
+            lambda: PowerManager.conv_dpm(
+                dev, storage_capacity=6.0, storage_initial=3.0
+            ),
+            slot_list,
+        )
+
+    @given(slots)
+    @settings(max_examples=25, deadline=None)
+    def test_asap_dpm_exact(self, slot_list):
+        dev = camcorder_device_params()
+        _assert_exact(
+            lambda: PowerManager.asap_dpm(
+                dev, storage_capacity=6.0, storage_initial=3.0
+            ),
+            slot_list,
+        )
+
+    @given(slots, st.floats(min_value=0.2, max_value=1.0))
+    @settings(max_examples=25, deadline=None)
+    def test_static_controller_exact(self, slot_list, i_f):
+        dev = camcorder_device_params()
+
+        def build():
+            mgr = PowerManager.conv_dpm(
+                dev, storage_capacity=6.0, storage_initial=3.0
+            )
+            mgr.controller = StaticController(mgr.controller.model, i_f)
+            return mgr
+
+        _assert_exact(build, slot_list)
+
+    @given(slots, st.floats(min_value=3.0, max_value=20.0))
+    @settings(max_examples=25, deadline=None)
+    def test_max_segment_exact(self, slot_list, max_segment):
+        trace = LoadTrace(slot_list)
+        dev = camcorder_device_params()
+        m1 = PowerManager.asap_dpm(dev, storage_capacity=6.0, storage_initial=3.0)
+        m2 = PowerManager.asap_dpm(dev, storage_capacity=6.0, storage_initial=3.0)
+        r_fast = simulate_fast(
+            m1, trace, max_deficit_fraction=1.0, max_segment=max_segment
+        )
+        r_scalar = SlotSimulator(
+            m2, max_deficit_fraction=1.0, max_segment=max_segment
+        ).run(trace)
+        assert r_fast == r_scalar
+
+
+def _clamped_cumsum_reference(deltas, initial, capacity):
+    """The scalar ``ChargeStorage._apply`` recurrence, verbatim."""
+    cur = initial
+    bled = 0.0
+    deficit = 0.0
+    charges = [initial]
+    for d in deltas:
+        new = cur + d
+        if new > capacity:
+            bled += new - capacity
+            cur = capacity
+        elif new < 0:
+            deficit += -new
+            cur = 0.0
+        else:
+            cur = new
+        charges.append(cur)
+    return charges, bled, deficit
+
+
+deltas_strategy = st.lists(
+    st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+    min_size=0,
+    max_size=60,
+)
+
+
+class TestClampedCumsum:
+    @given(
+        deltas_strategy,
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.5, max_value=40.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_scalar_reference_exactly(self, deltas, frac, capacity):
+        initial = frac * capacity
+        arr = np.asarray(deltas, dtype=float)
+        charges, bled, deficit = clamped_cumsum(arr, initial, capacity)
+        ref_charges, ref_bled, ref_deficit = _clamped_cumsum_reference(
+            deltas, initial, capacity
+        )
+        assert charges.tolist() == ref_charges  # bit-exact, not approx
+        assert bled == ref_bled
+        assert deficit == ref_deficit
+
+    @given(
+        deltas_strategy,
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.5, max_value=40.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_pure_sequential_path_identical(self, deltas, frac, capacity):
+        # max_rescans=0 forces the compiled-float sequential tail from
+        # the first element; values must not depend on the strategy.
+        initial = frac * capacity
+        arr = np.asarray(deltas, dtype=float)
+        assert [
+            a.tolist() if isinstance(a, np.ndarray) else a
+            for a in clamped_cumsum(arr, initial, capacity, max_rescans=0)
+        ] == [
+            a.tolist() if isinstance(a, np.ndarray) else a
+            for a in clamped_cumsum(arr, initial, capacity)
+        ]
+
+    def test_seed_accumulators_carry_through(self):
+        arr = np.asarray([10.0, -20.0], dtype=float)
+        _, bled, deficit = clamped_cumsum(
+            arr, 0.0, 5.0, bled=1.5, deficit=2.5
+        )
+        assert bled == 1.5 + 5.0
+        assert deficit == 2.5 + 15.0
+
+
+segments_strategy = st.lists(
+    st.builds(
+        Segment,
+        st.floats(min_value=1e-3, max_value=100.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+        st.sampled_from(["standby", "pd", "sleep", "wu", "run"]),
+    ),
+    min_size=0,
+    max_size=20,
+)
+
+
+class TestChunkSegmentsProperties:
+    @given(segments_strategy, st.floats(min_value=0.5, max_value=30.0))
+    @settings(max_examples=200, deadline=None)
+    def test_chunking_preserves_totals_and_bound(self, segments, max_segment):
+        out = chunk_segments(segments, max_segment)
+        assert sum(s.duration for s in out) == pytest.approx(
+            sum(s.duration for s in segments), rel=1e-9
+        )
+        assert sum(s.duration * s.i_load for s in out) == pytest.approx(
+            sum(s.duration * s.i_load for s in segments), rel=1e-9
+        )
+        limit = max_segment * (1.0 + 1e-12)
+        assert all(s.duration <= limit for s in out)
+        assert all(
+            (s.i_load, s.kind) in {(o.i_load, o.kind) for o in segments}
+            for s in out
+        )
+
+    def test_few_ulp_overshoot_passes_unsplit(self):
+        # A duration a hair over the limit (accumulated float noise on a
+        # nominally equal slot) must not split into a chunk plus a
+        # ~zero-length re-decision.
+        seg = Segment(10.0 * (1.0 + 1e-13), 0.4, "run")
+        assert chunk_segments([seg], 10.0) == [seg]
+
+    def test_none_limit_is_identity(self):
+        segs = [Segment(50.0, 0.2, "sleep")]
+        assert chunk_segments(segs, None) is segs

@@ -3,7 +3,27 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.sim.montecarlo import SeedSummary, run_seeds, summarize
+from repro.sim.montecarlo import SeedSummary, _t95, run_seeds, summarize
+
+#: The hand-coded critical-value table `_t95` replaced, df 1..30.  The
+#: scipy-backed values must keep agreeing with it to 1e-3 so historical
+#: confidence intervals stay reproducible.
+_OLD_T95_TABLE = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+]
+
+
+class TestT95:
+    @pytest.mark.parametrize(
+        "df,expected", list(enumerate(_OLD_T95_TABLE, start=1))
+    )
+    def test_matches_old_table(self, df, expected):
+        assert _t95(df) == pytest.approx(expected, abs=1e-3)
+
+    def test_beyond_table_exceeds_normal_quantile(self):
+        assert 1.96 < _t95(200) < 1.98
 
 
 class TestSummarize:
@@ -30,11 +50,15 @@ class TestSummarize:
         lo, hi = s.ci95
         assert lo < s.mean < hi
 
-    def test_large_n_falls_back_to_normal(self):
+    def test_large_n_approaches_normal(self):
+        # The scipy-backed critical value is exact for every df (the
+        # old hand-coded table snapped to 1.96 beyond df=30); for
+        # n=100 it sits just above the normal quantile.
         s = summarize("x", [float(k % 7) for k in range(100)])
         assert s.ci95_halfwidth == pytest.approx(
-            1.96 * s.stdev / 10.0, rel=1e-6
+            1.9842 * s.stdev / 10.0, rel=1e-4
         )
+        assert s.ci95_halfwidth > 1.96 * s.stdev / 10.0
 
 
 class TestRunSeeds:
