@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test lint bench bench-smoke bench-vector report export examples all
+.PHONY: install test lint bench bench-smoke bench-vector trace-smoke report export examples all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -23,11 +23,19 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 # Runtime smoke bench: parallel-vs-serial run_seeds, memoized solver,
-# sizing-curve fan-out, vectorized-kernel speedup gates.  Fast enough
-# for CI; writes benchmarks/out/ (.txt reports + .json measurements).
+# sizing-curve fan-out, vectorized-kernel speedup gates, and the <2%
+# disabled-telemetry overhead gate.  Fast enough for CI; writes
+# benchmarks/out/ (.txt reports + .json measurements).
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/test_bench_microbench.py -s \
-		-k "parallel or cached or vectorized"
+		-k "parallel or cached or vectorized or obs"
+
+# Telemetry smoke: run a small scenario with tracing on, then validate
+# the bundle (manifest.json + spans.jsonl + trace.json) structurally.
+trace-smoke:
+	$(PYTHON) -m repro.cli run --scenario table2 --trace trace-out/
+	$(PYTHON) scripts/check_trace.py trace-out/
+	$(PYTHON) -m repro.cli trace summary trace-out/ > /dev/null
 
 # Just the vectorized-kernel gates: single-trace >= 4x, batch >= 10x,
 # bit-exact equality with the scalar simulator.

@@ -268,3 +268,83 @@ def test_bench_vectorized_batch(emit):
         },
     )
     assert ratio >= 10.0, f"batch only {ratio:.1f}x faster"
+
+
+# -- observability overhead gate (this PR) -----------------------------------
+
+
+def test_bench_obs_disabled_overhead(emit):
+    """Disabled telemetry must cost < 2% of the vectorized batch bench.
+
+    Wall-clock A/A comparisons of the same code path are noise-bound at
+    the single-percent level, so the gate projects instead: measure the
+    per-call cost of the two disabled primitives (the ``OBS.enabled``
+    guard that fronts every hot-path hook, and the null-object span the
+    cold paths use), multiply by a *generous overcount* of how many the
+    batch executes, and require the projection to stay under 2% of the
+    measured per-run batch time.  The >= 10x batch speedup gate above
+    backstops this against gross regressions.
+    """
+    from repro.obs import OBS
+    from repro.scenario import get_scenario
+    from repro.sim.vectorized import simulate_batch
+
+    assert not OBS.enabled, "benches must run with telemetry off"
+
+    n = 200_000
+    hit = False
+    t0 = time.perf_counter()
+    for _ in range(n):
+        if OBS.enabled:
+            hit = True
+    t_guard = (time.perf_counter() - t0) / n
+    assert not hit
+
+    m = 20_000
+    t0 = time.perf_counter()
+    for _ in range(m):
+        with OBS.span("bench.noop"):
+            pass
+    t_span = (time.perf_counter() - t0) / m
+
+    sc = get_scenario("exp1-conv-dpm")
+    seeds = list(range(20))
+    policies = ["conv-dpm", "asap-dpm", "static:0.8"]
+    traces = {s: sc.build_trace(s) for s in seeds}
+    total_slots = sum(len(traces[s]) for s in seeds)
+
+    def run():
+        return simulate_batch(sc, seeds, policies, fast=True, traces=traces)
+
+    run()  # warm the solver memo / manager caches outside the timing
+    t_batch = _best_of(run, repeats=3, number=1)
+
+    # Disabled-state executions per batch, overcounted ~5x: the fast
+    # path fires ~2 guards per slot per seed (policy decision + idle
+    # observation during replay_policy) and a handful of routing guards
+    # and spans per (seed, policy).
+    guards = 10 * total_slots + 20 * len(seeds) * len(policies)
+    spans = 2 + len(seeds) * len(policies)
+    projected = guards * t_guard + spans * t_span
+    overhead = projected / t_batch
+
+    emit(
+        "microbench_obs_disabled_overhead",
+        "telemetry disabled-path overhead vs vectorized batch\n"
+        f"guard:     {1e9 * t_guard:.1f} ns/check\n"
+        f"null span: {1e9 * t_span:.1f} ns/span\n"
+        f"batch:     {1e3 * t_batch:.1f} ms per run "
+        f"({len(seeds)} seeds x {len(policies)} policies)\n"
+        f"projected overhead ({guards} guards + {spans} spans, "
+        f"overcounted): {100 * overhead:.3f}%",
+        data={
+            "guard_ns": 1e9 * t_guard,
+            "null_span_ns": 1e9 * t_span,
+            "batch_ms": 1e3 * t_batch,
+            "projected_overhead_fraction": overhead,
+        },
+    )
+    assert overhead < 0.02, (
+        f"projected disabled-telemetry overhead {100 * overhead:.2f}% "
+        "exceeds the 2% budget"
+    )

@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""Validate a ``fcdpm run --trace`` output directory.
+
+Thin CLI over :func:`repro.obs.schema.validate_trace_dir`, used by
+``make trace-smoke`` and CI to assert that a trace bundle (manifest.json
++ spans.jsonl + trace.json) is structurally sound: schema versions
+compatible, span tree connected, Chrome trace loadable.
+
+Exit status: 0 when valid, 1 with one problem per line otherwise.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(f"usage: {argv[0]} <trace-directory>", file=sys.stderr)
+        return 2
+    from repro.obs.schema import validate_trace_dir
+
+    problems = validate_trace_dir(argv[1])
+    if problems:
+        for problem in problems:
+            print(f"FAIL {problem}")
+        return 1
+    print(f"ok {argv[1]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -101,16 +101,47 @@ def export_tables(directory: pathlib.Path, seed: int = 2007) -> pathlib.Path:
     return path
 
 
-def export_all(directory) -> list[pathlib.Path]:
-    """Write every artifact CSV into ``directory`` (created if needed)."""
+def export_manifest(
+    directory: pathlib.Path, paths: list[pathlib.Path], seed: int, wall_s: float
+) -> pathlib.Path:
+    """Provenance manifest for an export run: code version, seed, files."""
+    from ..obs import OBS, build_manifest
+
+    manifest = build_manifest(
+        "export",
+        scenario=None,
+        params={"files": sorted(p.name for p in paths), "seed": seed},
+        seeds=[seed],
+        workers=1,
+        route="export",
+        wall_s=wall_s,
+        cpu_s=0.0,
+        metrics=OBS.metrics.snapshot() if OBS.enabled else {},
+    )
+    return manifest.write(directory / "manifest.json")
+
+
+def export_all(directory, seed: int = 2007) -> list[pathlib.Path]:
+    """Write every artifact CSV into ``directory`` (created if needed).
+
+    A ``manifest.json`` provenance record (code fingerprint, seed, file
+    list) rides along so an export directory is self-describing.
+    """
+    import time
+
     out = pathlib.Path(directory)
     if out.exists() and not out.is_dir():
         raise ConfigurationError(f"{out} exists and is not a directory")
     out.mkdir(parents=True, exist_ok=True)
-    return [
+    t0 = time.perf_counter()
+    paths = [
         export_fig2(out),
         export_fig3(out),
         export_fig4(out),
-        export_fig7(out),
-        export_tables(out),
+        export_fig7(out, seed=seed),
+        export_tables(out, seed=seed),
     ]
+    paths.append(
+        export_manifest(out, paths, seed, time.perf_counter() - t0)
+    )
+    return paths

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from .analysis import (
     ascii_plot,
@@ -48,6 +49,19 @@ from .scenario import experiment_scenarios, get_scenario, scenario_names
 def _cache(args: argparse.Namespace) -> ResultCache:
     """The on-disk result cache honoring ``--no-cache``."""
     return ResultCache(enabled=not args.no_cache)
+
+
+#: Paper-table shorthands accepted wherever a scenario name is:
+#: ``fcdpm run --scenario table2`` runs the Exp. 1 FC-DPM configuration.
+SCENARIO_ALIASES = {
+    "table2": "exp1-fc-dpm",
+    "table3": "exp2-fc-dpm",
+}
+
+
+def _resolve_scenario_name(name: str) -> str:
+    """Map table shorthands onto registered scenario names."""
+    return SCENARIO_ALIASES.get(name, name)
 
 
 def _workers_arg(value: str) -> int:
@@ -148,14 +162,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.list or args.scenario is None:
-        rows = [["scenario", "description"]]
-        for name in scenario_names():
-            rows.append([name, get_scenario(name).description])
+        rows = [["scenario", "policy", "workload", "source", "description"]]
+        for name in scenario_names():  # already sorted by the registry
+            sc = get_scenario(name)
+            source = sc.source.kind
+            if sc.source.storage_kind != "supercap":
+                source += f"/{sc.source.storage_kind}"
+            rows.append(
+                [name, sc.policy.kind, sc.workload.kind, source, sc.description]
+            )
         print(format_table(rows, title="registered scenarios"))
         if args.scenario is None and not args.list:
             print("pick one with: fcdpm run --scenario <name>")
         return 0
-    sc = get_scenario(args.scenario)
+    sc = get_scenario(_resolve_scenario_name(args.scenario))
 
     def compute() -> dict[str, float]:
         manager = sc.build_manager()
@@ -178,18 +198,95 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "wakeup_latency": result.wakeup_latency,
         }
 
-    # --fast is deliberately NOT part of the cache key: the vectorized
-    # kernel is gated on bit-exact equality with the scalar simulator,
-    # so both paths must share (and may serve each other's) entries.
-    metrics = _cache(args).cached(
-        "run", {"seed": args.seed, "scenario": sc.to_dict()}, compute
-    )
+    if args.trace is not None:
+        metrics = _traced_run(sc, args, compute)
+    else:
+        # --fast is deliberately NOT part of the cache key: the
+        # vectorized kernel is gated on bit-exact equality with the
+        # scalar simulator, so both paths must share (and may serve each
+        # other's) entries.
+        metrics = _cache(args).cached(
+            "run", {"seed": args.seed, "scenario": sc.to_dict()}, compute
+        )
     rows = [["metric", "value"]]
     for key, value in metrics.items():
         rows.append([key, f"{value:.6g}"])
     print(format_table(rows, title=f"scenario: {sc.name} (seed {args.seed})"))
     if sc.description:
         print(sc.description)
+    return 0
+
+
+def _traced_run(sc, args: argparse.Namespace, compute) -> dict[str, float]:
+    """Run ``compute`` under live telemetry; write the trace bundle.
+
+    The result cache is bypassed on purpose -- a cache hit would produce
+    a trace with no simulation spans, which defeats the point of asking
+    for one.
+    """
+    from .obs import build_manifest, observing, trace_summary, write_trace_bundle
+
+    with observing() as obs:
+        with obs.span(
+            "run", scenario=sc.name, seed=args.seed, fast=args.fast
+        ):
+            t_wall = time.time()
+            t_cpu = time.process_time()
+            metrics = compute()
+            wall_s = time.time() - t_wall
+            cpu_s = time.process_time() - t_cpu
+        snapshot = obs.metrics.snapshot()
+        spans = obs.tracer.export()
+    route_counts = {
+        key: data.get("value", 0.0)
+        for key, data in snapshot.items()
+        if key.startswith("sim.route")
+    }
+    if route_counts:
+        route = max(route_counts, key=route_counts.get)
+        route = route[route.find("path=") + 5 :].rstrip("}")
+    else:
+        route = "fast" if args.fast else "scalar"
+    manifest = build_manifest(
+        f"run:{sc.name}",
+        scenario=sc.to_dict(),
+        params={"seed": args.seed, "fast": args.fast},
+        seeds=[args.seed],
+        workers=args.workers,
+        route=route,
+        wall_s=wall_s,
+        cpu_s=cpu_s,
+        metrics=snapshot,
+    )
+    paths = write_trace_bundle(args.trace, spans, snapshot, manifest)
+    for name in sorted(paths):
+        print(f"wrote {paths[name]}")
+    print()
+    print(trace_summary(spans, snapshot))
+    print()
+    return metrics
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """``fcdpm trace summary|check <dir>`` -- inspect a trace bundle."""
+    from .obs import read_jsonl, trace_summary, validate_trace_dir
+
+    if args.action == "check":
+        problems = validate_trace_dir(args.directory)
+        if problems:
+            for problem in problems:
+                print(f"FAIL {problem}")
+            return 1
+        print(f"ok {args.directory}")
+        return 0
+    from pathlib import Path
+
+    jsonl = Path(args.directory) / "spans.jsonl"
+    if not jsonl.exists():
+        print(f"no spans.jsonl under {args.directory}")
+        return 2
+    spans, metric_records = read_jsonl(jsonl)
+    print(trace_summary(spans, metric_records))
     return 0
 
 
@@ -219,7 +316,12 @@ def main(argv: list[str] | None = None) -> int:
     sweep.add_argument("name", help="storage | predictor | beta | recharge")
 
     run = sub.add_parser("run", help="run one named scenario")
-    run.add_argument("--scenario", help="registered scenario name")
+    run.add_argument(
+        "--scenario",
+        help="registered scenario name (or the aliases "
+        + " / ".join(sorted(SCENARIO_ALIASES))
+        + ")",
+    )
     run.add_argument(
         "--list", action="store_true", help="list registered scenarios"
     )
@@ -230,6 +332,17 @@ def main(argv: list[str] | None = None) -> int:
         help="use the vectorized kernel (bit-identical output; adaptive "
         "controllers transparently fall back to the scalar simulator)",
     )
+    run.add_argument(
+        "--trace",
+        metavar="DIR",
+        help="run with telemetry enabled and write spans.jsonl, "
+        "trace.json (chrome://tracing) and manifest.json into DIR "
+        "(bypasses the result cache)",
+    )
+
+    trace = sub.add_parser("trace", help="inspect a --trace output directory")
+    trace.add_argument("action", choices=("summary", "check"))
+    trace.add_argument("directory", help="directory written by run --trace")
 
     sub.add_parser("report", help="run the full evaluation report")
     export = sub.add_parser("export", help="write figure/table CSVs")
@@ -283,6 +396,7 @@ def main(argv: list[str] | None = None) -> int:
         "fig7": _cmd_fig7,
         "sweep": _cmd_sweep,
         "run": _cmd_run,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

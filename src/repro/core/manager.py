@@ -150,6 +150,22 @@ class PowerManager:
             source=cls._make_source(m, storage, storage_capacity, storage_initial),
         )
 
+    def telemetry_attrs(self) -> dict:
+        """Plain-data description of this configuration.
+
+        Attached to run spans and manifests so a trace is
+        self-describing: which policy/controller/plant produced it,
+        without reaching back into live objects.
+        """
+        return {
+            "manager": self.name,
+            "policy": type(self.policy).__name__,
+            "controller": type(self.controller).__name__,
+            "source": getattr(self.source, "kind", type(self.source).__name__),
+            "storage": type(self.source.storage).__name__,
+            "storage_capacity": self.source.storage.capacity,
+        }
+
     def reset(self, storage_charge: float = 0.0) -> None:
         """Reset policy, controller and source for a fresh run."""
         self.policy.reset()

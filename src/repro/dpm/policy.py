@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 from ..devices.device import DeviceParams
 from ..errors import ConfigurationError
+from ..obs import OBS
 
 
 @dataclass(frozen=True)
@@ -70,6 +71,12 @@ class DPMPolicy(ABC):
         self.n_decisions += 1
         if decision.sleep:
             self.n_sleep_decisions += 1
+        if OBS.enabled:
+            OBS.metrics.counter(
+                "dpm.policy_decisions",
+                policy=type(self).__name__,
+                sleep="yes" if decision.sleep else "no",
+            ).inc()
         return decision
 
     def reset(self) -> None:

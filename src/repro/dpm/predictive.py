@@ -10,6 +10,7 @@ plugs in -- that is the predictor-ablation axis of the benchmarks.
 from __future__ import annotations
 
 from ..devices.device import DeviceParams
+from ..obs import OBS
 from ..prediction.base import Predictor
 from ..prediction.exponential import ExponentialAveragePredictor
 from .policy import DPMPolicy, IdleDecision, SLEEP_NOW, STAY_AWAKE
@@ -43,6 +44,7 @@ class PredictiveShutdownPolicy(DPMPolicy):
         )
         self.threshold = params.break_even if threshold is None else threshold
         self.last_prediction: float | None = None
+        self._last_slept: bool | None = None
 
     def on_idle_start(self) -> IdleDecision:
         predicted = self.predictor.predict()
@@ -50,12 +52,29 @@ class PredictiveShutdownPolicy(DPMPolicy):
         # A sleep also needs to physically fit the transitions.
         fits = predicted >= self.params.t_pd + self.params.t_wu
         sleep = predicted >= self.threshold and fits
+        self._last_slept = sleep
         return self._count(SLEEP_NOW if sleep else STAY_AWAKE)
 
     def on_idle_end(self, t_idle: float) -> None:
+        if OBS.enabled and self._last_slept is not None:
+            # A misprediction is a decision the actual idle length
+            # contradicts: slept but the period was shorter than the
+            # threshold (wasted transition), or stayed awake through a
+            # period that warranted sleeping (missed saving).
+            should_sleep = t_idle >= self.threshold
+            if self._last_slept != should_sleep:
+                OBS.metrics.counter(
+                    "dpm.mispredictions",
+                    kind="overpredict" if self._last_slept else "underpredict",
+                ).inc()
+            if self.last_prediction is not None:
+                OBS.metrics.histogram("dpm.prediction_error_s").observe(
+                    self.last_prediction - t_idle
+                )
         self.predictor.observe(t_idle)
 
     def reset(self) -> None:
         super().reset()
         self.predictor.reset()
         self.last_prediction = None
+        self._last_slept = None

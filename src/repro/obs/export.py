@@ -1,0 +1,210 @@
+"""Export sinks: JSONL span/metric dumps, Chrome traces, human summaries.
+
+Three consumers, three formats:
+
+* **JSONL** (``spans.jsonl``) -- one JSON object per line, spans first
+  (``{"type": "span", ...}``) then metric records (``{"type":
+  "metric", ...}``); greppable, streamable, schema-checked in CI.
+* **Chrome trace** (``trace.json``) -- the ``chrome://tracing`` /
+  Perfetto "trace event" format (complete ``"ph": "X"`` events), so a
+  run can be inspected on a real timeline, parallel workers appearing
+  as their own process tracks.
+* **Summary** (:func:`trace_summary`) -- the ``fcdpm trace summary``
+  rendering: the span tree with durations plus the top metrics.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .metrics import METRICS_SCHEMA_VERSION
+from .tracer import Span
+
+
+def write_spans_jsonl(
+    path: Path | str,
+    spans: list[dict[str, Any]],
+    metrics: dict[str, dict[str, Any]] | None = None,
+) -> Path:
+    """Write spans (and optionally a metrics snapshot) as JSONL."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for span in spans:
+            fh.write(json.dumps(span, sort_keys=True, default=repr) + "\n")
+        for key, data in (metrics or {}).items():
+            record = dict(data)
+            # The instrument dict's own "type" (counter/gauge/histogram)
+            # moves to "kind"; "type" tags the JSONL record class.
+            record["kind"] = record.pop("type", "counter")
+            record.update(type="metric", schema=METRICS_SCHEMA_VERSION, key=key)
+            fh.write(json.dumps(record, sort_keys=True, default=repr) + "\n")
+    return path
+
+
+def read_jsonl(path: Path | str) -> tuple[list[dict], list[dict]]:
+    """Read a JSONL dump back; returns ``(span_dicts, metric_dicts)``."""
+    spans: list[dict] = []
+    metrics: list[dict] = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            (spans if record.get("type") == "span" else metrics).append(record)
+    return spans, metrics
+
+
+def write_chrome_trace(path: Path | str, spans: list[dict[str, Any]]) -> Path:
+    """Write spans in the Chrome trace-event format (complete events).
+
+    Timestamps are wall-clock microseconds relative to the earliest
+    span, so coordinator and worker spans line up on one timeline;
+    ``pid``/``tid`` map to real process/thread identities, which is how
+    parallel chunks show up as separate tracks.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    t_base = min((s.get("t_wall", 0.0) for s in spans), default=0.0)
+    events = []
+    for s in spans:
+        events.append(
+            {
+                "name": s["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": (s.get("t_wall", 0.0) - t_base) * 1e6,
+                "dur": (s.get("duration") or 0.0) * 1e6,
+                "pid": s.get("pid", 0),
+                "tid": s.get("thread", "") or 0,
+                "args": s.get("attrs", {}),
+            }
+        )
+    path.write_text(
+        json.dumps({"traceEvents": events, "displayTimeUnit": "ms"},
+                   default=repr)
+        + "\n"
+    )
+    return path
+
+
+# -- human summary -----------------------------------------------------------
+
+
+def _span_tree(spans: list[dict]) -> tuple[dict[str, list[dict]], list[dict]]:
+    """Index spans by parent; returns ``(children_by_id, roots)``."""
+    by_id = {s["span_id"]: s for s in spans}
+    children: dict[str, list[dict]] = {}
+    roots: list[dict] = []
+    for s in spans:
+        parent = s.get("parent_id")
+        if parent and parent in by_id:
+            children.setdefault(parent, []).append(s)
+        else:
+            roots.append(s)
+    ordering = {id(s): i for i, s in enumerate(spans)}
+    for kids in children.values():
+        kids.sort(key=lambda s: (s.get("t_wall", 0.0), ordering[id(s)]))
+    roots.sort(key=lambda s: (s.get("t_wall", 0.0), ordering[id(s)]))
+    return children, roots
+
+
+def trace_summary(
+    spans: list[dict[str, Any]],
+    metrics: dict[str, dict[str, Any]] | list[dict] | None = None,
+    max_children: int = 8,
+) -> str:
+    """Render the span tree + key metrics as indented text.
+
+    Sibling spans beyond ``max_children`` are folded into one
+    ``... (+N more, total Xs)`` line -- a 600-slot scalar run stays
+    readable.
+    """
+    children, roots = _span_tree(spans)
+    lines: list[str] = [f"{len(spans)} spans"]
+
+    def fmt(s: dict) -> str:
+        dur = s.get("duration")
+        dur_txt = f"{1e3 * dur:.2f} ms" if dur is not None else "open"
+        attrs = s.get("attrs") or {}
+        attr_txt = (
+            " [" + ", ".join(f"{k}={attrs[k]}" for k in sorted(attrs)) + "]"
+            if attrs
+            else ""
+        )
+        status = s.get("status", "ok")
+        flag = "" if status == "ok" else f" !{status}"
+        return f"{s['name']}  {dur_txt}{attr_txt}{flag}"
+
+    def walk(s: dict, depth: int) -> None:
+        lines.append("  " * depth + fmt(s))
+        kids = children.get(s["span_id"], [])
+        for kid in kids[:max_children]:
+            walk(kid, depth + 1)
+        if len(kids) > max_children:
+            folded = kids[max_children:]
+            total = sum(k.get("duration") or 0.0 for k in folded)
+            lines.append(
+                "  " * (depth + 1)
+                + f"... (+{len(folded)} more, total {1e3 * total:.2f} ms)"
+            )
+
+    for root in roots:
+        walk(root, 0)
+
+    if metrics:
+        if isinstance(metrics, list):  # JSONL metric records
+            metrics = {m["key"]: m for m in metrics}
+        lines.append("")
+        lines.append(f"{len(metrics)} metrics")
+        for key in sorted(metrics):
+            data = metrics[key]
+            # Registry snapshots say {"type": "histogram"}; JSONL metric
+            # records carry the instrument class under "kind" instead.
+            kind = data.get("kind") or data.get("type", "counter")
+            if kind == "histogram":
+                lines.append(
+                    f"  {key}: n={data.get('count', 0)} "
+                    f"mean={data.get('mean', 0.0):.6g} "
+                    f"p50={data.get('p50', 0.0):.6g} "
+                    f"p95={data.get('p95', 0.0):.6g}"
+                )
+            else:
+                lines.append(f"  {key}: {data.get('value', 0.0):.6g}")
+    return "\n".join(lines)
+
+
+def write_trace_bundle(
+    directory: Path | str,
+    spans: list[dict[str, Any]],
+    metrics: dict[str, dict[str, Any]] | None = None,
+    manifest: "Any | None" = None,
+) -> dict[str, Path]:
+    """Write the standard trace artifact set into ``directory``.
+
+    ``spans.jsonl`` + ``trace.json`` always; ``manifest.json`` when a
+    :class:`~repro.obs.manifest.RunManifest` is given.  Returns the
+    paths keyed by artifact name.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "spans": write_spans_jsonl(directory / "spans.jsonl", spans, metrics),
+        "chrome_trace": write_chrome_trace(directory / "trace.json", spans),
+    }
+    if manifest is not None:
+        paths["manifest"] = manifest.write(directory / "manifest.json")
+    return paths
+
+
+__all__ = [
+    "Span",
+    "read_jsonl",
+    "trace_summary",
+    "write_chrome_trace",
+    "write_spans_jsonl",
+    "write_trace_bundle",
+]

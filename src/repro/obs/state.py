@@ -1,0 +1,90 @@
+"""The process-wide telemetry switchboard: ``OBS``.
+
+Instrumented call sites all over the runtime/sim/power stack reach
+telemetry through one module-level singleton::
+
+    from ..obs import OBS
+
+    if OBS.enabled:                       # hot paths: one attr test
+        OBS.metrics.counter("x").inc()
+
+    with OBS.span("sweep", name="beta"):  # cold paths: null span when off
+        ...
+
+Telemetry is **off by default**: ``OBS.enabled`` is False, ``OBS.tracer``
+is the :data:`~repro.obs.tracer.NULL_TRACER` and ``OBS.span`` returns the
+shared no-op span.  ``enable()`` swaps in a live tracer and a fresh
+registry; :func:`observing` scopes that to a ``with`` block (used by the
+CLI's ``--trace`` and by tests).  The disabled fast path is benchmarked:
+``benchmarks/test_bench_microbench.py`` gates its projected overhead on
+the vectorized batch bench below 2%.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .metrics import MetricsRegistry
+from .tracer import NULL_TRACER, NullTracer, Tracer
+
+
+class Observability:
+    """Mutable holder for the process's tracer + metrics registry."""
+
+    __slots__ = ("enabled", "tracer", "metrics")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.tracer: Tracer | NullTracer = NULL_TRACER
+        self.metrics = MetricsRegistry()
+
+    def span(self, name: str, **attrs):
+        """Open a span on the active tracer (no-op span when disabled)."""
+        return self.tracer.span(name, **attrs)
+
+
+#: The one switchboard instance every instrumented module imports.
+OBS = Observability()
+
+
+def enable(
+    tracer: Tracer | None = None, metrics: MetricsRegistry | None = None
+) -> Observability:
+    """Turn telemetry on; returns :data:`OBS` for chaining.
+
+    A fresh :class:`~repro.obs.tracer.Tracer` and
+    :class:`~repro.obs.metrics.MetricsRegistry` are installed unless
+    existing ones are passed in (e.g. to accumulate across runs).
+    """
+    OBS.tracer = tracer if tracer is not None else Tracer()
+    OBS.metrics = metrics if metrics is not None else MetricsRegistry()
+    OBS.enabled = True
+    return OBS
+
+
+def disable() -> Observability:
+    """Turn telemetry off and restore the null tracer.
+
+    The metrics registry is left in place so a caller can still read
+    the snapshot of the run that just finished; ``enable()`` installs a
+    fresh one.
+    """
+    OBS.enabled = False
+    OBS.tracer = NULL_TRACER
+    return OBS
+
+
+@contextmanager
+def observing(
+    tracer: Tracer | None = None, metrics: MetricsRegistry | None = None
+):
+    """``with observing() as obs:`` -- telemetry on for the block only.
+
+    Restores the previous tracer/registry/enabled state on exit, so
+    nested scopes and test isolation both work.
+    """
+    prev = (OBS.enabled, OBS.tracer, OBS.metrics)
+    try:
+        yield enable(tracer=tracer, metrics=metrics)
+    finally:
+        OBS.enabled, OBS.tracer, OBS.metrics = prev

@@ -1,0 +1,279 @@
+"""Hierarchical tracing spans with a null-object disabled fast path.
+
+A :class:`Span` is one timed operation; spans nest, so a run produces a
+tree (``run:table2 > simulate > solve_slot``).  The design constraints,
+in priority order:
+
+1. **Zero cost when off** -- telemetry is disabled by default, and the
+   disabled path must not show up in the vectorized-batch benchmark.
+   :class:`NullTracer` hands out one shared, immutable
+   :data:`NULL_SPAN` whose every method is a no-op; hot call sites
+   additionally guard on ``OBS.enabled`` so that not even a method call
+   is paid per segment (see :mod:`repro.obs.runtime`).
+2. **Process-safe propagation** -- :class:`~repro.runtime.parallel.
+   ParallelMap` workers run in separate processes and cannot share the
+   coordinator's tracer.  Workers build a local :class:`Tracer`, finish
+   their spans, and ship them back *as plain dicts* with the chunk
+   results; the coordinator calls :meth:`Tracer.adopt` to re-parent the
+   foreign roots under its own active span.  Span ids embed the pid, so
+   merged trees never collide.
+3. **Thread safety** -- the active-span stack is thread-local (each
+   thread gets its own branch of the tree); the finished list is
+   lock-protected.
+
+Wall-clock timestamps (``time.time``) anchor spans on a shared timeline
+across processes; durations come from ``time.perf_counter`` so they are
+monotonic even if the wall clock steps.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Schema version stamped on every exported span dict.
+SPAN_SCHEMA_VERSION = 1
+
+#: Process-global id source shared by every tracer instance.  Span ids
+#: are ``{pid:x}-{n:x}``; keeping one counter per *process* (not per
+#: tracer) means a pooled worker that builds a fresh tracer per chunk
+#: still never reuses an id, so merged trees cannot collide.
+_ID_SOURCE = itertools.count()
+
+
+@dataclass
+class Span:
+    """One timed, attributed operation in the trace tree.
+
+    Used as a context manager (via :meth:`Tracer.span`); attributes can
+    be attached at creation or during the span with :meth:`set`.
+    """
+
+    name: str
+    span_id: str
+    parent_id: str | None
+    #: Wall-clock start (s since the epoch) -- shared across processes.
+    t_wall: float
+    #: Process / thread that ran the span.
+    pid: int
+    thread: str
+    #: Monotonic start; only meaningful inside the owning process.
+    _t0: float = 0.0
+    #: Span length (s); set when the span finishes.
+    duration: float | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+    #: "ok" or "error:<ExceptionType>".
+    status: str = "ok"
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes; later values win."""
+        self.attrs.update(attrs)
+        return self
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form for JSONL export and cross-process transfer."""
+        return {
+            "type": "span",
+            "schema": SPAN_SCHEMA_VERSION,
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "t_wall": self.t_wall,
+            "duration": self.duration,
+            "pid": self.pid,
+            "thread": self.thread,
+            "status": self.status,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Span":
+        """Rebuild a span from :meth:`to_dict` output."""
+        return cls(
+            name=data["name"],
+            span_id=data["span_id"],
+            parent_id=data.get("parent_id"),
+            t_wall=data.get("t_wall", 0.0),
+            pid=data.get("pid", 0),
+            thread=data.get("thread", ""),
+            duration=data.get("duration"),
+            attrs=dict(data.get("attrs", {})),
+            status=data.get("status", "ok"),
+        )
+
+
+class _SpanHandle:
+    """Context-manager wrapper that finishes a span on exit."""
+
+    __slots__ = ("tracer", "span_obj")
+
+    def __init__(self, tracer: "Tracer", span_obj: Span) -> None:
+        self.tracer = tracer
+        self.span_obj = span_obj
+
+    def set(self, **attrs: Any) -> "_SpanHandle":
+        self.span_obj.set(**attrs)
+        return self
+
+    @property
+    def span_id(self) -> str:
+        return self.span_obj.span_id
+
+    def finish(self) -> None:
+        """Close the span explicitly (for non-``with`` call sites)."""
+        self.tracer._finish(self.span_obj)
+
+    def __enter__(self) -> "_SpanHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.span_obj.status = f"error:{exc_type.__name__}"
+        self.tracer._finish(self.span_obj)
+
+
+class _NullSpan:
+    """The shared no-op span: every operation returns immediately.
+
+    One instance (:data:`NULL_SPAN`) serves every disabled ``span()``
+    call -- no allocation, no branching beyond the method dispatch.
+    """
+
+    __slots__ = ()
+    span_id = ""
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def finish(self) -> None:
+        return None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: ``span()`` hands out the shared no-op span."""
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    @property
+    def current_span_id(self) -> None:
+        return None
+
+    def export(self) -> list[dict]:
+        return []
+
+    def adopt(self, span_dicts, parent_id: str | None = None) -> None:
+        return None
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects a tree of finished :class:`Span` records.
+
+    ``span(name, **attrs)`` opens a child of the calling thread's
+    current span and returns a context manager::
+
+        tracer = Tracer()
+        with tracer.span("table2", seed=3):
+            with tracer.span("simulate"):
+                ...
+        spans = tracer.finished        # depth-first completion order
+
+    The active stack is per-thread; finished spans land in one shared,
+    lock-protected list in completion order (children before parents).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self.finished: list[Span] = []
+
+    # -- span lifecycle ----------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @property
+    def current_span_id(self) -> str | None:
+        """Id of the calling thread's innermost open span, if any."""
+        stack = self._stack()
+        return stack[-1].span_id if stack else None
+
+    def span(self, name: str, **attrs: Any) -> _SpanHandle:
+        """Open a child span of the current one; use as a context manager."""
+        span_obj = Span(
+            name=name,
+            span_id=f"{os.getpid():x}-{next(_ID_SOURCE):x}",
+            parent_id=self.current_span_id,
+            t_wall=time.time(),
+            pid=os.getpid(),
+            thread=threading.current_thread().name,
+            _t0=time.perf_counter(),
+            attrs=dict(attrs),
+        )
+        self._stack().append(span_obj)
+        return _SpanHandle(self, span_obj)
+
+    def _finish(self, span_obj: Span) -> None:
+        span_obj.duration = time.perf_counter() - span_obj._t0
+        stack = self._stack()
+        if stack and stack[-1] is span_obj:
+            stack.pop()
+        else:  # out-of-order exit; drop it from wherever it sits
+            try:
+                stack.remove(span_obj)
+            except ValueError:
+                pass
+        with self._lock:
+            self.finished.append(span_obj)
+
+    # -- cross-process merge -----------------------------------------------
+
+    def export(self) -> list[dict]:
+        """All finished spans as plain dicts (for JSONL / worker transfer)."""
+        with self._lock:
+            return [s.to_dict() for s in self.finished]
+
+    def adopt(self, span_dicts, parent_id: str | None = None) -> None:
+        """Merge foreign (worker-exported) spans into this tracer.
+
+        Spans whose parent is not part of the shipment -- the worker's
+        roots -- are re-parented under ``parent_id`` (default: the
+        calling thread's current span), so the coordinator's tree stays
+        connected.  Ids embed the originating pid and are kept verbatim.
+        """
+        span_dicts = list(span_dicts)
+        if parent_id is None:
+            parent_id = self.current_span_id
+        shipped = {d["span_id"] for d in span_dicts}
+        adopted = []
+        for data in span_dicts:
+            span_obj = Span.from_dict(data)
+            if span_obj.parent_id not in shipped:
+                span_obj.parent_id = parent_id
+            adopted.append(span_obj)
+        with self._lock:
+            self.finished.extend(adopted)

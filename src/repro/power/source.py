@@ -26,6 +26,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
 from ..errors import RangeError
+from ..obs import OBS
 from .storage import ChargeStorage
 
 
@@ -132,6 +133,10 @@ class PowerSource(ABC):
         self.total_load_charge += i_load * dt
         self.total_time += dt
         self.total_delivered_charge += i_f * dt
+        if OBS.enabled:
+            OBS.metrics.counter("power.source.steps", kind=self.kind).inc()
+            OBS.metrics.counter("power.source.delivered_charge").inc(i_f * dt)
+            OBS.metrics.counter("power.source.fuel").inc(fuel)
 
         record = SourceStep(
             dt=dt,

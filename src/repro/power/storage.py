@@ -20,6 +20,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 
 from ..errors import ConfigurationError, StorageError
+from ..obs import OBS
 
 
 class ChargeStorage(ABC):
@@ -83,7 +84,12 @@ class ChargeStorage(ABC):
         """
 
     def _apply(self, delta: float, *, strict: bool) -> float:
-        """Shared bounded-bucket bookkeeping used by concrete models."""
+        """Shared bounded-bucket bookkeeping used by concrete models.
+
+        Clamp events (overflow -> bleed, underflow -> deficit) are the
+        interesting telemetry; the in-bounds path stays instrumentation
+        free so long unclamped runs pay nothing.
+        """
         new = self._charge + delta
         if new > self.capacity:
             overflow = new - self.capacity
@@ -94,6 +100,9 @@ class ChargeStorage(ABC):
             self.bled_charge += overflow
             absorbed = delta - overflow
             self._charge = self.capacity
+            if OBS.enabled:
+                OBS.metrics.counter("power.storage.clamps", kind="bleed").inc()
+                OBS.metrics.counter("power.storage.bled_charge").inc(overflow)
             return absorbed
         if new < 0:
             shortfall = -new
@@ -104,6 +113,9 @@ class ChargeStorage(ABC):
             self.deficit_charge += shortfall
             delivered = delta + shortfall  # = -self._charge
             self._charge = 0.0
+            if OBS.enabled:
+                OBS.metrics.counter("power.storage.clamps", kind="deficit").inc()
+                OBS.metrics.counter("power.storage.deficit_charge").inc(shortfall)
             return delivered
         self._charge = new
         return delta

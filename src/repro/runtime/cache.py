@@ -23,14 +23,20 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import pickle
 import tempfile
+import time
 from collections.abc import Callable
 from pathlib import Path
 from typing import Any
 
+from ..obs import OBS
+
 _FINGERPRINT: str | None = None
+
+logger = logging.getLogger("repro.runtime.cache")
 
 
 def code_fingerprint(root: Path | str | None = None) -> str:
@@ -112,8 +118,12 @@ class ResultCache:
                 value = pickle.load(fh)
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
             self.misses += 1
+            if OBS.enabled:
+                OBS.metrics.counter("runtime.cache.misses").inc()
             return default
         self.hits += 1
+        if OBS.enabled:
+            OBS.metrics.counter("runtime.cache.hits").inc()
         return value
 
     def put(self, key: str, value: Any) -> None:
@@ -142,23 +152,100 @@ class ResultCache:
         """True when an entry exists (without loading it)."""
         return self.enabled and self._path(key).exists()
 
+    # -- invalidation telemetry --------------------------------------------
+
+    def _sidecar_path(self, namespace: str, params: Any) -> Path:
+        """Fingerprint sidecar keyed by (namespace, params) *only*.
+
+        The entry key folds the code fingerprint in, so after a source
+        edit the old entry simply stops being found.  The sidecar
+        remembers which fingerprint last produced a value for these
+        parameters, which is what lets a miss be classified as a *code
+        invalidation* rather than a first-ever computation.
+        """
+        payload = f"{namespace}\x00{_canonical(params)}"
+        stem = hashlib.sha256(payload.encode()).hexdigest()[:32]
+        return self.root / f"{stem}.fp"
+
+    def _note_invalidation(self, namespace: str, params: Any, fp: str) -> None:
+        """Detect a fingerprint change; emit the ``cache.invalidated`` event.
+
+        Best-effort file IO: telemetry must never break the computation.
+        """
+        sidecar = self._sidecar_path(namespace, params)
+        try:
+            old_fp = sidecar.read_text().strip()
+        except OSError:
+            old_fp = ""
+        if old_fp and old_fp != fp:
+            logger.info(
+                "cache.invalidated namespace=%s old_fingerprint=%s "
+                "new_fingerprint=%s",
+                namespace,
+                old_fp,
+                fp,
+            )
+            if OBS.enabled:
+                OBS.metrics.counter(
+                    "runtime.cache.invalidated", namespace=namespace
+                ).inc()
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            sidecar.write_text(fp + "\n")
+        except OSError:
+            pass
+
+    def _write_entry_manifest(
+        self, key: str, namespace: str, params: Any, fp: str, wall_s: float
+    ) -> None:
+        """Drop a provenance manifest next to a freshly computed entry."""
+        from ..obs import build_manifest
+
+        try:
+            manifest = build_manifest(
+                namespace,
+                scenario=None,
+                params=json.loads(_canonical(params)),
+                seeds=[],
+                workers=0,
+                route="cached",
+                wall_s=wall_s,
+                cpu_s=0.0,
+                metrics={},
+                fingerprint=fp,
+            )
+            manifest.write(self.root / f"{key}.manifest.json")
+        except (OSError, TypeError, ValueError):
+            pass
+
     # -- the convenience everyone actually uses ----------------------------
 
     def cached(self, namespace: str, params: Any, compute: Callable[[], Any]) -> Any:
         """Return the cached result of ``compute()`` for these parameters.
 
-        The key covers the code fingerprint, so a source change recomputes.
+        The key covers the code fingerprint, so a source change
+        recomputes; when that happens a structured ``cache.invalidated``
+        event is logged (old vs new fingerprint) and counted.  Every
+        fresh computation also writes a ``<key>.manifest.json``
+        provenance record beside the pickle.
         """
-        key = cache_key(namespace, params)
+        fp = code_fingerprint()
+        key = cache_key(namespace, params, fp)
         sentinel = object()
         value = self.get(key, sentinel)
         if value is sentinel:
+            if self.enabled:
+                self._note_invalidation(namespace, params, fp)
+            t0 = time.perf_counter()
             value = compute()
+            wall_s = time.perf_counter() - t0
             self.put(key, value)
+            if self.enabled:
+                self._write_entry_manifest(key, namespace, params, fp, wall_s)
         return value
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (and its sidecars); returns entries removed."""
         if not self.root.exists():
             return 0
         n = 0
@@ -168,4 +255,10 @@ class ResultCache:
                 n += 1
             except OSError:
                 pass
+        for pattern in ("*.fp", "*.manifest.json"):
+            for path in self.root.glob(pattern):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
         return n

@@ -30,6 +30,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from ..obs import OBS
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.setting import SlotProblem, SlotSolution
     from ..fuelcell.efficiency import SystemEfficiencyModel
@@ -82,16 +84,22 @@ def solve_slot_memo(
     token = getattr(model, "cache_token", None)
     if token is None:
         _STATS.uncacheable += 1
+        if OBS.enabled:
+            OBS.metrics.counter("runtime.memo.uncacheable").inc()
         return _solver()(problem, model)
     key = (token, problem)
     solution = _CACHE.get(key)
     if solution is None:
         _STATS.misses += 1
+        if OBS.enabled:
+            OBS.metrics.counter("runtime.memo.misses").inc()
         if len(_CACHE) >= SOLVER_CACHE_MAX:
             _CACHE.clear()
         solution = _CACHE[key] = _solver()(problem, model)
     else:
         _STATS.hits += 1
+        if OBS.enabled:
+            OBS.metrics.counter("runtime.memo.hits").inc()
     return solution
 
 

@@ -19,6 +19,7 @@ layer shares (``run_seeds``, ``downsizing_curve``, the ablation sweeps,
 
 from __future__ import annotations
 
+import math
 import os
 import pickle
 import time
@@ -28,6 +29,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from ..errors import ConfigurationError
+from ..obs import OBS
 
 #: Exceptions that mean "the pool could not run this work" rather than
 #: "the task failed" -- these trigger the serial fallback.  AttributeError
@@ -77,6 +79,13 @@ class MapStats:
     task_durations: list[float] = field(default_factory=list)
     #: Why a process-pool dispatch fell back to serial, if it did.
     fallback_reason: str | None = None
+    #: Task count of each dispatched chunk, in submission order.
+    chunk_sizes: list[int] = field(default_factory=list)
+    #: Worker-side wall-clock of each chunk (s) -- measured inside the
+    #: worker process, so it excludes pickling and queue latency.
+    chunk_durations: list[float] = field(default_factory=list)
+    #: Pid that executed each chunk (the coordinator's own for serial).
+    chunk_pids: list[int] = field(default_factory=list)
 
     @property
     def total_task_time(self) -> float:
@@ -97,29 +106,115 @@ class MapStats:
             return 0.0
         return self.total_task_time / (self.workers * self.elapsed)
 
+    def _chunk_percentile(self, p: float) -> float:
+        """Nearest-rank percentile of worker-side chunk wall times (s)."""
+        if not self.chunk_durations:
+            return 0.0
+        ordered = sorted(self.chunk_durations)
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    @property
+    def chunk_latency_p50(self) -> float:
+        """Median worker-side chunk wall time (s)."""
+        return self._chunk_percentile(50)
+
+    @property
+    def chunk_latency_p95(self) -> float:
+        """95th-percentile worker-side chunk wall time (s) -- stragglers."""
+        return self._chunk_percentile(95)
+
     def summary(self) -> str:
         """One-line human-readable digest for benchmark output."""
-        return (
+        text = (
             f"{self.mode} x{self.workers}: {self.n_tasks} tasks in "
             f"{self.elapsed:.3f}s (task mean {1e3 * self.mean_task_time:.2f}ms,"
             f" efficiency {self.parallel_efficiency:.2f})"
         )
+        if self.chunk_durations:
+            text += (
+                f" [chunks {len(self.chunk_durations)}, p50 "
+                f"{1e3 * self.chunk_latency_p50:.2f}ms, p95 "
+                f"{1e3 * self.chunk_latency_p95:.2f}ms]"
+            )
+        return text
 
 
-def _run_chunk(fn: Callable, items: Sequence) -> tuple[list, list[float]]:
-    """Worker-side chunk execution; returns (results, per-task seconds).
+@dataclass
+class ChunkResult:
+    """Worker-side record of one executed chunk.
+
+    Carries the results plus the worker's own telemetry -- wall time,
+    pid, and (when the coordinator asked for tracing) the worker's
+    finished spans as plain dicts, ready for
+    :meth:`~repro.obs.tracer.Tracer.adopt`.
+    """
+
+    results: list
+    task_durations: list[float]
+    #: Worker-side wall-clock of the whole chunk (s).
+    elapsed: float
+    pid: int
+    #: Exported span dicts from the worker's local tracer (may be empty).
+    spans: list[dict] = field(default_factory=list)
+    #: The worker's metrics snapshot, merged into the coordinator registry.
+    metrics: dict = field(default_factory=dict)
+
+
+def _run_chunk(
+    fn: Callable,
+    items: Sequence,
+    chunk_index: int = 0,
+    trace_pid: int | None = None,
+) -> ChunkResult:
+    """Worker-side chunk execution; returns a :class:`ChunkResult`.
 
     Module-level so it pickles; ``fn`` itself must also be picklable for
     process dispatch (module-level functions and ``functools.partial``
     of them are; lambdas are not and trigger the serial fallback).
+
+    ``trace_pid`` is the coordinator's pid when its telemetry is on.  A
+    *worker* process (pid differs -- under ``fork`` it still inherits a
+    copy of the coordinator's switchboard, so the pid is the reliable
+    discriminator) runs the chunk under an isolated local tracer +
+    registry and ships the finished spans and metric snapshot back with
+    the results; the coordinator re-parents the spans under its own
+    ``parallel.map`` span.  In-process execution (serial mode) spans
+    directly onto the live tracer instead.
     """
-    results = []
-    durations = []
-    for item in items:
-        t0 = time.perf_counter()
-        results.append(fn(item))
-        durations.append(time.perf_counter() - t0)
-    return results, durations
+    from ..obs import observing
+
+    def execute() -> tuple[list, list[float]]:
+        results = []
+        durations = []
+        for item in items:
+            t0 = time.perf_counter()
+            results.append(fn(item))
+            durations.append(time.perf_counter() - t0)
+        return results, durations
+
+    t_chunk = time.perf_counter()
+    pid = os.getpid()
+    if trace_pid is not None and pid != trace_pid:
+        with observing() as obs:
+            with obs.span(
+                "parallel.chunk", chunk_index=chunk_index, n_items=len(items)
+            ):
+                results, durations = execute()
+            spans = obs.tracer.export()
+            metrics = obs.metrics.snapshot()
+        return ChunkResult(
+            results, durations, time.perf_counter() - t_chunk, pid,
+            spans, metrics,
+        )
+    if trace_pid is not None:
+        with OBS.span(
+            "parallel.chunk", chunk_index=chunk_index, n_items=len(items)
+        ):
+            results, durations = execute()
+    else:
+        results, durations = execute()
+    return ChunkResult(results, durations, time.perf_counter() - t_chunk, pid)
 
 
 def _chunk_slices(n_items: int, n_chunks: int) -> list[tuple[int, int]]:
@@ -160,30 +255,47 @@ class ParallelMap:
 
     # -- execution ---------------------------------------------------------
 
+    def _record_chunk(self, chunk: ChunkResult) -> None:
+        stats = self.stats
+        stats.task_durations.extend(chunk.task_durations)
+        stats.chunk_sizes.append(len(chunk.task_durations))
+        stats.chunk_durations.append(chunk.elapsed)
+        stats.chunk_pids.append(chunk.pid)
+        if OBS.enabled:
+            OBS.metrics.histogram("runtime.parallel.chunk_seconds").observe(
+                chunk.elapsed
+            )
+            if chunk.spans:
+                OBS.tracer.adopt(chunk.spans)
+            if chunk.metrics:
+                OBS.metrics.merge(chunk.metrics)
+
     def _map_serial(self, fn: Callable, items: Sequence) -> list:
-        results, durations = _run_chunk(fn, items)
+        chunk = _run_chunk(
+            fn, items, trace_pid=os.getpid() if OBS.enabled else None
+        )
         self.stats.mode = "serial"
         self.stats.workers = 1
-        self.stats.task_durations = durations
-        return results
+        self._record_chunk(chunk)
+        return chunk.results
 
     def _map_processes(self, fn: Callable, items: Sequence) -> list:
         slices = _chunk_slices(len(items), self.workers * self.chunks_per_worker)
+        trace_pid = os.getpid() if OBS.enabled else None
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
             futures = [
-                pool.submit(_run_chunk, fn, items[lo:hi]) for lo, hi in slices
+                pool.submit(_run_chunk, fn, items[lo:hi], i, trace_pid)
+                for i, (lo, hi) in enumerate(slices)
             ]
             results: list = []
-            durations: list[float] = []
             # Collect in submission order: ordering is positional, and a
             # failure surfaces on the earliest affected chunk.
-            for future in futures:
-                chunk_results, chunk_durations = future.result()
-                results.extend(chunk_results)
-                durations.extend(chunk_durations)
+            chunks = [future.result() for future in futures]
         self.stats.mode = "process"
         self.stats.workers = self.workers
-        self.stats.task_durations = durations
+        for chunk in chunks:
+            results.extend(chunk.results)
+            self._record_chunk(chunk)
         return results
 
     def map(self, fn: Callable, items: Iterable) -> list:
@@ -197,18 +309,33 @@ class ParallelMap:
         item_list = list(items)
         self.stats = MapStats(n_tasks=len(item_list))
         t0 = time.perf_counter()
-        if not item_list:
-            results = []
-        elif self.workers <= 1:
-            results = self._map_serial(fn, item_list)
-        else:
-            try:
-                results = self._map_processes(fn, item_list)
-            except _POOL_FAILURES as exc:
-                self.stats.fallback_reason = f"{type(exc).__name__}: {exc}"
+        with OBS.span(
+            "parallel.map", n_tasks=len(item_list), workers=self.workers
+        ) as span:
+            if not item_list:
+                results = []
+            elif self.workers <= 1:
                 results = self._map_serial(fn, item_list)
+            else:
+                try:
+                    results = self._map_processes(fn, item_list)
+                except _POOL_FAILURES as exc:
+                    self.stats.fallback_reason = f"{type(exc).__name__}: {exc}"
+                    # Drop any partial chunk records of the failed dispatch.
+                    self.stats.task_durations = []
+                    self.stats.chunk_sizes = []
+                    self.stats.chunk_durations = []
+                    self.stats.chunk_pids = []
+                    results = self._map_serial(fn, item_list)
         self.stats.n_tasks = len(item_list)
         self.stats.elapsed = time.perf_counter() - t0
+        if OBS.enabled:
+            span.set(mode=self.stats.mode, elapsed_s=self.stats.elapsed)
+            OBS.metrics.counter(
+                "runtime.parallel.maps", mode=self.stats.mode
+            ).inc()
+            if self.stats.fallback_reason is not None:
+                OBS.metrics.counter("runtime.parallel.fallbacks").inc()
         return results
 
 

@@ -100,12 +100,14 @@ def run_seeds(
         function or ``functools.partial``); unpicklable callables fall
         back to serial execution.
     """
+    from ..obs import OBS
     from ..runtime.parallel import ParallelMap
 
     seed_list = [int(seed) for seed in seeds]
     if not seed_list:
         raise ConfigurationError("need at least one seed")
-    results = ParallelMap(workers=workers).map(experiment, seed_list)
+    with OBS.span("mc.run_seeds", n_seeds=len(seed_list), workers=workers):
+        results = ParallelMap(workers=workers).map(experiment, seed_list)
 
     # Metric order is pinned to the first run's dict order (PEP 468
     # insertion order), not a sorted or set order.

@@ -27,6 +27,7 @@ from typing import NamedTuple
 from ..core.baselines import SlotActuals, SlotStart
 from ..core.manager import PowerManager
 from ..errors import SimulationError
+from ..obs import OBS
 from ..workload.trace import LoadTrace
 from .integrator import (
     SegmentIntegrator,
@@ -164,14 +165,27 @@ class SlotSimulator:
         n_sleeps = 0
         n_aborted = 0
         slot_results: list[SlotResult] = []
+        # Hoisted once: enable state cannot change mid-run, and the
+        # per-slot loop is the scalar path's hot loop.
+        obs_on = OBS.enabled
 
         for index, slot in enumerate(trace):
+            slot_span = (
+                OBS.span("sim.slot", slot=index) if obs_on else None
+            )
+            t_sim_start = integrator.t_now
             decision = mgr.policy.on_idle_start()
             idle_segments, slept, aborted = plan_idle_segments(
                 mgr.device, slot.t_idle, decision.sleep, decision.sleep_after
             )
             n_sleeps += slept
             n_aborted += aborted
+            if obs_on:
+                OBS.metrics.counter(
+                    "dpm.decisions", slept="yes" if slept else "no"
+                ).inc()
+                if aborted:
+                    OBS.metrics.counter("dpm.aborted_sleeps").inc()
 
             i_idle_nominal = mgr.device.i_slp if slept else mgr.device.i_sdb
             mgr.controller.on_idle_start(
@@ -228,6 +242,14 @@ class SlotSimulator:
                     storage_end=source.storage.charge,
                 )
             )
+            if slot_span is not None:
+                slot_span.set(
+                    t_sim_start=t_sim_start,
+                    t_sim_end=integrator.t_now,
+                    slept=slept,
+                    aborted=aborted,
+                )
+                slot_span.finish()
 
         threshold = source.total_load_charge * self.max_deficit_fraction
         if source.storage.deficit_charge > threshold:

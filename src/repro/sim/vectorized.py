@@ -57,6 +57,7 @@ from ..errors import ConfigurationError, SimulationError
 from ..fuelcell.efficiency import SystemEfficiencyModel
 from ..fuelcell.fuel import FuelTank
 from ..fuelcell.system import FCSystem
+from ..obs import OBS
 from ..power.hybrid import HybridPowerSource
 from ..power.storage import IdealStorage, SuperCapacitor
 from .integrator import (
@@ -367,6 +368,28 @@ def _storage_deltas(
 
 
 # -- eligibility -------------------------------------------------------------
+
+
+#: Human-readable ineligibility reasons mapped (by prefix) to the short
+#: label used on the ``sim.fast_ineligible{reason=...}`` counter.
+_REASON_KEYS = (
+    ("recording requested", "record"),
+    ("source type", "source-type"),
+    ("FC system type", "fc-type"),
+    ("fuel tank type", "tank-type"),
+    ("efficiency model", "model-clamp"),
+    ("storage type", "storage-type"),
+    ("source.record_history", "record-history"),
+    ("controller", "controller"),
+)
+
+
+def _reason_key(reason: str) -> str:
+    """Short metric-label slug for an ineligibility reason string."""
+    for prefix, key in _REASON_KEYS:
+        if reason.startswith(prefix):
+            return key
+    return "other"
 
 
 def fast_path_ineligibility(
@@ -813,42 +836,60 @@ def simulate_fast(
         raise SimulationError("max_deficit_fraction cannot be negative")
     if max_segment is not None and max_segment <= 0:
         raise SimulationError("max_segment must be positive")
-    if fast_path_ineligibility(manager, record=record) is not None:
+    reason = fast_path_ineligibility(manager, record=record)
+    if reason is not None:
+        if OBS.enabled:
+            OBS.metrics.counter("sim.route", path="scalar").inc()
+            OBS.metrics.counter(
+                "sim.fast_ineligible", reason=_reason_key(reason)
+            ).inc()
+        with OBS.span(
+            "sim.simulate", manager=manager.name, route="scalar"
+        ):
+            return SlotSimulator(
+                manager,
+                record=record,
+                max_deficit_fraction=max_deficit_fraction,
+                max_segment=max_segment,
+            ).run(trace)
+    with OBS.span("sim.simulate", manager=manager.name, route="fast") as span:
+        snapshot = None
+        if math.isfinite(manager.source.fc.tank.capacity):
+            # A finite tank can force a mid-run DepletedError that only
+            # the scalar path reports with per-segment context; snapshot
+            # the stateful pieces so the rerun sees untouched decisions.
+            # (Default tanks are bottomless: zero overhead there.)
+            snapshot = copy.deepcopy((manager.policy, manager.controller))
+        decisions = replay_policy(manager.policy, trace)
+        plan = plan_trace_arrays(
+            manager.device,
+            trace,
+            decisions,
+            max_segment=max_segment,
+            # The lookahead columns are only read by the generic replay,
+            # which derives them on demand; skipping them here keeps the
+            # compile step off the critical path's profile.
+            phase_context=False,
+        )
+        result = _simulate_fast_planned(manager, trace, plan, max_deficit_fraction)
+        if result is not None:
+            if OBS.enabled:
+                OBS.metrics.counter("sim.route", path="fast").inc()
+            return result
+        if snapshot is not None:
+            manager.policy, manager.controller = snapshot
+        if OBS.enabled:
+            span.set(route="scalar")
+            OBS.metrics.counter("sim.route", path="scalar").inc()
+            OBS.metrics.counter(
+                "sim.fast_ineligible", reason="tank-depleted"
+            ).inc()
         return SlotSimulator(
             manager,
             record=record,
             max_deficit_fraction=max_deficit_fraction,
             max_segment=max_segment,
         ).run(trace)
-    snapshot = None
-    if math.isfinite(manager.source.fc.tank.capacity):
-        # A finite tank can force a mid-run DepletedError that only the
-        # scalar path reports with per-segment context; snapshot the
-        # stateful pieces so the rerun sees untouched decisions.
-        # (Default tanks are bottomless: zero overhead there.)
-        snapshot = copy.deepcopy((manager.policy, manager.controller))
-    decisions = replay_policy(manager.policy, trace)
-    plan = plan_trace_arrays(
-        manager.device,
-        trace,
-        decisions,
-        max_segment=max_segment,
-        # The lookahead columns are only read by the generic replay,
-        # which derives them on demand; skipping them here keeps the
-        # compile step off the critical path's profile.
-        phase_context=False,
-    )
-    result = _simulate_fast_planned(manager, trace, plan, max_deficit_fraction)
-    if result is not None:
-        return result
-    if snapshot is not None:
-        manager.policy, manager.controller = snapshot
-    return SlotSimulator(
-        manager,
-        record=record,
-        max_deficit_fraction=max_deficit_fraction,
-        max_segment=max_segment,
-    ).run(trace)
 
 
 def _parse_policy_spec(spec) -> None:
@@ -957,45 +998,69 @@ def simulate_batch(
     # Ineligible specs keep fresh builds: the scalar path mutates
     # recorder/history state the kernel never touches.
     cached: dict[str, tuple["PowerManager", float]] = {}
-    for seed in seed_list:
-        trace = None if traces is None else traces.get(seed)
-        if trace is None:
-            trace = scenario.build_trace(seed)
-        per_policy: dict[str, SimulationResult] = {}
-        plan: TraceArrays | None = None
-        for spec in specs:
-            entry = cached.get(spec) if fast else None
-            if entry is None:
-                mgr = _policy_manager(scenario, spec)
-            else:
-                mgr, initial_charge = entry
-                mgr.reset(initial_charge)
-            if not fast or fast_path_ineligibility(mgr) is not None:
-                per_policy[mgr.name] = SlotSimulator(
-                    mgr, max_deficit_fraction=max_deficit_fraction
-                ).run(trace)
-                continue
-            if entry is None:
-                cached[spec] = (mgr, mgr.source.storage.charge)
-            if plan is None:
-                # First eligible policy replays its (fresh) device-side
-                # policy to compile the plan; later eligible managers
-                # reuse it -- their own policy objects stay fresh, an
-                # internal detail batch results never observe.
-                plan = plan_trace_arrays(
-                    mgr.device,
-                    trace,
-                    replay_policy(mgr.policy, trace),
-                    phase_context=False,
+    with OBS.span(
+        "sim.batch",
+        scenario=scenario.name,
+        n_seeds=len(seed_list),
+        n_policies=len(specs),
+    ):
+        for seed in seed_list:
+            trace = None if traces is None else traces.get(seed)
+            if trace is None:
+                trace = scenario.build_trace(seed)
+            per_policy: dict[str, SimulationResult] = {}
+            plan: TraceArrays | None = None
+            for spec in specs:
+                entry = cached.get(spec) if fast else None
+                if entry is None:
+                    mgr = _policy_manager(scenario, spec)
+                else:
+                    mgr, initial_charge = entry
+                    mgr.reset(initial_charge)
+                reason = fast_path_ineligibility(mgr) if fast else "fast=False"
+                if reason is not None:
+                    if OBS.enabled:
+                        OBS.metrics.counter("sim.route", path="scalar").inc()
+                        if fast:
+                            OBS.metrics.counter(
+                                "sim.fast_ineligible", reason=_reason_key(reason)
+                            ).inc()
+                    per_policy[mgr.name] = SlotSimulator(
+                        mgr, max_deficit_fraction=max_deficit_fraction
+                    ).run(trace)
+                    continue
+                if entry is None:
+                    cached[spec] = (mgr, mgr.source.storage.charge)
+                if plan is None:
+                    # First eligible policy replays its (fresh) device-
+                    # side policy to compile the plan; later eligible
+                    # managers reuse it -- their own policy objects stay
+                    # fresh, an internal detail batch results never
+                    # observe.
+                    plan = plan_trace_arrays(
+                        mgr.device,
+                        trace,
+                        replay_policy(mgr.policy, trace),
+                        phase_context=False,
+                    )
+                result = _simulate_fast_planned(
+                    mgr, trace, plan, max_deficit_fraction
                 )
-            result = _simulate_fast_planned(mgr, trace, plan, max_deficit_fraction)
-            if result is None:
-                # Finite tank depleted mid-run: rerun a fresh manager on
-                # the scalar path for the exact DepletedError context.
-                result = SlotSimulator(
-                    _policy_manager(scenario, spec),
-                    max_deficit_fraction=max_deficit_fraction,
-                ).run(trace)
-            per_policy[mgr.name] = result
-        results[seed] = per_policy
+                if result is None:
+                    # Finite tank depleted mid-run: rerun a fresh manager
+                    # on the scalar path for the exact DepletedError
+                    # context.
+                    if OBS.enabled:
+                        OBS.metrics.counter("sim.route", path="scalar").inc()
+                        OBS.metrics.counter(
+                            "sim.fast_ineligible", reason="tank-depleted"
+                        ).inc()
+                    result = SlotSimulator(
+                        _policy_manager(scenario, spec),
+                        max_deficit_fraction=max_deficit_fraction,
+                    ).run(trace)
+                elif OBS.enabled:
+                    OBS.metrics.counter("sim.route", path="fast").inc()
+                per_policy[mgr.name] = result
+            results[seed] = per_policy
     return results

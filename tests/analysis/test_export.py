@@ -28,12 +28,13 @@ class TestExport:
         assert by_key[("table2", "conv-dpm")] == 1.0
         assert by_key[("table2", "fc-dpm")] < by_key[("table2", "asap-dpm")]
 
-    def test_export_all_writes_five_files(self, tmp_path):
+    def test_export_all_writes_six_files(self, tmp_path):
         paths = export_all(tmp_path / "artifacts")
-        assert len(paths) == 5
+        assert len(paths) == 6  # 5 CSVs + the provenance manifest
         for path in paths:
             assert path.exists()
             assert path.stat().st_size > 50
+        assert paths[-1].name == "manifest.json"
 
     def test_rejects_file_as_directory(self, tmp_path):
         blocker = tmp_path / "blocker"

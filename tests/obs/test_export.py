@@ -1,0 +1,130 @@
+"""Export sinks: JSONL roundtrip, Chrome trace, summary, bundles."""
+
+import json
+
+from repro.obs import (
+    Tracer,
+    build_manifest,
+    observing,
+    read_jsonl,
+    trace_summary,
+    write_chrome_trace,
+    write_spans_jsonl,
+    write_trace_bundle,
+)
+from repro.obs.schema import (
+    validate_chrome_trace,
+    validate_metric_record,
+    validate_span,
+    validate_span_set,
+    validate_trace_dir,
+)
+from repro.obs.state import OBS
+
+
+def _sample_run():
+    """A small traced run: two spans + a couple of metrics."""
+    with observing() as obs:
+        with obs.span("run", scenario="exp1"):
+            with obs.span("sim.simulate", route="fast"):
+                pass
+        obs.metrics.counter("sim.route", path="fast").inc(3)
+        obs.metrics.histogram("lat").observe(0.25)
+        spans = obs.tracer.export()
+        metrics = obs.metrics.snapshot()
+    return spans, metrics
+
+
+def test_jsonl_roundtrip_separates_spans_and_metrics(tmp_path):
+    spans, metrics = _sample_run()
+    path = write_spans_jsonl(tmp_path / "spans.jsonl", spans, metrics)
+    got_spans, got_metrics = read_jsonl(path)
+    assert [s["name"] for s in got_spans] == [s["name"] for s in spans]
+    assert all(validate_span(s) == [] for s in got_spans)
+    assert validate_span_set(got_spans) == []
+    assert all(validate_metric_record(m) == [] for m in got_metrics)
+    # The instrument class rides under "kind"; "type" tags the record.
+    by_key = {m["key"]: m for m in got_metrics}
+    assert by_key["sim.route{path=fast}"]["kind"] == "counter"
+    assert by_key["sim.route{path=fast}"]["type"] == "metric"
+    assert by_key["sim.route{path=fast}"]["value"] == 3
+    assert by_key["lat"]["kind"] == "histogram"
+
+
+def test_chrome_trace_events(tmp_path):
+    spans, _ = _sample_run()
+    path = write_chrome_trace(tmp_path / "trace.json", spans)
+    doc = json.loads(path.read_text())
+    assert validate_chrome_trace(doc) == []
+    events = doc["traceEvents"]
+    assert len(events) == len(spans)
+    assert all(e["ph"] == "X" for e in events)
+    # Timestamps are relative to the earliest span.
+    assert min(e["ts"] for e in events) == 0.0
+    names = {e["name"] for e in events}
+    assert names == {"run", "sim.simulate"}
+
+
+def test_trace_summary_tree_and_metrics():
+    spans, metrics = _sample_run()
+    text = trace_summary(spans, metrics)
+    lines = text.splitlines()
+    assert lines[0] == f"{len(spans)} spans"
+    # The child span is indented under its root.
+    run_line = next(ln for ln in lines if ln.startswith("run"))
+    sim_line = next(ln for ln in lines if "sim.simulate" in ln)
+    assert sim_line.startswith("  ")
+    assert "[scenario=exp1]" in run_line
+    assert any("sim.route{path=fast}: 3" in ln for ln in lines)
+
+
+def test_trace_summary_folds_wide_fanouts():
+    tracer = Tracer()
+    with tracer.span("root"):
+        for i in range(12):
+            with tracer.span(f"slot-{i}"):
+                pass
+    text = trace_summary(tracer.export(), max_children=8)
+    assert "(+4 more" in text
+    assert "slot-11" not in text
+
+
+def test_trace_summary_accepts_jsonl_metric_records(tmp_path):
+    spans, metrics = _sample_run()
+    path = write_spans_jsonl(tmp_path / "s.jsonl", spans, metrics)
+    got_spans, got_metrics = read_jsonl(path)
+    text = trace_summary(got_spans, got_metrics)
+    assert "sim.route{path=fast}: 3" in text
+    assert "lat: n=1" in text
+
+
+def test_write_trace_bundle_validates(tmp_path):
+    spans, metrics = _sample_run()
+    manifest = build_manifest(
+        "run:test", params={"seed": 0}, seeds=[0], route="fast", wall_s=0.01
+    )
+    paths = write_trace_bundle(tmp_path / "out", spans, metrics, manifest)
+    assert set(paths) == {"spans", "chrome_trace", "manifest"}
+    assert validate_trace_dir(tmp_path / "out") == []
+
+
+def test_validate_trace_dir_reports_problems(tmp_path):
+    assert validate_trace_dir(tmp_path / "nope")
+    spans, metrics = _sample_run()
+    write_trace_bundle(tmp_path / "partial", spans, metrics, manifest=None)
+    problems = validate_trace_dir(tmp_path / "partial")
+    assert any("manifest.json" in p for p in problems)
+
+
+def test_observing_restores_previous_state():
+    assert not OBS.enabled
+    before = (OBS.tracer, OBS.metrics)
+    with observing() as obs:
+        assert OBS.enabled
+        assert obs is OBS
+        outer_metrics = OBS.metrics
+        with observing():  # nested scope gets its own registry
+            assert OBS.metrics is not outer_metrics
+        assert OBS.metrics is outer_metrics
+    assert not OBS.enabled
+    assert (OBS.tracer, OBS.metrics) == before

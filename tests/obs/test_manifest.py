@@ -1,0 +1,69 @@
+"""RunManifest: assembly, JSON roundtrip, schema validation."""
+
+import json
+
+from repro.obs import RunManifest, build_manifest
+from repro.obs.manifest import MANIFEST_SCHEMA_VERSION, package_versions
+from repro.obs.schema import validate_manifest
+
+
+def test_build_manifest_fills_provenance():
+    m = build_manifest(
+        "table2",
+        scenario={"name": "exp1-fc-dpm"},
+        params={"seed": 7},
+        seeds=[7, 8],
+        workers=2,
+        route="fast",
+        wall_s=1.5,
+        cpu_s=1.2,
+        metrics={"sim.route{path=fast}": {"type": "counter", "value": 2}},
+    )
+    assert m.name == "table2"
+    assert m.fingerprint  # derived from code_fingerprint()
+    assert m.schema_version == MANIFEST_SCHEMA_VERSION
+    assert m.created > 0
+    assert m.seeds == (7, 8)
+    assert m.route == "fast"
+    assert set(m.versions) >= {"python", "numpy", "repro"}
+
+
+def test_explicit_fingerprint_skips_hashing():
+    m = build_manifest("x", fingerprint="cafe")
+    assert m.fingerprint == "cafe"
+
+
+def test_write_read_roundtrip(tmp_path):
+    m = build_manifest(
+        "run:exp1", params={"seed": 0}, seeds=[0], route="scalar", wall_s=0.1
+    )
+    path = m.write(tmp_path / "sub" / "manifest.json")
+    assert path.exists()
+    rebuilt = RunManifest.from_dict(json.loads(path.read_text()))
+    assert rebuilt == m
+
+
+def test_built_manifest_validates():
+    m = build_manifest("export", params={"files": 6}, route="export")
+    assert validate_manifest(m.to_dict()) == []
+
+
+def test_validate_flags_problems():
+    assert validate_manifest("not a dict")
+    good = build_manifest("x", fingerprint="f").to_dict()
+
+    missing = dict(good)
+    del missing["fingerprint"]
+    assert any("fingerprint" in p for p in validate_manifest(missing))
+
+    newer = dict(good, schema_version=MANIFEST_SCHEMA_VERSION + 1)
+    assert any("newer" in p for p in validate_manifest(newer))
+
+    bad_versions = dict(good, versions={"numpy": "1.0"})
+    assert any("python" in p for p in validate_manifest(bad_versions))
+
+
+def test_package_versions_shape():
+    versions = package_versions()
+    assert versions["python"].count(".") >= 1
+    assert "numpy" in versions

@@ -1,0 +1,102 @@
+"""MetricsRegistry: instrument semantics, label keys, snapshot/merge."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, _key
+
+
+def test_counter_increments():
+    reg = MetricsRegistry()
+    reg.counter("hits").inc()
+    reg.counter("hits").inc(2.5)
+    assert reg.snapshot()["hits"] == {"type": "counter", "value": 3.5}
+
+
+def test_gauge_overwrites():
+    reg = MetricsRegistry()
+    reg.gauge("level").set(1.0)
+    reg.gauge("level").set(0.25)
+    assert reg.snapshot()["level"]["value"] == 0.25
+
+
+def test_histogram_stats_and_percentiles():
+    reg = MetricsRegistry()
+    hist = reg.histogram("lat")
+    for v in [1.0, 2.0, 3.0, 4.0, 100.0]:
+        hist.observe(v)
+    data = reg.snapshot()["lat"]
+    assert data["count"] == 5
+    assert data["sum"] == 110.0
+    assert data["min"] == 1.0
+    assert data["max"] == 100.0
+    assert data["mean"] == 22.0
+    # Nearest-rank over 5 samples: p50 -> 3rd value, p95 -> 5th.
+    assert data["p50"] == 3.0
+    assert data["p95"] == 100.0
+
+
+def test_empty_histogram_is_well_defined():
+    reg = MetricsRegistry()
+    data = reg.histogram("empty").to_dict()
+    assert data["count"] == 0
+    assert data["min"] == 0.0 and data["max"] == 0.0
+    assert data["mean"] == 0.0 and data["p50"] == 0.0
+
+
+def test_label_keys_are_sorted_and_distinct():
+    assert _key("sim.route", {"path": "fast"}) == "sim.route{path=fast}"
+    assert _key("m", {"b": 2, "a": 1}) == "m{a=1,b=2}"
+    reg = MetricsRegistry()
+    reg.counter("sim.route", path="fast").inc()
+    reg.counter("sim.route", path="scalar").inc(3)
+    snap = reg.snapshot()
+    assert snap["sim.route{path=fast}"]["value"] == 1
+    assert snap["sim.route{path=scalar}"]["value"] == 3
+
+
+def test_instrument_kind_collision_raises():
+    reg = MetricsRegistry()
+    reg.counter("x").inc()
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+
+
+def test_snapshot_sorted_and_detached():
+    reg = MetricsRegistry()
+    reg.counter("z").inc()
+    reg.counter("a").inc()
+    snap = reg.snapshot()
+    assert list(snap) == ["a", "z"]
+    snap["a"]["value"] = 99
+    assert reg.snapshot()["a"]["value"] == 1
+
+
+def test_merge_folds_worker_snapshot():
+    worker = MetricsRegistry()
+    worker.counter("hits", kind="memo").inc(5)
+    worker.gauge("level").set(0.7)
+    worker.histogram("lat").observe(2.0)
+    worker.histogram("lat").observe(8.0)
+
+    coordinator = MetricsRegistry()
+    coordinator.counter("hits", kind="memo").inc(2)
+    coordinator.histogram("lat").observe(1.0)
+    coordinator.merge(worker.snapshot())
+
+    snap = coordinator.snapshot()
+    assert snap["hits{kind=memo}"]["value"] == 7  # counters add
+    assert snap["level"]["value"] == 0.7  # gauges take incoming
+    assert snap["lat"]["count"] == 3  # histograms merge count/sum/min/max
+    assert snap["lat"]["sum"] == 11.0
+    assert snap["lat"]["min"] == 1.0
+    assert snap["lat"]["max"] == 8.0
+
+
+def test_reset_drops_everything():
+    reg = MetricsRegistry()
+    reg.counter("x").inc()
+    reg.histogram("y").observe(1.0)
+    assert len(reg) == 2
+    reg.reset()
+    assert len(reg) == 0
+    assert reg.snapshot() == {}

@@ -1,0 +1,124 @@
+"""Tracer: span nesting, error status, export/import, adoption."""
+
+import os
+import threading
+
+import pytest
+
+from repro.obs import NULL_TRACER, Span, Tracer
+from repro.obs.tracer import NULL_SPAN
+
+
+def test_span_nesting_parents():
+    tracer = Tracer()
+    with tracer.span("outer") as outer:
+        with tracer.span("inner") as inner:
+            assert tracer.current_span_id == inner.span_id
+        assert tracer.current_span_id == outer.span_id
+    assert tracer.current_span_id is None
+    spans = {s.name: s for s in tracer.finished}
+    assert spans["inner"].parent_id == spans["outer"].span_id
+    assert spans["outer"].parent_id is None
+    # Children finish before parents.
+    assert [s.name for s in tracer.finished] == ["inner", "outer"]
+
+
+def test_span_records_timing_and_attrs():
+    tracer = Tracer()
+    with tracer.span("op", seed=7) as handle:
+        handle.set(extra="x")
+    span = tracer.finished[0]
+    assert span.duration is not None and span.duration >= 0
+    assert span.t_wall > 0
+    assert span.pid == os.getpid()
+    assert span.attrs == {"seed": 7, "extra": "x"}
+    assert span.status == "ok"
+
+
+def test_span_error_status():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("bad"):
+            raise ValueError("boom")
+    assert tracer.finished[0].status == "error:ValueError"
+
+
+def test_span_ids_unique_across_tracer_instances():
+    # Pooled workers build a fresh Tracer per chunk in the same process;
+    # ids draw from a process-global counter so they never collide.
+    ids = set()
+    for _ in range(3):
+        tracer = Tracer()
+        with tracer.span("chunk"):
+            pass
+        ids.add(tracer.finished[0].span_id)
+    assert len(ids) == 3
+
+
+def test_export_import_roundtrip():
+    tracer = Tracer()
+    with tracer.span("a", k=1):
+        with tracer.span("b"):
+            pass
+    exported = tracer.export()
+    rebuilt = [Span.from_dict(d) for d in exported]
+    assert [s.name for s in rebuilt] == ["b", "a"]
+    assert rebuilt[1].attrs == {"k": 1}
+    assert rebuilt[0].parent_id == rebuilt[1].span_id
+
+
+def test_adopt_reparents_foreign_roots():
+    worker = Tracer()
+    with worker.span("worker-root"):
+        with worker.span("worker-child"):
+            pass
+    shipped = worker.export()
+
+    coordinator = Tracer()
+    with coordinator.span("map") as handle:
+        coordinator.adopt(shipped)
+        map_id = handle.span_id
+    spans = {s.name: s for s in coordinator.finished}
+    # The foreign root now hangs off the coordinator's active span; the
+    # child keeps its original parent.
+    assert spans["worker-root"].parent_id == map_id
+    assert spans["worker-child"].parent_id == spans["worker-root"].span_id
+
+
+def test_adopt_explicit_parent():
+    worker = Tracer()
+    with worker.span("job"):
+        pass
+    coordinator = Tracer()
+    coordinator.adopt(worker.export(), parent_id="custom-parent")
+    assert coordinator.finished[0].parent_id == "custom-parent"
+
+
+def test_thread_local_stacks():
+    tracer = Tracer()
+    seen = {}
+
+    def worker():
+        with tracer.span("thread-root") as handle:
+            seen["id"] = handle.span_id
+
+    with tracer.span("main-root"):
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+    spans = {s.name: s for s in tracer.finished}
+    # The other thread's stack is independent: its span is a root, not a
+    # child of main-root.
+    assert spans["thread-root"].parent_id is None
+    assert spans["main-root"].parent_id is None
+
+
+def test_null_tracer_is_inert():
+    span = NULL_TRACER.span("anything", k=1)
+    assert span is NULL_SPAN
+    with span as s:
+        assert s.set(x=2) is s
+    s.finish()
+    assert NULL_TRACER.export() == []
+    assert NULL_TRACER.current_span_id is None
+    assert NULL_TRACER.adopt([{"span_id": "x"}]) is None

@@ -40,8 +40,9 @@ class TestCli:
         target = tmp_path / "artifacts"
         assert main(["export", str(target)]) == 0
         out = capsys.readouterr().out
-        assert out.count("wrote") == 5
+        assert out.count("wrote") == 6
         assert (target / "tables_2_3.csv").exists()
+        assert (target / "manifest.json").exists()
 
     def test_lifetime(self, capsys):
         assert main(["lifetime"]) == 0
@@ -83,6 +84,72 @@ class TestRunCommand:
         assert (tmp_path / "cache").exists()
         assert main(["run", "--scenario", "exp2-fc-dpm"]) == 0
         assert capsys.readouterr().out == first
+
+
+class TestTraceCommand:
+    def test_run_list_prints_spec_columns(self, capsys):
+        assert main(["run", "--list"]) == 0
+        out = capsys.readouterr().out
+        header = next(
+            ln for ln in out.splitlines() if ln.startswith("scenario")
+        )
+        for column in ("policy", "workload", "source", "description"):
+            assert column in header
+        names = [
+            ln.split()[0]
+            for ln in out.splitlines()
+            if ln.strip().startswith("exp")
+        ]
+        assert names == sorted(names)
+
+    def test_table2_alias_resolves(self, capsys):
+        assert main(["--no-cache", "run", "--scenario", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "exp1-fc-dpm" in out
+
+    def test_run_trace_writes_validated_bundle(self, capsys, tmp_path):
+        from repro.obs import validate_trace_dir
+
+        target = tmp_path / "trace-out"
+        assert (
+            main(["run", "--scenario", "exp1-conv-dpm", "--trace", str(target)])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert out.count("wrote") == 3
+        assert validate_trace_dir(target) == []
+        # The bundle carries real simulation spans plus the run manifest.
+        import json
+
+        manifest = json.loads((target / "manifest.json").read_text())
+        assert manifest["name"] == "run:exp1-conv-dpm"
+        assert manifest["route"] in ("fast", "scalar")
+        assert manifest["scenario"]["name"] == "exp1-conv-dpm"
+        spans = [
+            json.loads(line)
+            for line in (target / "spans.jsonl").read_text().splitlines()
+        ]
+        names = {s["name"] for s in spans if s.get("type") == "span"}
+        # The default (non --fast) traced run drives the scalar
+        # simulator, which emits per-slot spans under the run root.
+        assert "run" in names and "sim.slot" in names
+
+    def test_trace_check_and_summary(self, capsys, tmp_path):
+        target = tmp_path / "trace-out"
+        assert (
+            main(["run", "--scenario", "exp1-conv-dpm", "--trace", str(target)])
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["trace", "check", str(target)]) == 0
+        assert "ok" in capsys.readouterr().out
+        assert main(["trace", "summary", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "spans" in out and "metrics" in out
+
+    def test_trace_check_fails_on_bad_directory(self, capsys, tmp_path):
+        assert main(["trace", "check", str(tmp_path / "missing")]) == 1
+        assert "FAIL" in capsys.readouterr().out
 
 
 class TestWorkersValidation:
