@@ -23,12 +23,13 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 # Runtime smoke bench: parallel-vs-serial run_seeds, memoized solver,
-# sizing-curve fan-out, vectorized-kernel speedup gates, and the <2%
-# disabled-telemetry overhead gate.  Fast enough for CI; writes
-# benchmarks/out/ (.txt reports + .json measurements).
+# sizing-curve fan-out, vectorized-kernel speedup gates (incl. the
+# clamp-heavy storage recurrence), and the <2% disabled-telemetry
+# overhead gate.  Fast enough for CI; writes benchmarks/out/
+# (.txt reports + .json measurements, consolidated BENCH_kernel.json).
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/test_bench_microbench.py -s \
-		-k "parallel or cached or vectorized or obs"
+		-k "parallel or cached or vectorized or obs or clamped"
 
 # Telemetry smoke: run a small scenario with tracing on, then validate
 # the bundle (manifest.json + spans.jsonl + trace.json) structurally.
@@ -37,11 +38,12 @@ trace-smoke:
 	$(PYTHON) scripts/check_trace.py trace-out/
 	$(PYTHON) -m repro.cli trace summary trace-out/ > /dev/null
 
-# Just the vectorized-kernel gates: single-trace >= 4x, batch >= 10x,
-# bit-exact equality with the scalar simulator.
+# Just the vectorized-kernel gates: single-trace >= 4x (fc-dpm >= 2x),
+# batch serial >= 12x (>= 50x with >= 4 cores), fc batch >= 2.5x,
+# all bit-exact against the scalar simulator.
 bench-vector:
 	$(PYTHON) -m pytest benchmarks/test_bench_microbench.py -s \
-		-k "vectorized"
+		-k "vectorized or clamped"
 
 report:
 	$(PYTHON) -m repro.cli report

@@ -1,0 +1,80 @@
+"""Fail CI when a vectorized-kernel speedup regresses against baseline.
+
+Compares the speedup ratios in ``benchmarks/out/BENCH_kernel.json``
+(written by ``make bench-smoke``) against the committed
+``benchmarks/BENCH_kernel_baseline.json`` and exits non-zero if any
+ratio fell below ``0.8 x baseline``.
+
+Only *ratios* are compared: wall times and throughput numbers are
+machine-dependent, but a speedup is the same code racing itself on the
+same host, so a >20% drop means the kernel (or its eligibility
+routing) regressed, not the hardware.  Baseline entries the current run
+did not measure -- e.g. the multi-core batch path on a small runner --
+are reported and skipped, never failed.
+
+Usage::
+
+    python benchmarks/check_kernel_regression.py [current.json] [baseline.json]
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+#: Keys whose values are host-independent speedup ratios.
+RATIO_KEYS = {"speedup", "batch_speedup"}
+
+#: A measured ratio may drop to this fraction of baseline before failing.
+TOLERANCE = 0.8
+
+
+def ratios(tree, prefix: str = "") -> dict[str, float]:
+    """Flatten every ratio entry of a nested report to ``path: value``."""
+    out: dict[str, float] = {}
+    if isinstance(tree, dict):
+        for key, value in tree.items():
+            if key in RATIO_KEYS and isinstance(value, (int, float)):
+                out[f"{prefix}{key}"] = float(value)
+            else:
+                out.update(ratios(value, f"{prefix}{key}."))
+    return out
+
+
+def main(argv: list[str]) -> int:
+    here = pathlib.Path(__file__).parent
+    current_path = (
+        pathlib.Path(argv[1]) if len(argv) > 1
+        else here / "out" / "BENCH_kernel.json"
+    )
+    baseline_path = (
+        pathlib.Path(argv[2]) if len(argv) > 2
+        else here / "BENCH_kernel_baseline.json"
+    )
+    current = ratios(json.loads(current_path.read_text()))
+    baseline = ratios(json.loads(baseline_path.read_text()))
+
+    failures: list[str] = []
+    print(f"kernel speedup regression check "
+          f"(current >= {TOLERANCE} x baseline):")
+    for key, base in sorted(baseline.items()):
+        got = current.get(key)
+        if got is None:
+            print(f"  {key:40s} baseline {base:7.1f}x  (not measured; skipped)")
+            continue
+        floor = TOLERANCE * base
+        status = "ok" if got >= floor else "REGRESSED"
+        print(f"  {key:40s} baseline {base:7.1f}x  current {got:7.1f}x  "
+              f"floor {floor:5.1f}x  {status}")
+        if got < floor:
+            failures.append(key)
+    if failures:
+        print(f"FAIL: speedup below floor for: {', '.join(failures)}")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

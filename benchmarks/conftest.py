@@ -9,6 +9,7 @@ computation with pytest-benchmark.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 
 import pytest
@@ -41,3 +42,24 @@ def emit(out_dir):
             )
 
     return _emit
+
+
+@pytest.fixture
+def kernel_record(out_dir):
+    """Merge one section into the consolidated ``BENCH_kernel.json``.
+
+    The vectorized-kernel benches each own one section (single-trace,
+    batch, fc batch, storage recurrence); merging instead of rewriting
+    keeps the file complete under ``-k`` partial runs, and
+    ``check_kernel_regression.py`` compares its speedups against the
+    committed baseline in CI.
+    """
+
+    def _record(section: str, data: dict) -> None:
+        path = out_dir / "BENCH_kernel.json"
+        merged = json.loads(path.read_text()) if path.exists() else {}
+        merged[section] = data
+        merged["host"] = {"cpus": os.cpu_count()}
+        path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+
+    return _record

@@ -173,25 +173,37 @@ def test_bench_downsizing_curve_parallel(emit):
 # -- vectorized kernel benches (this PR) -------------------------------------
 
 
-def test_bench_vectorized_table2(emit):
+def _best_wall(fn, repeats: int = 3) -> float:
+    """Best single-call wall-clock over ``repeats`` warm runs (s)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_bench_vectorized_table2(emit, kernel_record):
     """Single-trace array kernel vs scalar simulator on the Exp-1 trace.
 
-    Conv-DPM and ASAP-DPM hold static controllers, so the kernel runs
-    end to end; each must come out >= 4x faster with a bit-identical
-    result.  FC-DPM is adaptive -- its fallback parity is asserted
-    (untimed) to pin the "never a wrong answer" contract.
+    Conv-DPM and ASAP-DPM hold static controllers, so the kernel is
+    pure array code (>= 4x).  FC-DPM is scan-compiled since kernel
+    round 2 -- its Eq. 14/15 predictors precompute, but the per-slot
+    storage-coupled solves stay sequential, so its floor is lower
+    (>= 2x).  Every timed pair is asserted bit-identical first.
     """
     from repro.sim.vectorized import simulate_fast
 
     trace = generate_mpeg_trace(seed=2007)
     dev = camcorder_device_params()
     builders = {
-        "conv-dpm": PowerManager.conv_dpm,
-        "asap-dpm": PowerManager.asap_dpm,
+        "conv-dpm": (PowerManager.conv_dpm, 4.0),
+        "asap-dpm": (PowerManager.asap_dpm, 4.0),
+        "fc-dpm": (PowerManager.fc_dpm, 2.0),
     }
     lines = ["vectorized simulate_fast vs SlotSimulator (Exp-1 trace)"]
     data: dict[str, dict[str, float]] = {}
-    for name, build in builders.items():
+    for name, (build, floor) in builders.items():
         def scalar():
             mgr = build(dev, storage_capacity=6.0, storage_initial=3.0)
             return SlotSimulator(mgr).run(trace)
@@ -201,8 +213,8 @@ def test_bench_vectorized_table2(emit):
             return simulate_fast(mgr, trace)
 
         assert fast() == scalar()
-        t_scalar = _best_of(scalar, repeats=3, number=5)
-        t_fast = _best_of(fast, repeats=3, number=25)
+        t_scalar = _best_of(scalar, repeats=5, number=5)
+        t_fast = _best_of(fast, repeats=5, number=25)
         ratio = t_scalar / t_fast
         lines.append(
             f"{name}: scalar {1e3 * t_scalar:.3f} ms | "
@@ -213,28 +225,26 @@ def test_bench_vectorized_table2(emit):
             "fast_ms": 1e3 * t_fast,
             "speedup": ratio,
         }
-        assert ratio >= 4.0, f"{name} only {ratio:.1f}x faster"
+        assert ratio >= floor, f"{name} only {ratio:.1f}x faster"
 
-    # Adaptive FC-DPM: simulate_fast must transparently match the
-    # scalar simulator (it falls back -- parity, not speed, is the gate).
-    fc_fast = simulate_fast(
-        PowerManager.fc_dpm(dev, storage_capacity=6.0, storage_initial=3.0),
-        trace,
-    )
-    fc_scalar = SlotSimulator(
-        PowerManager.fc_dpm(dev, storage_capacity=6.0, storage_initial=3.0)
-    ).run(trace)
-    assert fc_fast == fc_scalar
-    lines.append("fc-dpm: adaptive -> scalar fallback, results identical")
     emit("microbench_vectorized_table2", "\n".join(lines), data=data)
+    kernel_record("single_trace", data)
 
 
-def test_bench_vectorized_batch(emit):
-    """100-seed x 3-policy Monte-Carlo batch: >= 10x over the scalar path.
+def test_bench_vectorized_batch(emit, kernel_record):
+    """100-seed x 3-policy Monte-Carlo batch, warm best-of.
 
-    Traces are pre-built outside the timed region (shared by both paths)
-    so the comparison isolates simulation, and the nested result dicts
-    must match exactly.
+    Three timings over the same prebuilt traces: the scalar loop
+    (``fast=False``), the serial kernel (``fast=True, workers=1``), and
+    the full batch path (``fast=True, workers=`` every core, which
+    ships per-seed plans through shared memory).  Gates: the serial
+    kernel must hold >= 12x everywhere; the full path must reach >= 50x
+    where the hardware can deliver it (>= 4 usable cores -- the same
+    self-gating convention as the run_seeds bench above; a 1-core box
+    still asserts exact equality of all paths).  Warm best-of is the
+    methodology: the first call pays one-time costs (solver memo,
+    import side effects) that a cold single-shot misattributes to
+    whichever path runs second.
     """
     from repro.scenario import get_scenario
     from repro.sim.vectorized import simulate_batch
@@ -243,31 +253,162 @@ def test_bench_vectorized_batch(emit):
     seeds = list(range(100))
     policies = ["conv-dpm", "asap-dpm", "static:0.8"]
     traces = {s: sc.build_trace(s) for s in seeds}
+    workers = resolve_workers(0)
 
-    t0 = time.perf_counter()
     scalar = simulate_batch(sc, seeds, policies, fast=False, traces=traces)
-    t_scalar = time.perf_counter() - t0
-    t0 = time.perf_counter()
     fast = simulate_batch(sc, seeds, policies, fast=True, traces=traces)
-    t_fast = time.perf_counter() - t0
-
     assert fast == scalar
-    ratio = t_scalar / t_fast
-    emit(
-        "microbench_vectorized_batch",
-        "simulate_batch: 100 seeds x 3 policies (exp1-conv-dpm)\n"
-        f"scalar (fast=False): {1e3 * t_scalar:.1f} ms\n"
-        f"fast (fast=True):    {1e3 * t_fast:.1f} ms\n"
-        f"speedup: {ratio:.1f}x",
-        data={
-            "n_seeds": len(seeds),
-            "policies": policies,
-            "scalar_ms": 1e3 * t_scalar,
-            "fast_ms": 1e3 * t_fast,
-            "speedup": ratio,
-        },
+    if workers > 1:
+        parallel = simulate_batch(
+            sc, seeds, policies, fast=True, traces=traces, workers=0
+        )
+        assert parallel == scalar
+
+    t_scalar = _best_wall(
+        lambda: simulate_batch(sc, seeds, policies, fast=False, traces=traces),
+        repeats=2,
     )
-    assert ratio >= 10.0, f"batch only {ratio:.1f}x faster"
+    t_fast = _best_wall(
+        lambda: simulate_batch(sc, seeds, policies, fast=True, traces=traces),
+        repeats=5,
+    )
+    ratio = t_scalar / t_fast
+    lines = [
+        "simulate_batch: 100 seeds x 3 policies (exp1-conv-dpm), warm best-of",
+        f"scalar loop (fast=False):  {1e3 * t_scalar:.1f} ms",
+        f"serial kernel (workers=1): {1e3 * t_fast:.1f} ms "
+        f"| speedup {ratio:.1f}x",
+    ]
+    data = {
+        "n_seeds": len(seeds),
+        "policies": policies,
+        "scalar_ms": 1e3 * t_scalar,
+        "fast_ms": 1e3 * t_fast,
+        "speedup": ratio,
+        "workers": workers,
+    }
+    if workers > 1:
+        t_batch = _best_wall(
+            lambda: simulate_batch(
+                sc, seeds, policies, fast=True, traces=traces, workers=0
+            ),
+            repeats=5,
+        )
+        batch_ratio = t_scalar / t_batch
+        lines.append(
+            f"batch path (workers={workers}): {1e3 * t_batch:.1f} ms "
+            f"| speedup {batch_ratio:.1f}x"
+        )
+        data["batch_ms"] = 1e3 * t_batch
+        data["batch_speedup"] = batch_ratio
+    emit("microbench_vectorized_batch", "\n".join(lines), data=data)
+    kernel_record("batch", data)
+
+    assert ratio >= 12.0, f"serial kernel only {ratio:.1f}x faster"
+    if workers >= 4:
+        assert data["batch_speedup"] >= 50.0, (
+            f"expected >= 50x on {workers} cores, "
+            f"measured {data['batch_speedup']:.1f}x"
+        )
+
+
+def test_bench_vectorized_batch_fc(emit, kernel_record):
+    """100-seed FC-DPM batch: the scan-compiled adaptive controller.
+
+    FC-DPM cannot reach the static-controller ratios -- each slot still
+    poses a live storage-coupled ``SlotProblem`` -- so it gets its own
+    gate (>= 2.5x, warm best-of) under the same exact-equality
+    contract.
+    """
+    from repro.scenario import get_scenario
+    from repro.sim.vectorized import simulate_batch
+
+    sc = get_scenario("exp1-conv-dpm")
+    seeds = list(range(100))
+    policies = ["fc-dpm"]
+    traces = {s: sc.build_trace(s) for s in seeds}
+
+    scalar = simulate_batch(sc, seeds, policies, fast=False, traces=traces)
+    fast = simulate_batch(sc, seeds, policies, fast=True, traces=traces)
+    assert fast == scalar
+
+    t_scalar = _best_wall(
+        lambda: simulate_batch(sc, seeds, policies, fast=False, traces=traces),
+        repeats=2,
+    )
+    t_fast = _best_wall(
+        lambda: simulate_batch(sc, seeds, policies, fast=True, traces=traces),
+        repeats=3,
+    )
+    ratio = t_scalar / t_fast
+    data = {
+        "n_seeds": len(seeds),
+        "scalar_ms": 1e3 * t_scalar,
+        "fast_ms": 1e3 * t_fast,
+        "speedup": ratio,
+    }
+    emit(
+        "microbench_vectorized_batch_fc",
+        "simulate_batch: 100 seeds x fc-dpm (scan-compiled), warm best-of\n"
+        f"scalar loop:   {1e3 * t_scalar:.1f} ms\n"
+        f"serial kernel: {1e3 * t_fast:.1f} ms\n"
+        f"speedup: {ratio:.1f}x",
+        data=data,
+    )
+    kernel_record("batch_fc", data)
+    assert ratio >= 2.5, f"fc-dpm batch only {ratio:.1f}x faster"
+
+
+def test_bench_clamped_cumsum_clamp_heavy(emit, kernel_record):
+    """Storage recurrence where nearly every segment clamps.
+
+    20k uniform +/-4 A-s deltas against a 6 A-s bucket violate a bound
+    on most steps -- the regime where per-event array rescans
+    degenerate and ``clamped_cumsum`` switches to its scratch-buffer +
+    sequential tail.  The result must match a pure-Python reference bit
+    for bit and still stream >= 2M segments/s.
+    """
+    import numpy as np
+
+    from repro.sim.vectorized import clamped_cumsum
+
+    rng = np.random.default_rng(0)
+    deltas = rng.uniform(-4.0, 4.0, 20_000)
+    initial, capacity = 3.0, 6.0
+
+    charges, bled, deficit = clamped_cumsum(deltas, initial, capacity)
+    cur, ref_bled, ref_deficit = initial, 0.0, 0.0
+    reference = [cur]
+    for delta in deltas.tolist():
+        new = cur + delta
+        if new > capacity:
+            ref_bled += new - capacity
+            cur = capacity
+        elif new < 0.0:
+            ref_deficit += -new
+            cur = 0.0
+        else:
+            cur = new
+        reference.append(cur)
+    assert charges.tolist() == reference
+    assert bled == ref_bled and deficit == ref_deficit
+
+    t = _best_of(lambda: clamped_cumsum(deltas, initial, capacity),
+                 repeats=3, number=5)
+    rate = deltas.shape[0] / t
+    data = {
+        "n_segments": int(deltas.shape[0]),
+        "wall_ms": 1e3 * t,
+        "segments_per_second": rate,
+    }
+    emit(
+        "microbench_clamped_cumsum",
+        "clamped_cumsum: 20k-segment clamp-heavy recurrence\n"
+        f"wall: {1e3 * t:.2f} ms ({rate / 1e6:.1f}M segments/s)",
+        data=data,
+    )
+    kernel_record("clamped_cumsum", data)
+    assert rate >= 2e6, f"only {rate / 1e6:.1f}M segments/s"
 
 
 # -- observability overhead gate (this PR) -----------------------------------
@@ -282,8 +423,9 @@ def test_bench_obs_disabled_overhead(emit):
     guard that fronts every hot-path hook, and the null-object span the
     cold paths use), multiply by a *generous overcount* of how many the
     batch executes, and require the projection to stay under 2% of the
-    measured per-run batch time.  The >= 10x batch speedup gate above
-    backstops this against gross regressions.
+    measured per-run batch time.  The batch speedup gates above
+    (serial >= 12x, hardware-conditional >= 50x) backstop this against
+    gross regressions.
     """
     from repro.obs import OBS
     from repro.scenario import get_scenario
@@ -319,12 +461,15 @@ def test_bench_obs_disabled_overhead(emit):
     run()  # warm the solver memo / manager caches outside the timing
     t_batch = _best_of(run, repeats=3, number=1)
 
-    # Disabled-state executions per batch, overcounted ~5x: the fast
-    # path fires ~2 guards per slot per seed (policy decision + idle
-    # observation during replay_policy) and a handful of routing guards
-    # and spans per (seed, policy).
-    guards = 10 * total_slots + 20 * len(seeds) * len(policies)
-    spans = 2 + len(seeds) * len(policies)
+    # Disabled-state executions per batch, overcounted ~5x.  Since the
+    # predictor scan (``decisions_array``) replaced the per-slot
+    # predict/observe replay, the fast path fires no per-slot guards
+    # for these policies -- only ~1 guard per seed in the scan entry
+    # plus a handful of routing guards and one span per (seed, policy).
+    # A 1x-per-slot term stays in as margin for configurations that
+    # fall back to the sequential replay.
+    guards = total_slots + 30 * len(seeds) * len(policies)
+    spans = 2 * (2 + len(seeds) * len(policies))
     projected = guards * t_guard + spans * t_span
     overhead = projected / t_batch
 

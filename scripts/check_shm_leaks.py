@@ -1,0 +1,55 @@
+"""Shared-memory hygiene check: no stale ``repro-plans-*`` segments.
+
+Runs a multi-process ``simulate_batch`` -- forcing two pool workers
+even on single-core hosts, since the check is about segment lifecycle,
+not speed -- and then asserts that no ``/dev/shm/repro-plans-*``
+entries survive.  ``SharedArrayStore.dispose`` must close and unlink
+the batch segment on every exit path; a leak here means a run left
+kernel plans pinned in shared memory.
+
+Exits 0 when clean, 1 when stale segments (or result anomalies) are
+found.  Hosts without ``/dev/shm`` still exercise the inline-handle
+fallback path.
+"""
+
+from __future__ import annotations
+
+import glob
+import sys
+
+from repro.runtime import parallel as parallel_mod
+from repro.scenario import get_scenario
+from repro.sim import vectorized
+
+SHM_GLOB = "/dev/shm/repro-plans-*"
+
+
+def main() -> int:
+    before = set(glob.glob(SHM_GLOB))
+
+    # Force real process dispatch regardless of host size: both the
+    # dispatch decision in simulate_batch and ParallelMap's own pool
+    # sizing normally cap at the usable core count.
+    parallel_mod.resolve_workers = lambda workers: 2
+    vectorized.resolve_workers = lambda workers: 2
+
+    sc = get_scenario("exp1-conv-dpm")
+    seeds = list(range(8))
+    serial = vectorized.simulate_batch(sc, seeds, ["conv-dpm", "fc-dpm"])
+    parallel = vectorized.simulate_batch(
+        sc, seeds, ["conv-dpm", "fc-dpm"], workers=2
+    )
+    if parallel != serial:
+        print("FAIL: parallel batch results differ from serial")
+        return 1
+
+    leaked = set(glob.glob(SHM_GLOB)) - before
+    if leaked:
+        print(f"FAIL: stale shared-memory segments: {sorted(leaked)}")
+        return 1
+    print("OK: parallel == serial and no stale repro-plans-* segments")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,10 +9,15 @@ plugs in -- that is the predictor-ablation axis of the benchmarks.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..devices.device import DeviceParams
 from ..obs import OBS
 from ..prediction.base import Predictor
-from ..prediction.exponential import ExponentialAveragePredictor
+from ..prediction.exponential import (
+    ExponentialAveragePredictor,
+    exponential_average_scan,
+)
 from .policy import DPMPolicy, IdleDecision, SLEEP_NOW, STAY_AWAKE
 
 
@@ -54,6 +59,36 @@ class PredictiveShutdownPolicy(DPMPolicy):
         sleep = predicted >= self.threshold and fits
         self._last_slept = sleep
         return self._count(SLEEP_NOW if sleep else STAY_AWAKE)
+
+    def decisions_array(self, idle_lengths) -> list[IdleDecision] | None:
+        """Whole-trace decisions via the predictor scan, or None.
+
+        The scan replaces the per-slot predict/observe loop only when
+        it is provably bit-exact: exact policy and predictor types (a
+        subclass may override any step), and OBS disabled (the
+        sequential path emits per-slot misprediction metrics the scan
+        does not replicate).  On success the policy and predictor are
+        left in the exact end state the sequential loop produces.
+        """
+        if (
+            type(self) is not PredictiveShutdownPolicy
+            or type(self.predictor) is not ExponentialAveragePredictor
+            or OBS.enabled
+        ):
+            return None
+        predictions, final_estimate = exponential_average_scan(
+            self.predictor.factor, self.predictor.estimate, idle_lengths
+        )
+        fit_threshold = self.params.t_pd + self.params.t_wu
+        sleep = (predictions >= self.threshold) & (predictions >= fit_threshold)
+        decisions = [SLEEP_NOW if s else STAY_AWAKE for s in sleep.tolist()]
+        self.predictor.commit_scan(idle_lengths, predictions, final_estimate)
+        if decisions:
+            self.last_prediction = float(predictions[-1])
+            self._last_slept = decisions[-1].sleep
+            self.n_decisions += len(decisions)
+            self.n_sleep_decisions += int(np.count_nonzero(sleep))
+        return decisions
 
     def on_idle_end(self, t_idle: float) -> None:
         if OBS.enabled and self._last_slept is not None:

@@ -11,8 +11,45 @@ history as the factor shrinks.
 
 from __future__ import annotations
 
-from ..errors import ConfigurationError
+import numpy as np
+
+from ..errors import ConfigurationError, RangeError
 from .base import Predictor
+
+
+def exponential_average_scan(
+    factor: float, initial: float, observations
+) -> tuple[np.ndarray, float]:
+    """Whole-trace predictions of the Eq. 14/15 filter, bit-exactly.
+
+    Returns ``(predictions, final_estimate)`` where ``predictions[k]``
+    is what :meth:`ExponentialAveragePredictor.predict` would return
+    before observing ``observations[k]``, and ``final_estimate`` is the
+    internal estimate after observing all of them.
+
+    The recurrence ``e' = factor * e + (1 - factor) * x`` has a closed
+    form as a weighted prefix sum, but evaluating that form would
+    reassociate the floating-point operations and drift from the scalar
+    predictor by ULPs.  Instead the gain terms ``(1 - factor) * x`` are
+    computed elementwise (each product is the exact scalar product) and
+    combined with a sequential Python fold that replays the scalar
+    operation order verbatim -- the fold is two flops per observation,
+    a negligible share of a kernel pass.
+    """
+    obs = np.asarray(observations, dtype=float)
+    n = obs.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=float), float(initial)
+    if float(obs.min()) < 0:
+        raise RangeError("length cannot be negative")
+    gains = ((1 - factor) * obs).tolist()
+    e = float(initial)
+    preds = []
+    append = preds.append
+    for g in gains:
+        append(e)
+        e = factor * e + g
+    return np.asarray(preds, dtype=float), e
 
 
 class ExponentialAveragePredictor(Predictor):
@@ -48,6 +85,35 @@ class ExponentialAveragePredictor(Predictor):
 
     def _update(self, actual: float) -> None:
         self._estimate = self.factor * self._estimate + (1 - self.factor) * actual
+
+    def commit_scan(self, observations, predictions, final_estimate: float) -> None:
+        """Commit a whole predict/observe run computed by the scan.
+
+        Leaves the predictor in the exact state a sequential
+        ``predict(); observe(x)`` loop over ``observations`` would:
+        the accuracy ledgers accumulate each signed error in order
+        (``predictions`` must be the scan of this predictor's current
+        state over the same observations), the internal estimate jumps
+        to ``final_estimate``, and the last prediction is remembered.
+        """
+        obs = (
+            observations.tolist()
+            if isinstance(observations, np.ndarray)
+            else list(observations)
+        )
+        if not obs:
+            return
+        error_sum = self._error_sum
+        abs_error_sum = self._abs_error_sum
+        for predicted, actual in zip(predictions.tolist(), obs):
+            err = predicted - actual
+            error_sum += err
+            abs_error_sum += abs(err)
+        self._error_sum = error_sum
+        self._abs_error_sum = abs_error_sum
+        self._n_observed += len(obs)
+        self._estimate = float(final_estimate)
+        self._remember(float(predictions[-1]))
 
     def reset(self) -> None:
         super().reset()

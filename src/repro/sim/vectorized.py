@@ -29,12 +29,21 @@ Eligibility is conservative: the kernel runs only for the reference
 hybrid plant (``HybridPowerSource`` + ``FCSystem`` + supercap/ideal
 storage) under a *trace-functional* controller
 (:attr:`~repro.core.baselines.SourceController.is_trace_functional`).
-ASAP-DPM's storage-coupled recharge hysteresis is handled natively by a
-dedicated sequential pass over precomputed per-mode arrays.  Everything
-else -- adaptive controllers (FC-DPM, stochastic, receding), exotic
-plants, recording runs, manual ``record_history`` -- falls back to the
-scalar :class:`~repro.sim.slotsim.SlotSimulator`: never a wrong answer,
-only a slower one.
+Two adaptive controllers get dedicated native passes: ASAP-DPM's
+storage-coupled recharge hysteresis plays out over precomputed per-mode
+arrays, and FC-DPM's learned inputs (the Eq. 14/15 exponential filters
+and the active-current running mean) are scan-compiled up front so only
+the storage-coupled slot solves run sequentially (:func:`_run_fc`).
+Everything else -- other adaptive controllers, exotic plants, recording
+runs, manual ``record_history`` -- falls back to the scalar
+:class:`~repro.sim.slotsim.SlotSimulator`: never a wrong answer, only a
+slower one.
+
+:func:`simulate_batch` additionally fans seeds out across processes
+(``workers=``): per-seed plans are compiled once in the coordinator and
+shipped through ``multiprocessing.shared_memory``
+(:mod:`repro.runtime.shm`), so workers attach zero-copy views instead
+of unpickling array payloads per task.
 """
 
 from __future__ import annotations
@@ -42,6 +51,8 @@ from __future__ import annotations
 import copy
 import math
 from dataclasses import dataclass
+from functools import cached_property
+from itertools import repeat as _repeat
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -53,6 +64,9 @@ from ..core.baselines import (
     SlotStart,
     StaticController,
 )
+from ..core.fc_dpm import FCDPMController
+from ..core.setting import SlotProblem
+from ..dpm.predictive import PredictiveShutdownPolicy
 from ..errors import ConfigurationError, SimulationError
 from ..fuelcell.efficiency import SystemEfficiencyModel
 from ..fuelcell.fuel import FuelTank
@@ -60,6 +74,10 @@ from ..fuelcell.system import FCSystem
 from ..obs import OBS
 from ..power.hybrid import HybridPowerSource
 from ..power.storage import IdealStorage, SuperCapacitor
+from ..prediction.exponential import exponential_average_scan
+from ..runtime.memo import solve_slot_memo
+from ..runtime.parallel import ParallelMap, get_shared, resolve_workers
+from ..runtime.shm import SharedArrayStore, attach_group
 from .integrator import (
     chunk_segments,
     plan_active_segments,
@@ -129,6 +147,87 @@ class TraceArrays:
     def n_slots(self) -> int:
         return self.slot_bounds.shape[0] - 1
 
+    # Policy-independent per-plan invariants.  A batch runs several
+    # policies over one plan, so these are computed once and cached on
+    # the instance (``cached_property`` writes the instance ``__dict__``
+    # directly, which a frozen dataclass permits).
+
+    @cached_property
+    def load_charge_seg(self) -> np.ndarray:
+        """Per-segment load charge ``i_load * duration`` (A-s)."""
+        return self.i_load * self.duration
+
+    @cached_property
+    def duration_total(self) -> float:
+        """Sequential (seeded-cumsum) total of ``duration``."""
+        return float(_running_sums(0.0, self.duration)[-1])
+
+    @cached_property
+    def load_charge_total(self) -> float:
+        """Sequential total of ``load_charge_seg``."""
+        return float(_running_sums(0.0, self.load_charge_seg)[-1])
+
+    @cached_property
+    def slot_load_charge(self) -> np.ndarray:
+        """Per-slot load charge, summed in segment order."""
+        return _slot_sums(self, self.load_charge_seg)
+
+    @cached_property
+    def slot_index(self) -> np.ndarray:
+        """Owning slot of each segment (the ``np.add.at`` scatter index)."""
+        return np.repeat(np.arange(self.n_slots), np.diff(self.slot_bounds))
+
+    @cached_property
+    def slept_list(self) -> list:
+        """``slept.tolist()``, shared by every policy run over this plan."""
+        return self.slept.tolist()
+
+    @cached_property
+    def aborted_list(self) -> list:
+        """``aborted.tolist()``, shared by every policy run over this plan."""
+        return self.aborted.tolist()
+
+    @cached_property
+    def slot_load_list(self) -> list:
+        """``slot_load_charge.tolist()``, shared across policy runs."""
+        return self.slot_load_charge.tolist()
+
+    @cached_property
+    def slot_starts(self) -> np.ndarray:
+        """First segment index of each slot (``slot_bounds[:-1]``)."""
+        return self.slot_bounds[:-1]
+
+    @cached_property
+    def slot_ends(self) -> np.ndarray:
+        """One-past-last segment index of each slot (``slot_bounds[1:]``)."""
+        return self.slot_bounds[1:]
+
+    @cached_property
+    def n_sleeps(self) -> int:
+        """Number of slots whose sleep decision was taken."""
+        return int(np.count_nonzero(self.slept))
+
+    @cached_property
+    def n_aborted(self) -> int:
+        """Number of aborted sleeps."""
+        return int(np.count_nonzero(self.aborted))
+
+
+def _slot_sums(plan: "TraceArrays", values: np.ndarray) -> np.ndarray:
+    """Per-slot sums of a per-segment array, in scalar accumulation order.
+
+    ``np.add.at`` accumulates unbuffered, applying the adds in index
+    order -- each slot's sum is built left to right exactly like the
+    scalar's per-slot ``+=`` loop.  (``np.add.reduceat`` is *not* a
+    substitute: it reorders even four-element blocks on current numpy,
+    observed one ulp off the sequential sum.)  The property suite
+    checks the equality on randomized traces.
+    """
+    out = np.zeros(plan.n_slots)
+    if plan.n_slots and plan.n_segments:
+        np.add.at(out, plan.slot_index, values)
+    return out
+
 
 def replay_policy(policy: "DPMPolicy", trace: "LoadTrace") -> list["IdleDecision"]:
     """Collect the per-slot sleep decisions by replaying the policy.
@@ -138,7 +237,18 @@ def replay_policy(policy: "DPMPolicy", trace: "LoadTrace") -> list["IdleDecision
     ``on_idle_start`` / ``on_idle_end`` in slot order yields exactly the
     decisions -- and the same policy end state -- the scalar simulator
     produces while interleaving integration in between.
+
+    Policies exposing a ``decisions_array`` scan hook (the paper's
+    :class:`~repro.dpm.predictive.PredictiveShutdownPolicy` over an
+    exponential-average predictor) skip the per-slot loop entirely; the
+    hook owns the exact end-state commit and returns None whenever it
+    cannot guarantee bit-exactness, falling back to the replay.
     """
+    compiled = getattr(policy, "decisions_array", None)
+    if compiled is not None:
+        decisions = compiled([slot.t_idle for slot in trace])
+        if decisions is not None:
+            return decisions
     decisions = []
     for slot in trace:
         decisions.append(policy.on_idle_start())
@@ -171,6 +281,8 @@ def plan_trace_arrays(
         raise ConfigurationError(
             f"got {len(decisions)} decisions for {len(slots)} slots"
         )
+    if max_segment is None:
+        return _plan_trace_arrays_numpy(device, slots, decisions, phase_context)
     durations: list[float] = []
     loads: list[float] = []
     kinds: list[int] = []
@@ -243,6 +355,144 @@ def plan_trace_arrays(
     )
 
 
+def _plan_trace_arrays_numpy(
+    device, slots, decisions, phase_context: bool
+) -> TraceArrays:
+    """Array-native planner for the unchunked (``max_segment=None``) case.
+
+    Emits exactly the rows :func:`plan_idle_segments` /
+    :func:`plan_active_segments` produce -- the layout rules stay
+    single-sourced in :mod:`repro.sim.integrator` and the parity tests
+    enforce the row-for-row match -- but computes all slots at once:
+    per-slot segment counts give the bounds by cumsum, each segment
+    class (standby, pd, sleep dwell, wu, run) scatters into its column
+    positions with one fancy assignment, and the phase-lookahead
+    columns come from masked running sums that replay the scalar's
+    left-to-right accumulation order per slot, bit for bit.
+    """
+    n_slots = len(slots)
+    if n_slots == 0:
+        empty = np.empty(0, dtype=float)
+        return TraceArrays(
+            duration=empty,
+            i_load=empty.copy(),
+            kind=np.empty(0, dtype=np.int8),
+            phase_duration=empty.copy() if phase_context else None,
+            phase_demand=empty.copy() if phase_context else None,
+            slot_bounds=np.zeros(1, dtype=np.intp),
+            active_start=np.empty(0, dtype=np.intp),
+            slept=np.empty(0, dtype=bool),
+            aborted=np.empty(0, dtype=bool),
+        )
+    t_idle = np.array([s.t_idle for s in slots], dtype=float)
+    t_active = np.array([s.t_active for s in slots], dtype=float)
+    i_active = np.array([s.i_active for s in slots], dtype=float)
+    sleep = np.fromiter((d.sleep for d in decisions), dtype=bool, count=n_slots)
+    sleep_after = np.fromiter(
+        (d.sleep_after for d in decisions), dtype=float, count=n_slots
+    )
+
+    # Same left-assoc sum as plan_idle_segments' ``overhead``.
+    overhead = (sleep_after + device.t_pd) + device.t_wu
+    aborted = sleep & (t_idle < overhead)
+    slept = sleep & ~aborted
+    dwell = t_idle - overhead
+    has_sa = slept & (sleep_after > 0)
+    has_dwell = slept & (dwell > 0)
+    sa_off = has_sa.astype(np.intp)
+
+    # Sleeping idle: [standby?][pd][sleep?][wu]; otherwise one standby.
+    n_idle = np.where(slept, (2 + sa_off) + has_dwell.astype(np.intp), 1)
+    slot_bounds = np.empty(n_slots + 1, dtype=np.intp)
+    slot_bounds[0] = 0
+    np.cumsum(n_idle + 1, out=slot_bounds[1:])
+    starts = slot_bounds[:-1]
+    active_start = starts + n_idle
+    n_total = int(slot_bounds[-1])
+
+    duration = np.empty(n_total, dtype=float)
+    i_load = np.empty(n_total, dtype=float)
+    kind = np.empty(n_total, dtype=np.int8)
+
+    standby = ~slept
+    sb_idx = starts[standby]
+    duration[sb_idx] = t_idle[standby]
+    i_load[sb_idx] = device.i_sdb
+    kind[sb_idx] = _KIND_CODES["standby"]
+
+    sa_idx = starts[has_sa]
+    duration[sa_idx] = sleep_after[has_sa]
+    i_load[sa_idx] = device.i_sdb
+    kind[sa_idx] = _KIND_CODES["standby"]
+
+    pd_pos = starts + sa_off
+    pd_idx = pd_pos[slept]
+    duration[pd_idx] = device.t_pd
+    i_load[pd_idx] = device.i_pd
+    kind[pd_idx] = _KIND_CODES["pd"]
+
+    dw_idx = (pd_pos + 1)[has_dwell]
+    duration[dw_idx] = dwell[has_dwell]
+    i_load[dw_idx] = device.i_slp
+    kind[dw_idx] = _KIND_CODES["sleep"]
+
+    wu_pos = active_start - 1
+    wu_idx = wu_pos[slept]
+    duration[wu_idx] = device.t_wu
+    i_load[wu_idx] = device.i_wu
+    kind[wu_idx] = _KIND_CODES["wu"]
+
+    run_dur = (device.t_sdb_to_run + t_active) + device.t_run_to_sdb
+    duration[active_start] = run_dur
+    i_load[active_start] = i_active
+    kind[active_start] = _KIND_CODES["run"]
+
+    phase_dur = phase_dem = None
+    if phase_context:
+        phase_dur = np.empty(n_total, dtype=float)
+        phase_dem = np.empty(n_total, dtype=float)
+        # Single-segment phases: the lookahead is the segment itself.
+        phase_dur[active_start] = run_dur
+        phase_dem[active_start] = run_dur * i_active
+        phase_dur[sb_idx] = t_idle[standby]
+        phase_dem[sb_idx] = t_idle[standby] * device.i_sdb
+        # Sleeping idle phases: masked running sums in component order
+        # reproduce each slot's sequential accumulation exactly (the
+        # fold only touches slots where the component is present, so
+        # every per-slot partial matches the scalar's += sequence).
+        components = (
+            (has_sa, sleep_after, device.i_sdb, starts),
+            (slept, device.t_pd, device.i_pd, pd_pos),
+            (has_dwell, dwell, device.i_slp, pd_pos + 1),
+            (slept, device.t_wu, device.i_wu, wu_pos),
+        )
+        total_d = 0.0
+        total_q = 0.0
+        for present, dur_c, load_c, _ in components:
+            total_d = np.where(present, total_d + dur_c, total_d)
+            total_q = np.where(present, total_q + dur_c * load_c, total_q)
+        remaining = total_d
+        demand = total_q
+        for present, dur_c, load_c, positions in components:
+            idx = positions[present]
+            phase_dur[idx] = remaining[present]
+            phase_dem[idx] = demand[present]
+            remaining = np.where(present, remaining - dur_c, remaining)
+            demand = np.where(present, demand - load_c * dur_c, demand)
+
+    return TraceArrays(
+        duration=duration,
+        i_load=i_load,
+        kind=kind,
+        phase_duration=phase_dur,
+        phase_demand=phase_dem,
+        slot_bounds=slot_bounds,
+        active_start=active_start,
+        slept=slept,
+        aborted=aborted,
+    )
+
+
 # -- exact array kernels -----------------------------------------------------
 
 
@@ -293,8 +543,16 @@ def clamped_cumsum(
     cur = float(initial)
     start = 0
     rescans = 0
+    scratch = None
     while start < n and rescans < max_rescans:
-        seg = deltas[start:].astype(float, copy=True)
+        if scratch is None:
+            # One scratch buffer serves every rescan: each pass copies
+            # the remaining suffix into it instead of allocating a
+            # fresh array per clamp event (O(n * rescans) churn on
+            # clamp-heavy traces).
+            scratch = np.empty(n, dtype=float)
+        seg = scratch[: n - start]
+        np.copyto(seg, deltas[start:])
         seg[0] += cur
         np.cumsum(seg, out=seg)
         bad = (seg > capacity) | (seg < 0.0)
@@ -323,8 +581,11 @@ def clamped_cumsum(
             break
         rescans += 1
     if start < n:
-        tail = deltas[start:].tolist()
-        for i, delta in enumerate(tail):
+        # List-accumulate then bulk-assign: per-element ndarray stores
+        # would dominate this clamp-dense tail.
+        tail = []
+        tail_append = tail.append
+        for delta in deltas[start:].tolist():
             new = cur + delta
             if new > capacity:
                 bled += new - capacity
@@ -334,7 +595,8 @@ def clamped_cumsum(
                 cur = 0.0
             else:
                 cur = new
-            charges[start + i + 1] = cur
+            tail_append(cur)
+        charges[start + 1 :] = tail
     return charges, bled, deficit
 
 
@@ -371,7 +633,11 @@ def _storage_deltas(
 
 
 #: Human-readable ineligibility reasons mapped (by prefix) to the short
-#: label used on the ``sim.fast_ineligible{reason=...}`` counter.
+#: label used on the ``sim.fast_ineligible{reason=...}`` counter.  The
+#: controller prefixes are ordered most-specific first: a scan-capable
+#: adaptive controller blocked by its predictors or its policy coupling
+#: reports differently from one with no array form at all, so ``trace
+#: summary`` shows *why* a run routed scalar.
 _REASON_KEYS = (
     ("recording requested", "record"),
     ("source type", "source-type"),
@@ -380,7 +646,9 @@ _REASON_KEYS = (
     ("efficiency model", "model-clamp"),
     ("storage type", "storage-type"),
     ("source.record_history", "record-history"),
-    ("controller", "controller"),
+    ("controller predictors", "controller-predictor"),
+    ("controller/policy coupling", "controller-coupling"),
+    ("controller", "controller-adaptive"),
 )
 
 
@@ -417,11 +685,54 @@ def fast_path_ineligibility(
         return f"storage type {type(source.storage).__name__} has no array kernel"
     if source.record_history:
         return "source.record_history is enabled"
-    if not manager.controller.is_trace_functional:
+    controller = manager.controller
+    if not controller.is_trace_functional:
+        if type(controller) is FCDPMController:
+            return (
+                "controller predictors are not scan-compilable "
+                "(FC-DPM's fast path needs exact "
+                "ExponentialAveragePredictor instances); "
+                "controller FCDPMController is not trace-functional"
+            )
         return (
-            f"controller {type(manager.controller).__name__} "
-            "is not trace-functional"
+            f"controller {type(controller).__name__} is not trace-functional"
         )
+    if type(controller) is FCDPMController:
+        # The predictor scans assume each predictor sees exactly one
+        # predict/observe pair per slot.  That holds for the standard
+        # wirings -- the controller observing its own idle predictor,
+        # or sharing one instance with the paper's predictive-shutdown
+        # policy (which then owns the observations) -- but not for
+        # double-fed or untrackable aliasing, which routes scalar.
+        policy_predictor = getattr(manager.policy, "predictor", None)
+        shares_idle = policy_predictor is controller.idle_length_predictor
+        if controller.idle_length_predictor is controller.active_length_predictor:
+            return (
+                "controller/policy coupling has no scan form: FC-DPM's "
+                "idle and active predictors are the same instance"
+            )
+        if policy_predictor is controller.active_length_predictor:
+            return (
+                "controller/policy coupling has no scan form: the DPM "
+                "policy shares FC-DPM's active-length predictor"
+            )
+        if controller.observes_idle and shares_idle:
+            return (
+                "controller/policy coupling has no scan form: the idle "
+                "predictor is shared while observes_idle is on "
+                "(double-fed per slot)"
+            )
+        if (
+            not controller.observes_idle
+            and shares_idle
+            and type(manager.policy) is not PredictiveShutdownPolicy
+        ):
+            return (
+                "controller/policy coupling has no scan form: the idle "
+                f"predictor is shared but policy type "
+                f"{type(manager.policy).__name__} does not pin one "
+                "observation per slot"
+            )
     return None
 
 
@@ -430,16 +741,24 @@ def fast_path_ineligibility(
 
 @dataclass(frozen=True)
 class _KernelRun:
-    """Raw per-segment outputs of one kernel pass."""
+    """Raw per-segment outputs of one kernel pass.
 
-    i_f: np.ndarray
-    i_fc: np.ndarray
+    ``i_f`` / ``i_fc`` are plain floats when ``const_i_f`` is set (a
+    constant-output run): every consumer broadcasts them.
+    """
+
+    i_f: np.ndarray | float
+    i_fc: np.ndarray | float
     fuel: np.ndarray
     charges: np.ndarray
     bled: float
     deficit: float
     #: Final ASAP recharge flag, or None for non-ASAP controllers.
     recharging: bool | None
+    #: When every segment realized the same output, that value --
+    #: assembly then broadcasts the per-slot gathers instead of
+    #: indexing (conv-dpm / static runs are always constant).
+    const_i_f: float | None = None
 
 
 def _controller_commands(
@@ -537,6 +856,7 @@ def _run_from_plan(
     fc = source.fc
     storage = source.storage
     n = plan.n_segments
+    const_i_f = None
     if n and commands[0] == commands[-1] and not bool(np.any(commands != commands[0])):
         # Constant command sequence (conv-dpm, static controllers):
         # realize and map once with the exact scalar expressions, then
@@ -548,8 +868,12 @@ def _run_from_plan(
             r0 = 0.0
         else:
             r0 = min(max(cmd0, model.if_min), model.if_max)
-        realized = np.full(n, r0)
-        i_fc = np.full(n, 0.0 if r0 == 0.0 else model.fc_current(r0))
+        const_i_f = r0
+        # Python floats, not np.full arrays: every downstream use is a
+        # broadcasting numpy expression, and a scalar broadcast is the
+        # identical elementwise operation without the allocation.
+        realized = r0
+        i_fc = 0.0 if r0 == 0.0 else model.fc_current(r0)
     else:
         realized = _realize_commands(fc, commands)
         i_fc = _fuel_currents(fc, realized)
@@ -568,7 +892,9 @@ def _run_from_plan(
         bled=storage.bled_charge,
         deficit=storage.deficit_charge,
     )
-    return _KernelRun(realized, i_fc, fuel, charges, bled, deficit, None)
+    return _KernelRun(
+        realized, i_fc, fuel, charges, bled, deficit, None, const_i_f
+    )
 
 
 def _run_asap(manager: "PowerManager", plan: TraceArrays) -> _KernelRun | None:
@@ -586,7 +912,6 @@ def _run_asap(manager: "PowerManager", plan: TraceArrays) -> _KernelRun | None:
     fc = source.fc
     storage = source.storage
     model = fc.model
-    n = plan.n_segments
 
     cmd_follow = np.minimum(np.maximum(plan.i_load, model.if_min), model.if_max)
     real_follow = _realize_commands(fc, cmd_follow)
@@ -600,10 +925,10 @@ def _run_asap(manager: "PowerManager", plan: TraceArrays) -> _KernelRun | None:
     else:
         real_re = min(max(cmd_re, model.if_min), model.if_max)
     ifc_re = 0.0 if real_re == 0.0 else model.fc_current(real_re)
-    real_re_arr = np.full(n, real_re)
-    ifc_re_arr = np.full(n, ifc_re)
-    fuel_re = ifc_re_arr * plan.duration
-    delta_re = _storage_deltas(storage, real_re_arr, plan.i_load, plan.duration)
+    # Scalars broadcast through every expression below -- same
+    # elementwise arithmetic as materialized np.full columns.
+    fuel_re = ifc_re * plan.duration
+    delta_re = _storage_deltas(storage, real_re, plan.i_load, plan.duration)
 
     threshold = controller.recharge_threshold
     full_level = controller.full_level
@@ -617,26 +942,28 @@ def _run_asap(manager: "PowerManager", plan: TraceArrays) -> _KernelRun | None:
     consumed = tank.consumed
     finite = math.isfinite(tank_cap)
 
-    charges = np.empty(n + 1, dtype=float)
-    charges[0] = cur
-    mode = np.empty(n, dtype=bool)
+    # Plain Python lists in the loop: per-element ndarray writes cost
+    # ~5x a list append, and this sequential pass is the asap kernel's
+    # entire critical path.
+    charge_l = [cur]
+    charge_append = charge_l.append
+    mode_l = []
+    mode_append = mode_l.append
     f_fo = fuel_follow.tolist()
     f_re = fuel_re.tolist()
     d_fo = delta_follow.tolist()
     d_re = delta_re.tolist()
-    for k in range(n):
-        if cap > 0:
+    has_cap = cap > 0
+    for fuel_fo, delta_fo, fuel_k, delta in zip(f_fo, d_fo, f_re, d_re):
+        if has_cap:
             soc = cur / cap
             if soc < threshold:
                 recharging = True
             elif soc >= full_level:
                 recharging = False
-        if recharging:
-            fuel_k = f_re[k]
-            delta = d_re[k]
-        else:
-            fuel_k = f_fo[k]
-            delta = d_fo[k]
+        if not recharging:
+            fuel_k = fuel_fo
+            delta = delta_fo
         if finite and fuel_k > tank_cap - consumed:
             return None  # scalar rerun raises the exact DepletedError
         consumed += fuel_k
@@ -649,13 +976,286 @@ def _run_asap(manager: "PowerManager", plan: TraceArrays) -> _KernelRun | None:
             cur = 0.0
         else:
             cur = new
-        charges[k + 1] = cur
-        mode[k] = recharging
+        charge_append(cur)
+        mode_append(recharging)
 
-    i_f = np.where(mode, real_re_arr, real_follow)
-    i_fc = np.where(mode, ifc_re_arr, ifc_follow)
+    charges = np.asarray(charge_l)
+    mode = np.asarray(mode_l, dtype=bool)
+    i_f = np.where(mode, real_re, real_follow)
+    i_fc = np.where(mode, ifc_re, ifc_follow)
     fuel = np.where(mode, fuel_re, fuel_follow)
     return _KernelRun(i_f, i_fc, fuel, charges, bled, deficit, recharging)
+
+
+def _fc_scan_seeds(manager: "PowerManager") -> tuple[float, float] | None:
+    """Pre-replay predictor estimates for the FC-DPM pass, or None.
+
+    Must be captured *before* :func:`replay_policy` runs: the default
+    wiring shares one idle predictor between the device policy and the
+    controller, and the replay advances it to its end state.  The
+    controller's scans re-derive the per-slot predictions from these
+    seeds instead.
+    """
+    controller = manager.controller
+    if type(controller) is not FCDPMController:
+        return None
+    return (
+        controller.idle_length_predictor.estimate,
+        controller.active_length_predictor.estimate,
+    )
+
+
+def _run_fc(
+    manager: "PowerManager",
+    plan: TraceArrays,
+    trace: "LoadTrace",
+    seeds: tuple[float, float],
+) -> _KernelRun | None:
+    """Native pass for FC-DPM: scan-compiled predictors + live slot solver.
+
+    The controller's only learned inputs -- the Hwang-Wu exponential
+    filters (Eq. 14/15) and the active-current running mean -- depend on
+    the trace alone, so both predictor series are compiled up front with
+    :func:`~repro.prediction.exponential.exponential_average_scan`
+    (bit-exact against the sequential predict/observe protocol).  What
+    cannot be precomputed is the Section-3 slot solve: its ``c_ini`` is
+    the live storage level, so one sequential pass per slot poses the
+    exact :class:`~repro.core.setting.SlotProblem` the scalar controller
+    poses -- hitting the same :func:`~repro.runtime.memo.solve_slot_memo`
+    entries byte for byte -- and integrates the slot's segments with the
+    storage-saturation guard, fuel draw, and clamp ledger inlined as
+    compiled-float arithmetic.  Controller and predictor end state are
+    committed only on success; a finite tank that would deplete mid-run
+    returns None with the manager untouched (beyond ``start_run``), so
+    the caller's scalar rerun sees pristine state.
+    """
+    controller = manager.controller
+    source = manager.source
+    fc = source.fc
+    storage = source.storage
+    fc_model = fc.model
+    device = manager.device
+    n_slots = plan.n_slots
+
+    t_idles = [slot.t_idle for slot in trace]
+    t_actives = [slot.t_active for slot in trace]
+    i_actives = [slot.i_active for slot in trace]
+
+    idle_pred = controller.idle_length_predictor
+    active_pred = controller.active_length_predictor
+    est_idle0, est_active0 = seeds
+    policy_feeds_idle = getattr(manager.policy, "predictor", None) is idle_pred
+    if controller.observes_idle or policy_feeds_idle:
+        idle_preds, idle_final = exponential_average_scan(
+            idle_pred.factor, est_idle0, t_idles
+        )
+        ip = idle_preds.tolist()
+    else:
+        # Nobody observes the controller's idle predictor during the
+        # run: it predicts its frozen pre-run estimate every slot.
+        idle_preds = None
+        ip = [est_idle0] * n_slots
+    active_preds, active_final = exponential_average_scan(
+        active_pred.factor, est_active0, t_actives
+    )
+    ap = active_preds.tolist()
+
+    durs = plan.duration.tolist()
+    loads = plan.i_load.tolist()
+    bounds = plan.slot_bounds.tolist()
+    astart = plan.active_start.tolist()
+    slept_l = plan.slept.tolist()
+
+    # Per-segment outputs accumulate in plain lists (the pass walks
+    # segments strictly in order); bulk-converted to arrays at the end.
+    if_l: list[float] = []
+    ifc_l: list[float] = []
+    fuel_l: list[float] = []
+    if_append = if_l.append
+    ifc_append = ifc_l.append
+    fuel_append = fuel_l.append
+
+    cap = storage.capacity
+    hi_guard = 0.999 * cap
+    lo_guard = 0.001 * cap
+    cur = storage.charge
+    charge_l = [cur]
+    charge_append = charge_l.append
+    bled = storage.bled_charge
+    deficit = storage.deficit_charge
+    tank = fc.tank
+    tank_cap = tank.capacity
+    consumed = tank.consumed
+    finite = math.isfinite(tank_cap)
+
+    allow_zero = fc.allow_zero_output
+    if_min = fc_model.if_min
+    if_max = fc_model.if_max
+    fc_current = fc_model.fc_current
+    model = controller.model
+    clamp = model.clamp
+    is_supercap = type(storage) is SuperCapacitor
+    if is_supercap:
+        ce = storage.coulombic_efficiency
+        leak = storage.leakage_current
+
+    c_target = controller._c_target  # set by start_run just before this pass
+    c_max = controller._c_max
+    est_fixed = controller.active_current_estimate
+    fallback = controller.fallback_active_current
+    acs = controller._active_current_sum
+    acn = controller._active_current_n
+    overheads = controller._overheads(True)
+    i_sdb = device.i_sdb
+    i_slp = device.i_slp
+
+    solutions = []
+    guards = 0
+    if_idle_last = controller._if_idle
+    if_active_last = controller._if_active
+    last_planned = controller._active_planned
+
+    for k in range(n_slots):
+        sleeping = slept_l[k]
+        if est_fixed is not None:
+            i_est = est_fixed
+        elif acn == 0:
+            i_est = fallback
+        else:
+            i_est = acs / acn
+        problem = SlotProblem(
+            t_idle=max(ip[k], 1e-6),
+            t_active=max(ap[k], 1e-6),
+            i_idle=i_slp if sleeping else i_sdb,
+            i_active=i_est,
+            c_ini=cur,
+            c_end=c_target,
+            c_max=c_max,
+            sleeping=sleeping,
+            **(overheads if sleeping else {}),
+        )
+        solution = solve_slot_memo(problem, model)
+        solutions.append(solution)
+        if_idle = solution.if_idle
+        if_idle_last = if_idle
+        if_active_last = solution.if_active
+        last_planned = False
+
+        for j in range(bounds[k], astart[k]):
+            d = durs[j]
+            i_l = loads[j]
+            # Storage-saturation guard, exactly as FCDPMController.output.
+            if (cur >= hi_guard and if_idle > i_l) or (
+                cur <= lo_guard and if_idle < i_l
+            ):
+                guards += 1
+                cmd = clamp(i_l)
+            else:
+                cmd = if_idle
+            if allow_zero and cmd == 0.0:
+                r = 0.0
+                ifc_v = 0.0
+            else:
+                r = min(max(cmd, if_min), if_max)
+                ifc_v = 0.0 if r == 0.0 else fc_current(r)
+            fuel_j = ifc_v * d
+            if finite and fuel_j > tank_cap - consumed:
+                return None  # scalar rerun raises the exact DepletedError
+            consumed += fuel_j
+            raw = (r - i_l) * d
+            if is_supercap:
+                delta = (raw * ce if raw > 0 else raw) - leak * d
+            else:
+                delta = raw
+            new = cur + delta
+            if new > cap:
+                bled += new - cap
+                cur = cap
+            elif new < 0.0:
+                deficit += -new
+                cur = 0.0
+            else:
+                cur = new
+            if_append(r)
+            ifc_append(ifc_v)
+            fuel_append(fuel_j)
+            charge_append(cur)
+
+        lo = astart[k]
+        hi = bounds[k + 1]
+        if lo < hi:
+            # Sequential phase totals, as run_phase derives them.
+            rem = 0.0
+            dem = 0.0
+            for j in range(lo, hi):
+                rem += durs[j]
+                dem += durs[j] * loads[j]
+            # Section-4.2 re-plan from the actual active period; held
+            # (constant command) for the rest of the phase.
+            if_a = (dem + c_target - cur) / rem
+            if_active_last = clamp(if_a)
+            last_planned = True
+            cmd = if_active_last
+            if allow_zero and cmd == 0.0:
+                r = 0.0
+                ifc_v = 0.0
+            else:
+                r = min(max(cmd, if_min), if_max)
+                ifc_v = 0.0 if r == 0.0 else fc_current(r)
+            for j in range(lo, hi):
+                d = durs[j]
+                i_l = loads[j]
+                fuel_j = ifc_v * d
+                if finite and fuel_j > tank_cap - consumed:
+                    return None
+                consumed += fuel_j
+                raw = (r - i_l) * d
+                if is_supercap:
+                    delta = (raw * ce if raw > 0 else raw) - leak * d
+                else:
+                    delta = raw
+                new = cur + delta
+                if new > cap:
+                    bled += new - cap
+                    cur = cap
+                elif new < 0.0:
+                    deficit += -new
+                    cur = 0.0
+                else:
+                    cur = new
+                if_append(r)
+                ifc_append(ifc_v)
+                fuel_append(fuel_j)
+                charge_append(cur)
+
+        acs += i_actives[k]
+        acn += 1
+
+    # Success: commit the exact sequential end state in one shot.
+    if n_slots:
+        controller._if_idle = if_idle_last
+        controller._if_active = if_active_last
+        controller._active_planned = last_planned
+    controller._active_current_sum = acs
+    controller._active_current_n = acn
+    controller.solutions.extend(solutions)
+    controller.n_guard_activations += guards
+    active_pred.commit_scan(t_actives, active_preds, active_final)
+    if controller.observes_idle:
+        idle_pred.commit_scan(t_idles, idle_preds, idle_final)
+    elif not policy_feeds_idle and n_slots:
+        # Frozen predictor: predict() still remembered its estimate.
+        idle_pred._remember(ip[-1])
+    # (Shared-predictor wiring: replay_policy already committed it.)
+    return _KernelRun(
+        np.asarray(if_l),
+        np.asarray(ifc_l),
+        np.asarray(fuel_l),
+        np.asarray(charge_l),
+        bled,
+        deficit,
+        None,
+    )
 
 
 # -- result assembly ---------------------------------------------------------
@@ -682,66 +1282,77 @@ def _assemble_result(
     n = plan.n_segments
     n_slots = plan.n_slots
 
-    load_seg = plan.i_load * plan.duration
+    load_seg = plan.load_charge_seg
     delivered_seg = run.i_f * plan.duration
 
     total_fuel = float(_running_sums(source.total_fuel, run.fuel)[-1])
-    total_load = float(_running_sums(source.total_load_charge, load_seg)[-1])
-    total_time = float(_running_sums(source.total_time, plan.duration)[-1])
     total_delivered = float(
         _running_sums(source.total_delivered_charge, delivered_seg)[-1]
     )
     # Equal starting ledgers accumulate identical sequences, so the
     # totals can be shared instead of re-summed (fresh managers always
-    # start every ledger at 0.0 -- the common case).
+    # start every ledger at 0.0 -- the common case; the plan caches the
+    # zero-seeded totals across a batch's policies).
+    duration = plan.duration_total
     if source.total_time == 0.0:
-        duration = total_time
+        total_time = duration
     else:
-        duration = float(_running_sums(0.0, plan.duration)[-1])
+        total_time = float(_running_sums(source.total_time, plan.duration)[-1])
+    if source.total_load_charge == 0.0:
+        total_load = plan.load_charge_total
+    else:
+        total_load = float(
+            _running_sums(source.total_load_charge, load_seg)[-1]
+        )
     if fc.tank.consumed == source.total_fuel:
         consumed = total_fuel
     else:
         consumed = float(_running_sums(fc.tank.consumed, run.fuel)[-1])
 
-    bounds = plan.slot_bounds
-    starts = bounds[:-1]
-    ends = bounds[1:]
+    starts = plan.slot_starts
+    ends = plan.slot_ends
     astart = plan.active_start
-    slot_fuel = np.zeros(n_slots)
-    slot_load = np.zeros(n_slots)
-    if n_slots and n:
-        slot_index = np.repeat(np.arange(n_slots), ends - starts)
-        # ufunc.at accumulates unbuffered, applying the adds in index
-        # order -- each slot's sum is therefore built left to right
-        # exactly like the scalar's per-slot += loop (elementwise
-        # adds, never a pairwise reduction).  The property suite
-        # checks this equality on randomized traces.
-        np.add.at(slot_fuel, slot_index, run.fuel)
-        np.add.at(slot_load, slot_index, load_seg)
-    if n:
+    # Per-slot sums accumulate in segment order exactly like the
+    # scalar's += loop (see _slot_sums); the property suite checks the
+    # equality on randomized traces.
+    slot_fuel = _slot_sums(plan, run.fuel)
+    if n == 0:
+        if_idle_l = [0.0] * n_slots
+        if_active_l = if_idle_l
+    elif run.const_i_f is not None:
+        # Idle and active phases are both non-empty by construction,
+        # so a constant-output run reports that output everywhere.
+        if_idle_l = [run.const_i_f] * n_slots
+        if_active_l = if_idle_l
+    else:
         # Idle phase is [start, astart), active is [astart, end); both
         # are non-empty by construction, but mirror the scalar's
         # "last executed segment, else 0.0" guards all the same.
-        if_idle = np.where(astart > starts, run.i_f[np.maximum(astart - 1, 0)], 0.0)
-        if_active = np.where(ends > astart, run.i_f[ends - 1], 0.0)
-    else:
-        if_idle = np.zeros(n_slots)
-        if_active = np.zeros(n_slots)
+        if_idle_l = np.where(
+            astart > starts, run.i_f[np.maximum(astart - 1, 0)], 0.0
+        ).tolist()
+        if_active_l = np.where(ends > astart, run.i_f[ends - 1], 0.0).tolist()
     storage_end = run.charges[ends]
 
-    n_sleeps = int(np.count_nonzero(plan.slept))
-    n_aborted = int(np.count_nonzero(plan.aborted))
+    n_sleeps = plan.n_sleeps
+    n_aborted = plan.n_aborted
+    # tuple.__new__ directly: SlotResult._make adds a Python frame and a
+    # length check per row, and at one row per slot per run this
+    # construction is a top-three profile entry for whole batches.  The
+    # zip of eight equal-length columns makes the arity correct by
+    # construction.
     slot_results = list(
         map(
-            SlotResult._make,
+            tuple.__new__,
+            _repeat(SlotResult),
             zip(
                 range(n_slots),
-                plan.slept.tolist(),
-                plan.aborted.tolist(),
+                plan.slept_list,
+                plan.aborted_list,
                 slot_fuel.tolist(),
-                slot_load.tolist(),
-                if_idle.tolist(),
-                if_active.tolist(),
+                plan.slot_load_list,
+                if_idle_l,
+                if_active_l,
                 storage_end.tolist(),
             ),
         )
@@ -750,7 +1361,9 @@ def _assemble_result(
     # Commit the manager end state before the deficit guard can raise,
     # mirroring the scalar path (which mutates throughout the run).
     if n:
-        fc._i_f = float(run.i_f[-1])
+        fc._i_f = (
+            run.const_i_f if run.const_i_f is not None else float(run.i_f[-1])
+        )
     fc.tank._consumed = consumed
     storage._charge = float(run.charges[-1])
     storage.bled_charge = run.bled
@@ -793,16 +1406,24 @@ def _simulate_fast_planned(
     trace: "LoadTrace",
     plan: TraceArrays,
     max_deficit_fraction: float,
+    fc_seeds: tuple[float, float] | None = None,
 ) -> SimulationResult | None:
     """Kernel + assembly for an already-compiled plan (no eligibility).
 
-    Returns None when a finite fuel tank would deplete mid-run; the
-    caller owns the scalar fallback (and any state restoration).
+    ``fc_seeds`` carries the FC-DPM predictor estimates captured before
+    the policy replay (see :func:`_fc_scan_seeds`); required when the
+    controller is an ``FCDPMController``.  Returns None when a finite
+    fuel tank would deplete mid-run; the caller owns the scalar
+    fallback (and any state restoration).
     """
     source = manager.source
-    manager.controller.start_run(source.storage.charge, source.storage.capacity)
-    if type(manager.controller) is ASAPDPMController:
+    controller = manager.controller
+    controller.start_run(source.storage.charge, source.storage.capacity)
+    controller_type = type(controller)
+    if controller_type is ASAPDPMController:
         run = _run_asap(manager, plan)
+    elif controller_type is FCDPMController:
+        run = _run_fc(manager, plan, trace, fc_seeds)
     else:
         commands = _controller_commands(manager, plan, trace)
         run = _run_from_plan(manager, plan, commands)
@@ -860,6 +1481,7 @@ def simulate_fast(
             # the stateful pieces so the rerun sees untouched decisions.
             # (Default tanks are bottomless: zero overhead there.)
             snapshot = copy.deepcopy((manager.policy, manager.controller))
+        fc_seeds = _fc_scan_seeds(manager)
         decisions = replay_policy(manager.policy, trace)
         plan = plan_trace_arrays(
             manager.device,
@@ -871,7 +1493,9 @@ def simulate_fast(
             # compile step off the critical path's profile.
             phase_context=False,
         )
-        result = _simulate_fast_planned(manager, trace, plan, max_deficit_fraction)
+        result = _simulate_fast_planned(
+            manager, trace, plan, max_deficit_fraction, fc_seeds=fc_seeds
+        )
         if result is not None:
             if OBS.enabled:
                 OBS.metrics.counter("sim.route", path="fast").inc()
@@ -940,6 +1564,183 @@ def _policy_manager(scenario: "Scenario", spec: str) -> "PowerManager":
     return mgr
 
 
+# -- parallel batch ----------------------------------------------------------
+
+
+#: TraceArrays fields carried through shared memory, in layout order.
+#: Only the fast-path shape (``phase_context=False``) is transported:
+#: the lookahead columns are never compiled for batch plans.
+_PLAN_FIELDS = (
+    "duration",
+    "i_load",
+    "kind",
+    "slot_bounds",
+    "active_start",
+    "slept",
+    "aborted",
+)
+
+
+def _plan_to_arrays(plan: TraceArrays) -> dict[str, np.ndarray]:
+    """The shared-memory transport form of a fast-path plan."""
+    return {name: getattr(plan, name) for name in _PLAN_FIELDS}
+
+
+def _plan_from_arrays(arrays: dict[str, np.ndarray]) -> TraceArrays:
+    """Rebuild a plan from :func:`_plan_to_arrays` output (or shm views).
+
+    The kernel never writes into plan columns, so read-only shared
+    views drop straight in; the cached per-plan invariants recompute
+    locally in each worker.
+    """
+    return TraceArrays(
+        phase_duration=None,
+        phase_demand=None,
+        **{name: arrays[name] for name in _PLAN_FIELDS},
+    )
+
+
+def _batch_seed_worker(seed: int) -> tuple[int, dict[str, SimulationResult]]:
+    """One seed's full policy sweep, driven by the shared batch payload.
+
+    Module-level so the process pool can pickle it; reads everything --
+    scenario, specs, traces, plan handles -- from
+    :func:`~repro.runtime.parallel.get_shared`, attaching the seed's
+    compiled plan from shared memory instead of unpickling it.  The
+    per-policy control flow mirrors the serial loop in
+    :func:`simulate_batch` exactly (manager reuse via ``reset``, FC-DPM
+    seed capture before any replay, scalar fallbacks), so results are
+    bit-identical to a serial run.
+    """
+    payload = get_shared()
+    scenario = payload["scenario"]
+    fast = payload["fast"]
+    max_deficit_fraction = payload["max_deficit_fraction"]
+    trace = payload["traces"][seed]
+    handle = payload["plans"].get(seed)
+    # Worker-local manager cache, living in this process's payload copy
+    # (dies with the pool; the serial fallback's copy dies with the map).
+    managers = payload.setdefault("_managers", {})
+    plan: TraceArrays | None = None
+    per_policy: dict[str, SimulationResult] = {}
+    for spec in payload["specs"]:
+        entry = managers.get(spec) if fast else None
+        if entry is None:
+            mgr = _policy_manager(scenario, spec)
+        else:
+            mgr, initial_charge = entry
+            mgr.reset(initial_charge)
+        reason = fast_path_ineligibility(mgr) if fast else "fast=False"
+        if reason is not None:
+            if OBS.enabled:
+                OBS.metrics.counter("sim.route", path="scalar").inc()
+                if fast:
+                    OBS.metrics.counter(
+                        "sim.fast_ineligible", reason=_reason_key(reason)
+                    ).inc()
+            per_policy[mgr.name] = SlotSimulator(
+                mgr, max_deficit_fraction=max_deficit_fraction
+            ).run(trace)
+            continue
+        if entry is None:
+            managers[spec] = (mgr, mgr.source.storage.charge)
+        fc_seeds = _fc_scan_seeds(mgr)
+        if plan is None:
+            if handle is not None:
+                plan = _plan_from_arrays(attach_group(handle))
+            else:  # pragma: no cover - coordinator always ships a plan
+                plan = plan_trace_arrays(
+                    mgr.device,
+                    trace,
+                    replay_policy(mgr.policy, trace),
+                    phase_context=False,
+                )
+        result = _simulate_fast_planned(
+            mgr, trace, plan, max_deficit_fraction, fc_seeds=fc_seeds
+        )
+        if result is None:
+            if OBS.enabled:
+                OBS.metrics.counter("sim.route", path="scalar").inc()
+                OBS.metrics.counter(
+                    "sim.fast_ineligible", reason="tank-depleted"
+                ).inc()
+            result = SlotSimulator(
+                _policy_manager(scenario, spec),
+                max_deficit_fraction=max_deficit_fraction,
+            ).run(trace)
+        elif OBS.enabled:
+            OBS.metrics.counter("sim.route", path="fast").inc()
+        per_policy[mgr.name] = result
+    return seed, per_policy
+
+
+def _simulate_batch_parallel(
+    scenario: "Scenario",
+    seed_list: list[int],
+    specs: list[str],
+    *,
+    fast: bool,
+    traces: dict | None,
+    max_deficit_fraction: float,
+    workers: int,
+) -> dict[int, dict[str, SimulationResult]]:
+    """Fan one batch out across processes, plans in shared memory.
+
+    The coordinator builds every trace and compiles every eligible
+    seed's plan (one policy replay per seed, exactly as the serial
+    loop's first eligible policy would), packs the plan arrays into one
+    shared-memory segment, and ships workers only the scenario, the
+    traces, and small array handles.  Workers attach the plan buffers
+    zero-copy; :class:`~repro.runtime.shm.SharedArrayStore` falls back
+    to inline pickling where shared memory is unavailable, and
+    :class:`~repro.runtime.parallel.ParallelMap` falls back to serial
+    execution on pool failures -- either way the results are identical.
+    The segment is unlinked in a ``finally``, so no ``/dev/shm`` entry
+    outlives the call.
+    """
+    built: dict[int, "LoadTrace"] = {}
+    for seed in seed_list:
+        trace = None if traces is None else traces.get(seed)
+        built[seed] = trace if trace is not None else scenario.build_trace(seed)
+
+    groups: dict[int, dict[str, np.ndarray]] = {}
+    if fast:
+        probe = None
+        for spec in specs:
+            mgr = _policy_manager(scenario, spec)
+            if fast_path_ineligibility(mgr) is None:
+                probe = (mgr, mgr.source.storage.charge)
+                break
+        if probe is not None:
+            mgr, initial_charge = probe
+            for seed in seed_list:
+                mgr.reset(initial_charge)
+                groups[seed] = _plan_to_arrays(
+                    plan_trace_arrays(
+                        mgr.device,
+                        built[seed],
+                        replay_policy(mgr.policy, built[seed]),
+                        phase_context=False,
+                    )
+                )
+    store = SharedArrayStore.create(groups)
+    payload = {
+        "scenario": scenario,
+        "specs": list(specs),
+        "fast": fast,
+        "max_deficit_fraction": max_deficit_fraction,
+        "traces": built,
+        "plans": store.handles,
+    }
+    try:
+        pairs = ParallelMap(workers=workers).map(
+            _batch_seed_worker, seed_list, shared=payload
+        )
+    finally:
+        store.dispose()
+    return dict(pairs)
+
+
 def simulate_batch(
     scenario: "Scenario | str",
     seeds,
@@ -948,6 +1749,7 @@ def simulate_batch(
     fast: bool = True,
     traces: dict | None = None,
     max_deficit_fraction: float = 0.05,
+    workers: int | None = 1,
 ) -> dict[int, dict[str, SimulationResult]]:
     """Monte-Carlo sweep: every (seed, policy) run of one scenario.
 
@@ -973,6 +1775,13 @@ def simulate_batch(
         synthesis (the dominant per-seed cost) across both paths.
     max_deficit_fraction:
         Deficit guard, as in :class:`~repro.sim.slotsim.SlotSimulator`.
+    workers:
+        Process fan-out over seeds.  The default ``1`` runs in-process;
+        ``None``/``0`` uses every available core.  With more than one
+        worker (and seed) the batch dispatches through
+        :func:`_simulate_batch_parallel`: plans compile once in the
+        coordinator and ride shared memory to the workers.  Results are
+        identical at any worker count.
 
     Returns ``{seed: {policy_spec: SimulationResult}}``.  Results are
     identical between ``fast=True`` and ``fast=False``.
@@ -989,6 +1798,24 @@ def simulate_batch(
         raise ConfigurationError("simulate_batch needs at least one policy")
     for spec in specs:
         _parse_policy_spec(spec)
+    n_workers = resolve_workers(workers)
+    if n_workers > 1 and len(seed_list) > 1:
+        with OBS.span(
+            "sim.batch",
+            scenario=scenario.name,
+            n_seeds=len(seed_list),
+            n_policies=len(specs),
+            workers=n_workers,
+        ):
+            return _simulate_batch_parallel(
+                scenario,
+                seed_list,
+                specs,
+                fast=fast,
+                traces=traces,
+                max_deficit_fraction=max_deficit_fraction,
+                workers=n_workers,
+            )
 
     results: dict[int, dict[str, SimulationResult]] = {}
     # Eligible managers are built once and reset() between seeds -- a
@@ -1031,6 +1858,9 @@ def simulate_batch(
                     continue
                 if entry is None:
                     cached[spec] = (mgr, mgr.source.storage.charge)
+                # FC-DPM scan seeds must predate this manager's policy
+                # replay (the default wiring shares the idle predictor).
+                fc_seeds = _fc_scan_seeds(mgr)
                 if plan is None:
                     # First eligible policy replays its (fresh) device-
                     # side policy to compile the plan; later eligible
@@ -1044,7 +1874,7 @@ def simulate_batch(
                         phase_context=False,
                     )
                 result = _simulate_fast_planned(
-                    mgr, trace, plan, max_deficit_fraction
+                    mgr, trace, plan, max_deficit_fraction, fc_seeds=fc_seeds
                 )
                 if result is None:
                     # Finite tank depleted mid-run: rerun a fresh manager

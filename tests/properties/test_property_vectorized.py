@@ -99,6 +99,42 @@ class TestSimulateFastEquivalence:
 
         _assert_exact(build, slot_list)
 
+    @given(slots)
+    @settings(max_examples=25, deadline=None)
+    def test_fc_dpm_exact(self, slot_list):
+        # The scan-compiled adaptive controller: beyond the result and
+        # source ledgers, the *learned* end state must also match --
+        # predictor estimates and accuracy ledgers, the active-current
+        # running mean, the per-slot solver log, and the guard counter.
+        dev = camcorder_device_params()
+
+        def build():
+            return PowerManager.fc_dpm(
+                dev, storage_capacity=6.0, storage_initial=3.0
+            )
+
+        _assert_exact(build, slot_list)
+        trace = LoadTrace(slot_list)
+        m_fast, m_scalar = build(), build()
+        simulate_fast(m_fast, trace, max_deficit_fraction=1.0)
+        SlotSimulator(m_scalar, max_deficit_fraction=1.0).run(trace)
+        cf, cs = m_fast.controller, m_scalar.controller
+        assert cf.idle_length_predictor.estimate == (
+            cs.idle_length_predictor.estimate
+        )
+        assert cf.active_length_predictor.estimate == (
+            cs.active_length_predictor.estimate
+        )
+        assert cf._active_current_sum == cs._active_current_sum
+        assert cf._active_current_n == cs._active_current_n
+        assert cf._if_idle == cs._if_idle
+        assert cf._if_active == cs._if_active
+        assert cf.solutions == cs.solutions
+        assert cf.n_guard_activations == cs.n_guard_activations
+        pf = m_fast.policy.predictor
+        ps = m_scalar.policy.predictor
+        assert pf.estimate == ps.estimate
+
     @given(slots, st.floats(min_value=3.0, max_value=20.0))
     @settings(max_examples=25, deadline=None)
     def test_max_segment_exact(self, slot_list, max_segment):

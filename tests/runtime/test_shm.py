@@ -1,0 +1,128 @@
+"""Shared-memory array transport: lifecycle, fallback, and hygiene."""
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.runtime import shm as shm_mod
+from repro.runtime.shm import (
+    SHM_PREFIX,
+    GroupHandle,
+    SharedArrayStore,
+    attach_group,
+)
+
+
+def _groups():
+    return {
+        "a": {
+            "x": np.arange(5, dtype=float),
+            "flags": np.array([True, False, True]),
+        },
+        "b": {"y": np.linspace(0.0, 1.0, 7)},
+    }
+
+
+def _assert_round_trip(handles):
+    for key, group in _groups().items():
+        attached = attach_group(handles[key])
+        assert set(attached) == set(group)
+        for name, arr in group.items():
+            got = attached[name]
+            assert got.dtype == arr.dtype
+            assert got.shape == arr.shape
+            assert np.array_equal(got, arr)
+
+
+class TestSharedArrayStore:
+    def test_round_trip_bytes_identical(self):
+        store = SharedArrayStore.create(_groups())
+        try:
+            _assert_round_trip(store.handles)
+        finally:
+            store.dispose()
+
+    def test_handles_pickle_small(self):
+        import pickle
+
+        store = SharedArrayStore.create(_groups())
+        try:
+            for handle in store.handles.values():
+                if handle.segment is not None:
+                    # The whole point: a handle is a name + spec table,
+                    # orders of magnitude under the arrays it points at.
+                    assert len(pickle.dumps(handle)) < 500
+                    payload = pickle.loads(pickle.dumps(handle))
+                    assert payload.segment == handle.segment
+        finally:
+            store.dispose()
+
+    def test_shared_views_are_read_only(self):
+        store = SharedArrayStore.create(_groups())
+        try:
+            handle = store.handles["a"]
+            if handle.segment is None:
+                pytest.skip("no shared memory on this host")
+            attached = attach_group(handle)
+            with pytest.raises((ValueError, RuntimeError)):
+                attached["x"][0] = 99.0
+        finally:
+            store.dispose()
+
+    def test_dispose_unlinks_segment(self):
+        store = SharedArrayStore.create(_groups())
+        names = {
+            h.segment for h in store.handles.values() if h.segment is not None
+        }
+        store.dispose()
+        for name in names:
+            assert not glob.glob(f"/dev/shm/{name}")
+
+    def test_dispose_is_idempotent(self):
+        store = SharedArrayStore.create(_groups())
+        store.dispose()
+        store.dispose()
+
+    def test_empty_groups(self):
+        store = SharedArrayStore.create({})
+        assert store.handles == {}
+        store.dispose()
+
+    def test_inline_fallback_when_shm_unavailable(self, monkeypatch):
+        monkeypatch.setattr(shm_mod, "_shared_memory", None)
+        store = SharedArrayStore.create(_groups())
+        try:
+            assert all(h.segment is None for h in store.handles.values())
+            assert all(h.inline is not None for h in store.handles.values())
+            _assert_round_trip(store.handles)
+        finally:
+            store.dispose()
+
+    def test_inline_fallback_on_segment_creation_failure(self, monkeypatch):
+        class Exploding:
+            def SharedMemory(self, *args, **kwargs):
+                raise OSError("no /dev/shm here")
+
+        monkeypatch.setattr(shm_mod, "_shared_memory", Exploding())
+        store = SharedArrayStore.create(_groups())
+        try:
+            assert all(h.segment is None for h in store.handles.values())
+            _assert_round_trip(store.handles)
+        finally:
+            store.dispose()
+
+    def test_inline_handle_round_trip(self):
+        arrays = {"z": np.arange(4, dtype=float)}
+        handle = GroupHandle(None, None, dict(arrays))
+        attached = attach_group(handle)
+        assert np.array_equal(attached["z"], arrays["z"])
+
+    def test_no_stale_segments_after_store_lifecycle(self):
+        before = set(glob.glob(f"/dev/shm/{SHM_PREFIX}*"))
+        for _ in range(3):
+            store = SharedArrayStore.create(_groups())
+            for handle in store.handles.values():
+                attach_group(handle)
+            store.dispose()
+        assert set(glob.glob(f"/dev/shm/{SHM_PREFIX}*")) == before

@@ -104,10 +104,30 @@ class TestRouting:
         mgr = get_scenario("exp1-conv-dpm").build_manager()
         assert fast_path_ineligibility(mgr) is None
 
-    def test_adaptive_controller_routes_to_scalar(self):
+    def test_fc_dpm_is_eligible(self):
+        # Scan-compiled since kernel round 2: the paper's FC-DPM wiring
+        # (exponential predictors, shared idle predictor) runs natively.
         mgr = get_scenario("exp1-fc-dpm").build_manager()
+        assert fast_path_ineligibility(mgr) is None
+
+    def test_fc_dpm_custom_predictor_routes_to_scalar(self):
+        from repro.prediction import LastValuePredictor
+
+        mgr = get_scenario("exp1-fc-dpm").build_manager()
+        mgr.controller.active_length_predictor = LastValuePredictor()
         reason = fast_path_ineligibility(mgr)
-        assert reason is not None and "not trace-functional" in reason
+        assert reason is not None and "controller predictors" in reason
+
+    def test_fc_dpm_double_fed_predictor_routes_to_scalar(self):
+        # Sharing the idle predictor while the controller also observes
+        # it feeds two observations per slot -- no scan form.
+        mgr = get_scenario("exp1-fc-dpm").build_manager()
+        ctrl = mgr.controller
+        if getattr(mgr.policy, "predictor", None) is not ctrl.idle_length_predictor:
+            mgr.policy.predictor = ctrl.idle_length_predictor
+        ctrl.observes_idle = True
+        reason = fast_path_ineligibility(mgr)
+        assert reason is not None and "controller/policy coupling" in reason
 
     def test_record_routes_to_scalar(self):
         mgr = get_scenario("exp1-conv-dpm").build_manager()
@@ -147,6 +167,28 @@ class TestRouting:
         assert replace(r_fast, recorder=None) == replace(r_scalar, recorder=None)
         assert r_fast.recorder is not None
         assert r_fast.recorder.samples == r_scalar.recorder.samples
+
+
+class TestSolverCacheParity:
+    def test_fc_fast_path_shares_memo_entries(self):
+        # The scan-compiled pass must pose byte-identical SlotProblems:
+        # a sweep mixing fast and scalar fc runs then shares one memo
+        # population instead of solving everything twice.
+        from repro.runtime import memo
+
+        sc = get_scenario("exp1-fc-dpm")
+        trace = sc.build_trace(0)
+        try:
+            memo.clear_solver_cache()
+            SlotSimulator(sc.build_manager()).run(trace)
+            scalar_keys = set(memo._CACHE)
+            memo.clear_solver_cache()
+            simulate_fast(sc.build_manager(), trace)
+            fast_keys = set(memo._CACHE)
+            assert fast_keys == scalar_keys
+            assert scalar_keys  # non-vacuous: fc-dpm solves every slot
+        finally:
+            memo.clear_solver_cache()
 
 
 class TestErrorParity:
@@ -190,6 +232,29 @@ class TestBatch:
             assert list(fast[seed]) == policies
             for result in fast[seed].values():
                 assert isinstance(result, SimulationResult)
+
+    def test_parallel_workers_match_serial_and_leak_nothing(self, monkeypatch):
+        # Both the dispatch decision and ParallelMap's pool sizing cap
+        # at the usable core count, so force two workers to exercise
+        # the real multi-process shared-memory path on any host.
+        import glob
+
+        from repro.runtime import parallel as parallel_mod
+        from repro.runtime.shm import SHM_PREFIX
+        from repro.sim import vectorized as vectorized_mod
+
+        monkeypatch.setattr(parallel_mod, "resolve_workers", lambda w: 2)
+        monkeypatch.setattr(vectorized_mod, "resolve_workers", lambda w: 2)
+
+        before = set(glob.glob(f"/dev/shm/{SHM_PREFIX}*"))
+        sc = get_scenario("exp1-conv-dpm")
+        seeds = [0, 1, 2, 3]
+        policies = ["conv-dpm", "asap-dpm", "fc-dpm", "static:0.8"]
+        serial = simulate_batch(sc, seeds, policies, fast=True, workers=1)
+        parallel = simulate_batch(sc, seeds, policies, fast=True, workers=2)
+        assert parallel == serial
+        # Segment hygiene: the batch's shared plans must be unlinked.
+        assert set(glob.glob(f"/dev/shm/{SHM_PREFIX}*")) == before
 
     def test_accepts_scenario_name_string(self):
         by_name = simulate_batch("exp1-conv-dpm", [7])
