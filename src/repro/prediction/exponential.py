@@ -52,6 +52,42 @@ def exponential_average_scan(
     return np.asarray(preds, dtype=float), e
 
 
+def exponential_average_scan_batch(
+    factor: float,
+    initial: float,
+    observations: np.ndarray,
+    n_valid: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-stacked :func:`exponential_average_scan`: many traces at once.
+
+    ``observations`` is ``(rows, slots)`` with ragged rows zero-padded
+    past ``n_valid[row]``; every row starts from the same ``initial``
+    (a batch shares one freshly built predictor configuration).
+    Returns ``(predictions, final_estimates)`` where ``predictions[r,
+    :n_valid[r]]`` and ``final_estimates[r]`` are bit-identical to the
+    1D scan of row ``r``'s valid prefix -- the gain terms are the same
+    elementwise products and the column fold replays the scalar
+    operation order per row (``e' = factor * e + g``, frozen past each
+    row's valid length).  Prediction columns at or past ``n_valid[row]``
+    are unspecified.
+    """
+    obs = np.asarray(observations, dtype=float)
+    if obs.ndim != 2:
+        raise ConfigurationError("batch scan needs a 2D observation array")
+    rows, width = obs.shape
+    if rows == 0 or width == 0:
+        return np.empty((rows, width), dtype=float), np.full(rows, float(initial))
+    if float(obs.min()) < 0:
+        raise RangeError("length cannot be negative")
+    gains = (1 - factor) * obs
+    preds = np.empty((rows, width), dtype=float)
+    e = np.full(rows, float(initial))
+    for k in range(width):
+        preds[:, k] = e
+        e = np.where(k < n_valid, factor * e + gains[:, k], e)
+    return preds, e
+
+
 class ExponentialAveragePredictor(Predictor):
     """Single-pole exponential average of period lengths.
 

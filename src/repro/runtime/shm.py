@@ -8,6 +8,13 @@ packs all groups into a single block, workers receive only a small
 :class:`GroupHandle` (segment name + per-array offset/dtype/shape
 table) and attach zero-copy, read-only views.
 
+Since kernel round 3 the batch coordinator ships a *single* group named
+``"stacked"`` -- every seed's plan columns concatenated row-local plus
+``seeds``/``seg_offsets``/``slot_counts`` bookkeeping -- instead of one
+group per seed; workers attach once and slice their row's views
+(:func:`~repro.sim.vectorized._stacked_plan_row`).  The transport
+itself is group-agnostic and unchanged.
+
 Degradation is transparent: platforms or sandboxes without shared
 memory (import failure, ``/dev/shm`` permission errors) fall back to
 carrying the arrays inline in the handle, which pickles exactly like

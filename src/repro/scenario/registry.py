@@ -103,6 +103,32 @@ def _build_canonical() -> None:
             )
         )
 
+    # Fleet smoke: the Experiment-2 plant replicated across a
+    # heterogeneous device fleet.  Each seed's workload ranges are
+    # jittered +/-25% by a seed-keyed side stream, so a multi-seed batch
+    # models hundreds of non-identical devices; the workload has a
+    # batched array synthesizer, and the conv-dpm plant is
+    # stacked-eligible, so fleet-scale sweeps ride the stacked 2D
+    # kernel end to end.
+    register(
+        Scenario(
+            name="fleet_smoke",
+            description=(
+                "Fleet-scale smoke sweep: Experiment-2 plant, conv-dpm, "
+                "per-seed +/-25% workload jitter across the batch"
+            ),
+            workload=WorkloadSpec(kind="fleet", jitter=0.25),
+            device=DeviceSpec(kind="randomized"),
+            policy=PolicySpec(
+                kind="conv-dpm",
+                rho=e2.rho,
+                sigma=e2.sigma,
+                active_current_estimate=e2.i_active_estimate,
+            ),
+            source=exp2_source,
+        )
+    )
+
     # Pluggable-source variants on the Experiment-1 workload.
     register(
         Scenario(

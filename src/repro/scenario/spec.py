@@ -32,10 +32,15 @@ from ..power.battery_only import BatteryOnlySource
 from ..power.multistack import EfficiencyProportional, EqualShare, MultiStackHybrid
 from ..power.storage import ChargeStorage, LiIonBattery, SuperCapacitor
 from ..workload.mpeg import generate_mpeg_trace
-from ..workload.synthetic import experiment2_trace
-from ..workload.trace import LoadTrace
+from ..workload.synthetic import (
+    experiment2_slot_arrays,
+    experiment2_trace,
+    fleet_slot_arrays,
+    fleet_trace,
+)
+from ..workload.trace import LoadTrace, TaskSlot
 
-_WORKLOAD_KINDS = ("mpeg", "experiment2")
+_WORKLOAD_KINDS = ("mpeg", "experiment2", "fleet")
 _DEVICE_KINDS = ("camcorder", "randomized")
 _POLICY_KINDS = ("conv-dpm", "asap-dpm", "fc-dpm")
 _SOURCE_KINDS = ("hybrid", "multi-stack", "battery")
@@ -52,15 +57,21 @@ def _check(value: str, allowed: tuple[str, ...], what: str) -> None:
 class WorkloadSpec:
     """Which trace generator feeds the run."""
 
-    #: 'mpeg' (Experiment 1) or 'experiment2' (randomized synthetic).
+    #: 'mpeg' (Experiment 1), 'experiment2' (randomized synthetic) or
+    #: 'fleet' (experiment2 with per-device seed-offset jitter).
     kind: str = "mpeg"
     #: Trace length override (s) for the MPEG workload; None = paper's 28 min.
     duration_s: float | None = None
-    #: Slot-count override for the experiment2 workload; None = constants'.
+    #: Slot-count override for the experiment2/fleet workloads; None = constants'.
     n_slots: int | None = None
+    #: Per-device workload heterogeneity (fleet only): every range bound
+    #: scales by a deterministic per-seed factor in ``[1-jitter, 1+jitter]``.
+    jitter: float = 0.25
 
     def __post_init__(self) -> None:
         _check(self.kind, _WORKLOAD_KINDS, "workload kind")
+        if not 0 <= self.jitter < 1:
+            raise ConfigurationError("workload jitter must be in [0, 1)")
 
 
 @dataclass(frozen=True)
@@ -182,7 +193,59 @@ class Scenario:
             )
             return generate_mpeg_trace(duration_s=duration, seed=seed)
         e = Experiment2Constants()
+        if self.workload.kind == "fleet":
+            return fleet_trace(
+                constants=e,
+                seed=seed,
+                n_slots=self.workload.n_slots,
+                jitter=self.workload.jitter,
+            )
         return experiment2_trace(constants=e, seed=seed, n_slots=self.workload.n_slots)
+
+    def build_slot_arrays(self, seeds):
+        """Batched slot synthesis: ``(t_idle, t_active, i_active)`` arrays.
+
+        One ``(len(seeds), n_slots)`` row per seed, bit-identical to the
+        slot values of ``build_trace(seed)`` -- the whole batch in one
+        RNG pass per seed plus vectorized transforms (see
+        :func:`~repro.workload.synthetic.uniform_slot_arrays`).  Returns
+        ``None`` for workloads without an array builder (mpeg's frame
+        loop is stateful); callers fall back to per-seed
+        :meth:`build_trace`.  The stacked batch kernel consumes these
+        arrays directly, skipping ``TaskSlot`` construction entirely.
+        """
+        w = self.workload
+        if w.kind == "experiment2":
+            return experiment2_slot_arrays(seeds, n_slots=w.n_slots)
+        if w.kind == "fleet":
+            return fleet_slot_arrays(seeds, n_slots=w.n_slots, jitter=w.jitter)
+        return None
+
+    def build_traces(self, seeds) -> dict[int, LoadTrace]:
+        """Generate many seeds' workload traces in one batched pass.
+
+        ``{seed: LoadTrace}``, each trace bit-identical to
+        ``build_trace(seed)``.  Workloads with an array builder
+        synthesize every seed's values first (the dominant per-seed cost
+        of a batch sweep) and only then wrap them in slots; the rest
+        fall back to per-seed generation.
+        """
+        seed_list = [int(s) for s in seeds]
+        arrays = self.build_slot_arrays(seed_list)
+        if arrays is None:
+            return {s: self.build_trace(s) for s in seed_list}
+        t_idle, t_active, i_active = arrays
+        name = "fleet" if self.workload.kind == "fleet" else "experiment2"
+        traces: dict[int, LoadTrace] = {}
+        for r, seed in enumerate(seed_list):
+            slots = [
+                TaskSlot(t_idle=ti, t_active=ta, i_active=ia)
+                for ti, ta, ia in zip(
+                    t_idle[r].tolist(), t_active[r].tolist(), i_active[r].tolist()
+                )
+            ]
+            traces[seed] = LoadTrace(slots, name=name)
+        return traces
 
     def build_device(self) -> DeviceParams:
         """Instantiate the device parameter set."""

@@ -1,0 +1,956 @@
+"""Stacked batch kernel: one 2D sweep across a whole multi-seed batch.
+
+``simulate_batch``'s serial loop runs the 1D array kernel once per
+(seed, policy).  For fleet-scale sweeps the per-seed work is itself
+mostly vectorizable *across seeds*: every row of the batch shares the
+device, the plant, and the policy configuration, differing only in its
+trace.  This module packs the per-seed plans into padded 2D arrays
+(``seeds x segments``, zero padding for ragged rows) and runs the
+trace-functional policies in single vectorized sweeps:
+
+- :func:`clamped_cumsum_batch` replays the
+  :meth:`~repro.power.storage.ChargeStorage` clamp / bleed / deficit
+  recurrence along axis 1 of every row at once, bit-identically to
+  :func:`~repro.sim.vectorized.clamped_cumsum` per row;
+- conv-dpm and static controllers reduce to one constant realized
+  output per batch (:func:`_run_const_stacked`);
+- ASAP-DPM's storage-coupled hysteresis runs as one column loop over
+  all rows (:func:`_run_asap_stacked`) instead of a Python loop per
+  segment per seed;
+- FC-DPM's Eq. 14/15 predictor scans batch across rows
+  (:func:`~repro.prediction.exponential.exponential_average_scan_batch`);
+  only its storage-coupled per-slot solves stay sequential, one row at
+  a time through the shared :func:`~repro.sim.vectorized._run_fc` pass.
+
+Planning is batched too: all rows' slots concatenate into one
+:func:`~repro.sim.integrator.plan_slot_arrays` call (every layout rule
+is slot-local, so the concatenated plan equals the per-seed plans row
+for row), and the device-side sleep decisions come from one batched
+predictor scan replicating ``PredictiveShutdownPolicy.decisions_array``.
+
+Exactness contract: for every seed, every ``SimulationResult`` field
+and the manager / controller / policy end state equal the serial loop's
+bit for bit.  Intermediate per-row manager states are unobservable from
+``simulate_batch``'s API, so end-state commits are deferred to the exit
+point -- the last row on success, or the exact raising row when the
+deficit guard fires (specs at or before the raising spec hold the
+raising row's state; later specs hold the previous row's).
+
+Telemetry: the stacked route runs with or without ``OBS`` enabled and
+reports batch-level attributes (rows, padded fraction, plan-stack
+seconds) on the ``sim.batch`` span plus ``sim.batch_*`` metrics.  The
+per-slot ``dpm.*`` counters of the sequential policy replay are *not*
+emitted on this route -- the batched decision scan never visits slots
+individually (see docs/observability.md).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from itertools import repeat as _repeat
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..core.baselines import ASAPDPMController, ConvDPMController, StaticController
+from ..core.fc_dpm import FCDPMController
+from ..dpm.predictive import PredictiveShutdownPolicy
+from ..errors import SimulationError
+from ..obs import OBS
+from ..prediction.exponential import (
+    ExponentialAveragePredictor,
+    exponential_average_scan_batch,
+)
+from .integrator import plan_slot_arrays
+from .slotsim import SimulationResult, SlotResult
+from .vectorized import (
+    _MAX_RESCANS,
+    TraceArrays,
+    _assemble_result,
+    _fc_scan_seeds,
+    _fuel_currents,
+    _realize_commands,
+    _reason_key,
+    _run_fc,
+    _storage_deltas,
+    fast_path_ineligibility,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.manager import PowerManager
+    from ..scenario.spec import Scenario
+    from ..workload.trace import LoadTrace
+
+#: Controller types with a stacked (2D) kernel pass.  Exact types on
+#: purpose, like the 1D eligibility checks: a subclass may override any
+#: semantics the pass replicates.
+_STACKED_CONTROLLERS = (
+    ConvDPMController,
+    StaticController,
+    ASAPDPMController,
+    FCDPMController,
+)
+
+#: Ineligibility reason prefixes specific to the stacked route, mapped
+#: to the ``sim.batch_ineligible{reason=...}`` metric labels.  Reasons
+#: inherited from the 1D fast path keep their ``sim.fast_ineligible``
+#: slugs (see ``vectorized._REASON_KEYS``).
+_STACKED_REASON_KEYS = (
+    ("finite fuel tank", "stacked-finite-tank"),
+    ("controller", "stacked-controller"),
+    ("policy", "stacked-policy"),
+)
+
+
+def _stacked_reason_key(reason: str) -> str:
+    """Metric-label slug for a stacked-route ineligibility reason."""
+    for prefix, key in _STACKED_REASON_KEYS:
+        if reason.startswith(prefix):
+            return key
+    return _reason_key(reason)
+
+
+def stacked_batch_ineligibility(manager: "PowerManager") -> str | None:
+    """Why this spec cannot ride the stacked batch kernel (None = it can).
+
+    Strictly stronger than :func:`~repro.sim.vectorized
+    .fast_path_ineligibility`: the stacked passes additionally require a
+    bottomless fuel tank (there is no per-row mid-run depletion
+    fallback), a controller with a 2D pass, and a device policy whose
+    sleep decisions compile to the batched predictor scan.
+    """
+    reason = fast_path_ineligibility(manager)
+    if reason is not None:
+        return reason
+    tank = manager.source.fc.tank
+    if math.isfinite(tank.capacity):
+        return (
+            "finite fuel tank (stacked passes have no per-row "
+            "depletion fallback)"
+        )
+    if type(manager.controller) not in _STACKED_CONTROLLERS:
+        return (
+            f"controller {type(manager.controller).__name__} has no "
+            "stacked batch pass"
+        )
+    policy = manager.policy
+    if type(policy) is not PredictiveShutdownPolicy or type(
+        getattr(policy, "predictor", None)
+    ) is not ExponentialAveragePredictor:
+        return (
+            f"policy type {type(policy).__name__} has no batched "
+            "decision scan"
+        )
+    return None
+
+
+# -- batched slot synthesis ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _BatchSlots:
+    """All rows' task slots, flat (concatenated) and padded-2D."""
+
+    counts: np.ndarray  #: (R,) slots per row
+    offsets: np.ndarray  #: (R+1,) flat slot offsets
+    t_idle: np.ndarray  #: flat, row-major
+    t_active: np.ndarray
+    i_active: np.ndarray
+    t_idle2d: np.ndarray  #: (R, W) zero-padded
+    t_active2d: np.ndarray
+    valid: np.ndarray  #: (R, W) bool
+
+
+def _pad_rows(flat: np.ndarray, valid: np.ndarray) -> np.ndarray:
+    """Scatter a row-major flat column into a zero-padded 2D array."""
+    out = np.zeros(valid.shape, dtype=float)
+    out[valid] = flat
+    return out
+
+
+def _gather_batch_slots(
+    scenario: "Scenario", seed_list: list[int], traces: dict | None
+) -> _BatchSlots:
+    """Every seed's slot columns, via the batched synthesizer when possible.
+
+    ``Scenario.build_slot_arrays`` produces the whole batch in one RNG
+    pass per seed (bit-identical to per-seed ``build_trace`` slots);
+    workloads without an array builder -- or pre-built ``traces`` --
+    extract columns per trace instead.
+    """
+    arrays = None if traces else scenario.build_slot_arrays(seed_list)
+    if arrays is not None:
+        t_idle2d, t_active2d, i_active2d = arrays
+        rows, width = t_idle2d.shape
+        counts = np.full(rows, width, dtype=np.intp)
+        valid = np.ones((rows, width), dtype=bool)
+        return _BatchSlots(
+            counts=counts,
+            offsets=np.arange(rows + 1, dtype=np.intp) * width,
+            t_idle=t_idle2d.ravel(),
+            t_active=t_active2d.ravel(),
+            i_active=i_active2d.ravel(),
+            t_idle2d=t_idle2d,
+            t_active2d=t_active2d,
+            valid=valid,
+        )
+    cols_i: list[np.ndarray] = []
+    cols_a: list[np.ndarray] = []
+    cols_c: list[np.ndarray] = []
+    for seed in seed_list:
+        trace = None if traces is None else traces.get(seed)
+        if trace is None:
+            trace = scenario.build_trace(seed)
+        slots = list(trace)
+        cols_i.append(np.array([s.t_idle for s in slots], dtype=float))
+        cols_a.append(np.array([s.t_active for s in slots], dtype=float))
+        cols_c.append(np.array([s.i_active for s in slots], dtype=float))
+    counts = np.array([c.shape[0] for c in cols_i], dtype=np.intp)
+    offsets = np.concatenate(([0], np.cumsum(counts))).astype(np.intp)
+    t_idle = np.concatenate(cols_i)
+    t_active = np.concatenate(cols_a)
+    i_active = np.concatenate(cols_c)
+    width = int(counts.max()) if counts.size else 0
+    valid = np.arange(width)[None, :] < counts[:, None]
+    return _BatchSlots(
+        counts=counts,
+        offsets=offsets,
+        t_idle=t_idle,
+        t_active=t_active,
+        i_active=i_active,
+        t_idle2d=_pad_rows(t_idle, valid),
+        t_active2d=_pad_rows(t_active, valid),
+        valid=valid,
+    )
+
+
+# -- stacked plans ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StackedPlans:
+    """Per-seed :class:`~repro.sim.vectorized.TraceArrays` stacked on axis 0.
+
+    ``flat`` is the whole batch as one plan over the concatenated slot
+    sequence (its ``slot_bounds`` / ``active_start`` hold *global*
+    segment indices); ``rows[r]`` is row ``r``'s plan with row-local
+    indices -- views into the flat columns, bit-identical to planning
+    that row alone.  ``duration`` / ``i_load`` are the zero-padded 2D
+    forms the stacked kernels sweep (zero padding is bit-neutral in
+    every reduction the kernels perform).
+    """
+
+    flat: TraceArrays
+    rows: list[TraceArrays]
+    seg_offsets: np.ndarray  #: (R+1,) flat segment offset per row
+    slot_offsets: np.ndarray  #: (R+1,) flat slot offset per row
+    n_seg: np.ndarray  #: (R,) segments per row
+    duration: np.ndarray  #: (R, S) zero-padded
+    i_load: np.ndarray  #: (R, S) zero-padded
+    valid_seg: np.ndarray  #: (R, S) bool
+
+    @property
+    def n_rows(self) -> int:
+        return self.n_seg.shape[0]
+
+    @property
+    def width(self) -> int:
+        return self.duration.shape[1]
+
+
+def _stack_from_flat(flat: TraceArrays, counts: np.ndarray) -> StackedPlans:
+    """Carve one concatenated plan into per-row views + padded 2D columns."""
+    slot_offsets = np.concatenate(([0], np.cumsum(counts))).astype(np.intp)
+    g_bounds = flat.slot_bounds
+    seg_offsets = g_bounds[slot_offsets]
+    rows: list[TraceArrays] = []
+    for r in range(counts.shape[0]):
+        slo = int(slot_offsets[r])
+        shi = int(slot_offsets[r + 1])
+        lo = int(seg_offsets[r])
+        hi = int(seg_offsets[r + 1])
+        rows.append(
+            TraceArrays(
+                duration=flat.duration[lo:hi],
+                i_load=flat.i_load[lo:hi],
+                kind=flat.kind[lo:hi],
+                phase_duration=None,
+                phase_demand=None,
+                slot_bounds=g_bounds[slo : shi + 1] - lo,
+                active_start=flat.active_start[slo:shi] - lo,
+                slept=flat.slept[slo:shi],
+                aborted=flat.aborted[slo:shi],
+            )
+        )
+    n_seg = np.diff(seg_offsets)
+    width = int(n_seg.max()) if n_seg.size else 0
+    valid = np.arange(width)[None, :] < n_seg[:, None]
+    return StackedPlans(
+        flat=flat,
+        rows=rows,
+        seg_offsets=seg_offsets,
+        slot_offsets=slot_offsets,
+        n_seg=n_seg,
+        duration=_pad_rows(flat.duration, valid),
+        i_load=_pad_rows(flat.i_load, valid),
+        valid_seg=valid,
+    )
+
+
+def stack_plans(plans: Sequence[TraceArrays]) -> StackedPlans:
+    """Stack already-compiled per-seed plans into one :class:`StackedPlans`.
+
+    The concatenated ``flat`` plan is rebuilt by offsetting each row's
+    index columns -- exact integer arithmetic, so carving it back up
+    (or padding it) reproduces the inputs bit for bit.  Used by the
+    equivalence tests and the shared-memory transport; the batch driver
+    plans the concatenation directly instead.
+    """
+    counts = np.array([p.n_slots for p in plans], dtype=np.intp)
+    seg_counts = np.array([p.n_segments for p in plans], dtype=np.intp)
+    seg_off = np.concatenate(([0], np.cumsum(seg_counts))).astype(np.intp)
+    flat = TraceArrays(
+        duration=np.concatenate([p.duration for p in plans]),
+        i_load=np.concatenate([p.i_load for p in plans]),
+        kind=np.concatenate([p.kind for p in plans]),
+        phase_duration=None,
+        phase_demand=None,
+        slot_bounds=np.concatenate(
+            [np.zeros(1, dtype=np.intp)]
+            + [p.slot_bounds[1:] + off for p, off in zip(plans, seg_off[:-1])]
+        ),
+        active_start=np.concatenate(
+            [p.active_start + off for p, off in zip(plans, seg_off[:-1])]
+        ),
+        slept=np.concatenate([p.slept for p in plans]),
+        aborted=np.concatenate([p.aborted for p in plans]),
+    )
+    return _stack_from_flat(flat, counts)
+
+
+# -- batched storage recurrence ----------------------------------------------
+
+
+def clamped_cumsum_batch(
+    deltas: np.ndarray,
+    n_valid: np.ndarray,
+    initial: float,
+    capacity: float,
+    bled: float = 0.0,
+    deficit: float = 0.0,
+    max_rescans: int = _MAX_RESCANS,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Row-stacked :func:`~repro.sim.vectorized.clamped_cumsum`.
+
+    ``deltas`` is ``(rows, segments)`` with ragged rows zero-padded past
+    ``n_valid[row]``; every row starts from the same ``initial`` level
+    and clamp ledgers (a batch of freshly reset storages).  Returns
+    ``(charges, bled, deficit)`` where ``charges[r, :n_valid[r] + 1]``
+    and the per-row ledgers are bit-identical to the 1D recurrence on
+    row ``r``'s valid prefix.  Charge columns past ``n_valid[row]`` are
+    unspecified.
+
+    Strategy mirrors the 1D kernel: whole-row seeded cumsums between
+    clamp events (``axis=1`` cumsum is strictly sequential per row, and
+    the zero prefix before each row's resume column is bit-neutral),
+    the scalar clamp arithmetic applied at each row's first violation,
+    and a density heuristic -- rows whose unclamped trajectory violates
+    the bounds more times than the rescan budget, or that exhaust it,
+    finish in a column-sequential tail vectorized *across* rows.  The
+    heuristic only changes speed, never values.
+    """
+    deltas = np.asarray(deltas, dtype=float)
+    rows, width = deltas.shape
+    n_valid = np.asarray(n_valid, dtype=np.intp)
+    charges = np.empty((rows, width + 1), dtype=float)
+    charges[:, 0] = initial
+    cur = np.full(rows, float(initial))
+    bled_a = np.full(rows, float(bled))
+    deficit_a = np.full(rows, float(deficit))
+    start = np.zeros(rows, dtype=np.intp)
+    pending = n_valid > 0
+    cols = np.arange(width)
+    rescans = 0
+    while rescans < max_rescans:
+        idx = np.flatnonzero(pending)
+        if not idx.size:
+            break
+        st = start[idx]
+        nv = n_valid[idx]
+        live = (cols[None, :] >= st[:, None]) & (cols[None, :] < nv[:, None])
+        work = np.where(live, deltas[idx], 0.0)
+        # Seed each row's resume column with its carried level: the
+        # zero prefix then contributes exact +0.0 terms, so the row
+        # cumsum replays the scalar += sequence bit for bit.
+        work[np.arange(idx.size), st] += cur[idx]
+        np.cumsum(work, axis=1, out=work)
+        bad = ((work > capacity) | (work < 0.0)) & live
+        has_bad = bad.any(axis=1)
+        nbad = np.count_nonzero(bad, axis=1)
+        # First violating column per row (nv for clean rows): commit
+        # the clean prefix [st, k) for every row in one masked store.
+        k = np.where(has_bad, np.argmax(bad, axis=1), nv)
+        ch = charges[idx]
+        ch1 = ch[:, 1:]
+        commit = live & (cols[None, :] < k[:, None])
+        ch1[commit] = work[commit]
+        if np.any(has_bad):
+            sub = np.flatnonzero(has_bad)
+            kb = k[sub]
+            newv = work[sub, kb]
+            over = newv > capacity
+            # The scalar applies exactly one branch; the masked adds
+            # contribute exact +0.0 on the other (ledgers are >= 0).
+            bled_a[idx[sub]] += np.where(over, newv - capacity, 0.0)
+            deficit_a[idx[sub]] += np.where(over, 0.0, -newv)
+            pinned = np.where(over, capacity, 0.0)
+            cur[idx[sub]] = pinned
+            ch1[sub, kb] = pinned
+            start[idx[sub]] = kb + 1
+        charges[idx] = ch
+        done = idx[~has_bad]
+        pending[done] = False
+        pending[idx] &= start[idx] < n_valid[idx]
+        # Clamp-dense rows (more violations left than rescan budget)
+        # drop straight to the sequential tail, as the 1D kernel does.
+        dense = nbad > max_rescans - rescans
+        pending_now = pending[idx] & ~dense
+        if not np.any(pending_now):
+            pending[idx] = pending[idx] & dense & (start[idx] < n_valid[idx])
+            if np.any(dense):
+                break
+        rescans += 1
+    idx = np.flatnonzero(pending & (start < n_valid))
+    if idx.size:
+        st = start[idx]
+        nv = n_valid[idx]
+        d_sub = deltas[idx]
+        ch = charges[idx]
+        cur_t = cur[idx]
+        bl = bled_a[idx]
+        df = deficit_a[idx]
+        for j in range(int(st.min()), int(nv.max())):
+            act = (j >= st) & (j < nv)
+            new = cur_t + d_sub[:, j]
+            over = act & (new > capacity)
+            under = act & (new < 0.0)
+            ok = act & ~over & ~under
+            bl += np.where(over, new - capacity, 0.0)
+            df += np.where(under, -new, 0.0)
+            cur_t = np.where(
+                over, capacity, np.where(under, 0.0, np.where(ok, new, cur_t))
+            )
+            ch[:, j + 1] = np.where(act, cur_t, ch[:, j + 1])
+        charges[idx] = ch
+        bled_a[idx] = bl
+        deficit_a[idx] = df
+    return charges, bled_a, deficit_a
+
+
+# -- stacked kernel passes ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _StackedRun:
+    """Raw outputs of one stacked pass, flat + per-row reductions."""
+
+    fuel_flat: np.ndarray  #: per-segment fuel, row-major flat
+    delivered_flat: np.ndarray  #: per-segment delivered charge, flat
+    i_f_flat: np.ndarray | None  #: realized output per segment (None = const)
+    charges: np.ndarray  #: (R, S+1), padded past each row's last segment
+    bled: np.ndarray  #: (R,)
+    deficit: np.ndarray  #: (R,)
+    recharging: np.ndarray | None  #: (R,) final ASAP mode, or None
+    const_i_f: float | None = None
+
+
+def _run_const_stacked(
+    manager: "PowerManager", sp: StackedPlans, cmd0: float
+) -> _StackedRun:
+    """Stacked pass for constant-command controllers (conv-dpm, static).
+
+    Exactly ``_run_from_plan``'s constant branch, broadcast across rows:
+    one realize + fuel-map evaluation, elementwise deltas, and the
+    batched storage recurrence.
+    """
+    source = manager.source
+    fc = source.fc
+    storage = source.storage
+    model = fc.model
+    if fc.allow_zero_output and cmd0 == 0.0:
+        r0 = 0.0
+    else:
+        r0 = min(max(cmd0, model.if_min), model.if_max)
+    i_fc = 0.0 if r0 == 0.0 else model.fc_current(r0)
+    fuel_flat = i_fc * sp.flat.duration
+    delivered_flat = r0 * sp.flat.duration
+    deltas = _storage_deltas(storage, r0, sp.i_load, sp.duration)
+    charges, bled, deficit = clamped_cumsum_batch(
+        deltas,
+        sp.n_seg,
+        storage.charge,
+        storage.capacity,
+        bled=storage.bled_charge,
+        deficit=storage.deficit_charge,
+    )
+    return _StackedRun(
+        fuel_flat=fuel_flat,
+        delivered_flat=delivered_flat,
+        i_f_flat=None,
+        charges=charges,
+        bled=bled,
+        deficit=deficit,
+        recharging=None,
+        const_i_f=r0,
+    )
+
+
+def _run_asap_stacked(manager: "PowerManager", sp: StackedPlans) -> _StackedRun:
+    """Stacked pass for ASAP-DPM's storage-coupled recharge hysteresis.
+
+    Both candidate modes precompute elementwise (on the flat columns for
+    assembly, padded 2D for integration); one column loop then plays the
+    per-segment hysteresis and the storage clamp for every row at once
+    -- the same ``soc``-before-integration ordering and clamp arithmetic
+    as the scalar controller, with ``np.where`` selecting each row's
+    branch.  Requires a bottomless tank (stacked eligibility).
+    """
+    controller = manager.controller
+    source = manager.source
+    fc = source.fc
+    storage = source.storage
+    model = fc.model
+    flat = sp.flat
+
+    cmd_follow = np.minimum(np.maximum(flat.i_load, model.if_min), model.if_max)
+    real_follow = _realize_commands(fc, cmd_follow)
+    ifc_follow = _fuel_currents(fc, real_follow)
+    fuel_follow = ifc_follow * flat.duration
+    real_follow2d = _pad_rows(real_follow, sp.valid_seg)
+    delta_follow2d = _storage_deltas(storage, real_follow2d, sp.i_load, sp.duration)
+
+    cmd_re = model.if_max
+    if cmd_re == 0.0 and fc.allow_zero_output:
+        real_re = 0.0
+    else:
+        real_re = min(max(cmd_re, model.if_min), model.if_max)
+    ifc_re = 0.0 if real_re == 0.0 else model.fc_current(real_re)
+    fuel_re = ifc_re * flat.duration
+    delta_re2d = _storage_deltas(storage, real_re, sp.i_load, sp.duration)
+
+    rows, width = sp.duration.shape
+    threshold = controller.recharge_threshold
+    full_level = controller.full_level
+    cap = storage.capacity
+    has_cap = cap > 0
+    recharging = np.full(rows, controller.recharging, dtype=bool)
+    cur = np.full(rows, storage.charge)
+    bled = np.full(rows, storage.bled_charge)
+    deficit = np.full(rows, storage.deficit_charge)
+    charges = np.empty((rows, width + 1), dtype=float)
+    charges[:, 0] = cur
+    mode2d = np.empty((rows, width), dtype=bool)
+    valid = sp.valid_seg
+
+    for j in range(width):
+        act = valid[:, j]
+        if has_cap:
+            # Hysteresis *before* the segment integrates, exactly as
+            # ASAPDPMController.output reads the pre-step soc.
+            soc = cur / cap
+            rech = np.where(soc < threshold, True, np.where(soc >= full_level, False, recharging))
+            recharging = np.where(act, rech, recharging)
+        delta = np.where(recharging, delta_re2d[:, j], delta_follow2d[:, j])
+        new = cur + delta
+        over = act & (new > cap)
+        under = act & (new < 0.0)
+        ok = act & ~over & ~under
+        bled += np.where(over, new - cap, 0.0)
+        deficit += np.where(under, -new, 0.0)
+        cur = np.where(over, cap, np.where(under, 0.0, np.where(ok, new, cur)))
+        charges[:, j + 1] = cur
+        mode2d[:, j] = recharging
+
+    mode_flat = mode2d[valid]
+    i_f_flat = np.where(mode_flat, real_re, real_follow)
+    fuel_flat = np.where(mode_flat, fuel_re, fuel_follow)
+    delivered_flat = i_f_flat * flat.duration
+    return _StackedRun(
+        fuel_flat=fuel_flat,
+        delivered_flat=delivered_flat,
+        i_f_flat=i_f_flat,
+        charges=charges,
+        bled=bled,
+        deficit=deficit,
+        recharging=recharging,
+    )
+
+
+# -- batch driver -------------------------------------------------------------
+
+
+def _row_totals(flat_values: np.ndarray, sp: StackedPlans) -> np.ndarray:
+    """Per-row sequential totals of a flat per-segment column.
+
+    Pads into the 2D layout and cumsums along axis 1: the zero padding
+    contributes exact ``+0.0`` terms (all integrated quantities are
+    non-negative), so each row total equals the 1D seeded cumsum.
+    """
+    if not sp.width:
+        return np.zeros(sp.n_rows)
+    return np.cumsum(_pad_rows(flat_values, sp.valid_seg), axis=1)[:, -1]
+
+
+def _slot_sums_flat(sp: StackedPlans, values_flat: np.ndarray) -> np.ndarray:
+    """Per-slot sums across the whole batch, in scalar accumulation order."""
+    out = np.zeros(sp.flat.n_slots)
+    if out.shape[0] and values_flat.shape[0]:
+        np.add.at(out, sp.flat.slot_index, values_flat)
+    return out
+
+
+def simulate_batch_stacked(
+    scenario: "Scenario",
+    seed_list: list[int],
+    specs: list[str],
+    managers: dict[str, "PowerManager"],
+    *,
+    max_deficit_fraction: float,
+    traces: dict | None,
+    span,
+) -> dict[int, dict[str, SimulationResult]]:
+    """Run a whole (seeds x policies) batch through the stacked kernel.
+
+    Every spec in ``managers`` must already have passed
+    :func:`stacked_batch_ineligibility`.  Results, raised errors, and
+    manager end state are bit-identical to ``simulate_batch``'s serial
+    loop over the same seeds and specs.
+    """
+    t_plan0 = time.perf_counter()
+    rows_n = len(seed_list)
+    slots = _gather_batch_slots(scenario, seed_list, traces)
+
+    # Device-side sleep decisions: one batched predictor scan, exactly
+    # PredictiveShutdownPolicy.decisions_array per row.  As in the
+    # serial loop, the first spec's (fresh) policy is the probe whose
+    # decisions every spec shares; its end-state commit is deferred to
+    # the batch exit row.
+    probe = managers[specs[0]]
+    policy = probe.policy
+    predictor = policy.predictor
+    preds2d, idle_finals = exponential_average_scan_batch(
+        predictor.factor, predictor.estimate, slots.t_idle2d, slots.counts
+    )
+    fit_threshold = policy.params.t_pd + policy.params.t_wu
+    sleep2d = (preds2d >= policy.threshold) & (preds2d >= fit_threshold)
+    sleep_flat = sleep2d[slots.valid]
+
+    # One planner call over the concatenated slots: every layout rule in
+    # plan_slot_arrays is slot-local, so carving the result back into
+    # rows reproduces per-seed planning bit for bit.
+    flat = TraceArrays(
+        **plan_slot_arrays(
+            probe.device,
+            slots.t_idle,
+            slots.t_active,
+            slots.i_active,
+            sleep_flat,
+            np.zeros(sleep_flat.shape[0]),
+            phase_context=False,
+        )
+    )
+    sp = _stack_from_flat(flat, slots.counts)
+    plan_seconds = time.perf_counter() - t_plan0
+
+    # Shared per-row reductions (policy-independent, zero-seeded --
+    # fresh managers start every ledger at 0.0).
+    dur_rows = _row_totals(flat.duration, sp)
+    load_seg = flat.load_charge_seg
+    load_rows = _row_totals(load_seg, sp)
+    slot_loads = _slot_sums_flat(sp, load_seg)
+    slot_row_idx = np.repeat(np.arange(rows_n), slots.counts)
+    sleeps_rows = np.bincount(
+        slot_row_idx, weights=flat.slept, minlength=rows_n
+    ).astype(np.intp)
+    aborted_rows = np.bincount(
+        slot_row_idx, weights=flat.aborted, minlength=rows_n
+    ).astype(np.intp)
+    # Flat gather indices: each slot's last charge column per row.
+    g_bounds = flat.slot_bounds
+    seg_base = np.repeat(sp.seg_offsets[:-1], slots.counts)
+    ends_local = g_bounds[1:] - seg_base
+    astart_local = flat.active_start - seg_base
+    charge_cols = sp.width + 1
+    flat_end_idx = slot_row_idx * charge_cols + ends_local
+
+    # Whole-batch Python lists, converted once: per-row list slices are
+    # pointer copies, far cheaper than one ndarray.tolist() per row.
+    counts_l = slots.counts.tolist()
+    n_seg_l = sp.n_seg.tolist()
+    slot_off_l = sp.slot_offsets.tolist()
+    slept_l = flat.slept.tolist()
+    aborted_l = flat.aborted.tolist()
+    slot_loads_l = slot_loads.tolist()
+    sleeps_l = sleeps_rows.tolist()
+    aborted_rows_l = aborted_rows.tolist()
+
+    # Per-spec stacked passes.  FC-DPM only batches its predictor scans
+    # here; its storage-coupled slot solves run per row below.
+    runs: dict[str, _StackedRun] = {}
+    fc_specs: dict[str, dict] = {}
+    initial_charge: dict[str, float] = {}
+    for spec in specs:
+        mgr = managers[spec]
+        controller = mgr.controller
+        initial_charge[spec] = mgr.source.storage.charge
+        ctype = type(controller)
+        if ctype is ASAPDPMController:
+            runs[spec] = _run_asap_stacked(mgr, sp)
+        elif ctype is FCDPMController:
+            seeds0 = _fc_scan_seeds(mgr)
+            feeds = getattr(mgr.policy, "predictor", None) is (
+                controller.idle_length_predictor
+            )
+            idle_scan = None
+            if controller.observes_idle or feeds:
+                ipred = controller.idle_length_predictor
+                if (
+                    ipred.factor == predictor.factor
+                    and ipred.estimate == predictor.estimate
+                ):
+                    # Standard wiring shares the probe policy's filter
+                    # configuration -- reuse the decision scan rows.
+                    idle_scan = (preds2d, idle_finals)
+                else:
+                    idle_scan = exponential_average_scan_batch(
+                        ipred.factor, ipred.estimate, slots.t_idle2d, slots.counts
+                    )
+            apred = controller.active_length_predictor
+            active_scan = exponential_average_scan_batch(
+                apred.factor, seeds0[1], slots.t_active2d, slots.counts
+            )
+            fc_specs[spec] = {
+                "seeds": seeds0,
+                "idle_scan": idle_scan,
+                "active_scan": active_scan,
+            }
+        else:
+            cmd0 = (
+                controller.model.if_max
+                if ctype is ConvDPMController
+                else controller.i_f
+            )
+            runs[spec] = _run_const_stacked(mgr, sp, float(cmd0))
+
+    # Finish each non-FC run's assembly columns (totals + slot gathers,
+    # per-slot columns converted to Python lists whole).
+    finals: dict[str, dict] = {}
+    for spec, run in runs.items():
+        entry = {
+            "fuel_rows": _row_totals(run.fuel_flat, sp),
+            "delivered_rows": _row_totals(run.delivered_flat, sp),
+            "slot_fuel": _slot_sums_flat(sp, run.fuel_flat).tolist(),
+            "storage_end": run.charges.ravel()[flat_end_idx].tolist(),
+        }
+        if run.i_f_flat is not None:
+            g_starts = g_bounds[:-1] - seg_base
+            entry["if_idle"] = np.where(
+                astart_local > g_starts,
+                run.i_f_flat[np.maximum(flat.active_start - 1, 0)],
+                0.0,
+            ).tolist()
+            entry["if_active"] = np.where(
+                ends_local > astart_local, run.i_f_flat[g_bounds[1:] - 1], 0.0
+            ).tolist()
+        finals[spec] = entry
+
+    if fc_specs:
+        # The FC pass and _assemble_result read these per-row plan
+        # invariants; seed them from the batch columns up front.
+        seg_off_l = sp.seg_offsets.tolist()
+        for r, plan in enumerate(sp.rows):
+            slo = slot_off_l[r]
+            shi = slot_off_l[r + 1]
+            d = plan.__dict__
+            d["duration_total"] = float(dur_rows[r])
+            d["load_charge_total"] = float(load_rows[r])
+            d["load_charge_seg"] = load_seg[seg_off_l[r] : seg_off_l[r + 1]]
+            d["slot_load_charge"] = slot_loads[slo:shi]
+            d["slot_load_list"] = slot_loads_l[slo:shi]
+            d["slept_list"] = slept_l[slo:shi]
+            d["aborted_list"] = aborted_l[slo:shi]
+            d["n_sleeps"] = sleeps_l[r]
+            d["n_aborted"] = aborted_rows_l[r]
+
+    if OBS.enabled:
+        OBS.metrics.counter("sim.route", path="fast").inc(rows_n * len(specs))
+    if span is not None:
+        total_cells = rows_n * sp.width if sp.width else 0
+        padded = 1.0 - (int(sp.n_seg.sum()) / total_cells) if total_cells else 0.0
+        span.set(
+            route="stacked",
+            rows=rows_n,
+            padded_fraction=round(padded, 4),
+            plan_stack_seconds=round(plan_seconds, 6),
+            fallback_rows=0,
+        )
+        if OBS.enabled:
+            OBS.metrics.counter("sim.batch_route", path="stacked").inc()
+            OBS.metrics.gauge("sim.batch_padded_fraction").set(padded)
+            OBS.metrics.histogram("sim.batch_plan_stack_s").observe(plan_seconds)
+
+    def commit_probe_policy(row: int) -> None:
+        """Leave the probe policy exactly as replaying ``row`` would."""
+        n = counts_l[row]
+        lo = int(slots.offsets[row])
+        obs_row = slots.t_idle[lo : lo + n]
+        preds_row = preds2d[row, :n]
+        policy.predictor.commit_scan(obs_row, preds_row, float(idle_finals[row]))
+        policy.last_prediction = float(preds_row[-1])
+        policy._last_slept = bool(sleep2d[row, n - 1])
+        policy.n_decisions += n
+        policy.n_sleep_decisions += int(np.count_nonzero(sleep2d[row, :n]))
+
+    def commit_manager(spec: str, row: int) -> None:
+        """Commit one spec's manager to its state after ``row``."""
+        mgr = managers[spec]
+        run = runs[spec]
+        entry = finals[spec]
+        source = mgr.source
+        fc = source.fc
+        storage = source.storage
+        n = n_seg_l[row]
+        if n:
+            if run.const_i_f is not None:
+                fc._i_f = run.const_i_f
+            else:
+                last = int(sp.seg_offsets[row]) + n - 1
+                fc._i_f = float(run.i_f_flat[last])
+        total_fuel = float(entry["fuel_rows"][row])
+        fc.tank._consumed = total_fuel
+        storage._charge = float(run.charges[row, n])
+        storage.bled_charge = float(run.bled[row])
+        storage.deficit_charge = float(run.deficit[row])
+        source.total_fuel = total_fuel
+        source.total_load_charge = float(load_rows[row])
+        source.total_time = float(dur_rows[row])
+        source.total_delivered_charge = float(entry["delivered_rows"][row])
+        if run.recharging is not None:
+            mgr.controller._recharging = bool(run.recharging[row])
+
+    def commit_exit(row: int, raising_index: int | None) -> None:
+        """Deferred end-state commits at the batch exit point.
+
+        On success (``raising_index`` None) every spec gets ``row``.  On
+        a deficit raise at (row, spec j), the serial loop had already
+        run specs ``<= j`` on that row and specs ``> j`` only up to the
+        previous one; FC specs commit per row in their own pass and are
+        skipped here.
+        """
+        for i, spec in enumerate(specs):
+            if spec in fc_specs:
+                continue
+            target = row if raising_index is None or i <= raising_index else row - 1
+            if target < 0:
+                continue  # fresh manager, untouched so far
+            commit_manager(spec, target)
+        commit_probe_policy(row)
+
+    mdf = max_deficit_fraction
+    results: dict[int, dict[str, SimulationResult]] = {}
+    for r, seed in enumerate(seed_list):
+        per_policy: dict[str, SimulationResult] = {}
+        plan = sp.rows[r]
+        n_slots_r = counts_l[r]
+        slo = slot_off_l[r]
+        shi = slo + n_slots_r
+        for i, spec in enumerate(specs):
+            mgr = managers[spec]
+            if spec in fc_specs:
+                info = fc_specs[spec]
+                mgr.reset(initial_charge[spec])
+                mgr.controller.start_run(
+                    mgr.source.storage.charge, mgr.source.storage.capacity
+                )
+                idle_scan = info["idle_scan"]
+                ap2d, a_fin = info["active_scan"]
+                scans = (
+                    None if idle_scan is None else idle_scan[0][r, :n_slots_r],
+                    None if idle_scan is None else float(idle_scan[1][r]),
+                    ap2d[r, :n_slots_r],
+                    float(a_fin[r]),
+                )
+                run1d = _run_fc(
+                    mgr,
+                    plan,
+                    None,
+                    info["seeds"],
+                    slots=(
+                        slots.t_idle[slo:shi].tolist(),
+                        slots.t_active[slo:shi].tolist(),
+                        slots.i_active[slo:shi].tolist(),
+                    ),
+                    scans=scans,
+                )
+                assert run1d is not None  # bottomless tank: cannot deplete
+                try:
+                    per_policy[mgr.name] = _assemble_result(mgr, plan, run1d, mdf)
+                except SimulationError:
+                    # _assemble_result committed this manager already.
+                    commit_exit(r, i)
+                    raise
+                continue
+            run = runs[spec]
+            entry = finals[spec]
+            deficit_r = float(run.deficit[r])
+            load_r = float(load_rows[r])
+            if deficit_r > load_r * mdf:
+                commit_exit(r, i)
+                raise SimulationError(
+                    f"{mgr.name}: storage deficit "
+                    f"{deficit_r:.2f} A-s exceeds "
+                    f"{100 * mdf:.0f}% of load -- "
+                    "the source is undersized for this workload"
+                )
+            if run.const_i_f is not None:
+                if_idle_l = [run.const_i_f] * n_slots_r
+                if_active_l = if_idle_l
+            else:
+                if_idle_l = entry["if_idle"][slo:shi]
+                if_active_l = entry["if_active"][slo:shi]
+            slot_results = list(
+                map(
+                    tuple.__new__,
+                    _repeat(SlotResult),
+                    zip(
+                        range(n_slots_r),
+                        slept_l[slo:shi],
+                        aborted_l[slo:shi],
+                        entry["slot_fuel"][slo:shi],
+                        slot_loads_l[slo:shi],
+                        if_idle_l,
+                        if_active_l,
+                        entry["storage_end"][slo:shi],
+                    ),
+                )
+            )
+            per_policy[mgr.name] = SimulationResult(
+                name=mgr.name,
+                fuel=float(entry["fuel_rows"][r]),
+                load_charge=load_r,
+                delivered_charge=float(entry["delivered_rows"][r]),
+                duration=float(dur_rows[r]),
+                bled=float(run.bled[r]),
+                deficit=deficit_r,
+                n_slots=n_slots_r,
+                n_sleeps=sleeps_l[r],
+                n_aborted_sleeps=aborted_rows_l[r],
+                wakeup_latency=sleeps_l[r] * mgr.device.t_wu,
+                slots=slot_results,
+                recorder=None,
+            )
+        results[seed] = per_policy
+    commit_exit(rows_n - 1, None)
+    return results

@@ -79,9 +79,12 @@ from ..runtime.memo import solve_slot_memo
 from ..runtime.parallel import ParallelMap, get_shared, resolve_workers
 from ..runtime.shm import SharedArrayStore, attach_group
 from .integrator import (
+    KIND_CODES,
+    KIND_NAMES,
     chunk_segments,
     plan_active_segments,
     plan_idle_segments,
+    plan_slot_arrays,
 )
 from .slotsim import SimulationResult, SlotResult, SlotSimulator
 
@@ -91,9 +94,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..scenario.spec import Scenario
     from ..workload.trace import LoadTrace
 
-#: Segment-kind encoding for the int8 ``TraceArrays.kind`` column.
-_KIND_CODES = {"standby": 0, "pd": 1, "sleep": 2, "wu": 3, "run": 4}
-_KIND_NAMES = ("standby", "pd", "sleep", "wu", "run")
+#: Segment-kind encoding for the int8 ``TraceArrays.kind`` column
+#: (aliases of the single-sourced codes in :mod:`repro.sim.integrator`).
+_KIND_CODES = KIND_CODES
+_KIND_NAMES = KIND_NAMES
 
 #: After this many storage clamp events the kernel stops rescanning
 #: arrays and finishes the stretch with a compiled-float sequential
@@ -360,30 +364,12 @@ def _plan_trace_arrays_numpy(
 ) -> TraceArrays:
     """Array-native planner for the unchunked (``max_segment=None``) case.
 
-    Emits exactly the rows :func:`plan_idle_segments` /
-    :func:`plan_active_segments` produce -- the layout rules stay
-    single-sourced in :mod:`repro.sim.integrator` and the parity tests
-    enforce the row-for-row match -- but computes all slots at once:
-    per-slot segment counts give the bounds by cumsum, each segment
-    class (standby, pd, sleep dwell, wu, run) scatters into its column
-    positions with one fancy assignment, and the phase-lookahead
-    columns come from masked running sums that replay the scalar's
-    left-to-right accumulation order per slot, bit for bit.
+    Extracts the slot/decision columns and hands them to
+    :func:`repro.sim.integrator.plan_slot_arrays` -- the layout rules
+    stay single-sourced in :mod:`repro.sim.integrator` and the parity
+    tests enforce the row-for-row match with the scalar planners.
     """
     n_slots = len(slots)
-    if n_slots == 0:
-        empty = np.empty(0, dtype=float)
-        return TraceArrays(
-            duration=empty,
-            i_load=empty.copy(),
-            kind=np.empty(0, dtype=np.int8),
-            phase_duration=empty.copy() if phase_context else None,
-            phase_demand=empty.copy() if phase_context else None,
-            slot_bounds=np.zeros(1, dtype=np.intp),
-            active_start=np.empty(0, dtype=np.intp),
-            slept=np.empty(0, dtype=bool),
-            aborted=np.empty(0, dtype=bool),
-        )
     t_idle = np.array([s.t_idle for s in slots], dtype=float)
     t_active = np.array([s.t_active for s in slots], dtype=float)
     i_active = np.array([s.i_active for s in slots], dtype=float)
@@ -391,105 +377,16 @@ def _plan_trace_arrays_numpy(
     sleep_after = np.fromiter(
         (d.sleep_after for d in decisions), dtype=float, count=n_slots
     )
-
-    # Same left-assoc sum as plan_idle_segments' ``overhead``.
-    overhead = (sleep_after + device.t_pd) + device.t_wu
-    aborted = sleep & (t_idle < overhead)
-    slept = sleep & ~aborted
-    dwell = t_idle - overhead
-    has_sa = slept & (sleep_after > 0)
-    has_dwell = slept & (dwell > 0)
-    sa_off = has_sa.astype(np.intp)
-
-    # Sleeping idle: [standby?][pd][sleep?][wu]; otherwise one standby.
-    n_idle = np.where(slept, (2 + sa_off) + has_dwell.astype(np.intp), 1)
-    slot_bounds = np.empty(n_slots + 1, dtype=np.intp)
-    slot_bounds[0] = 0
-    np.cumsum(n_idle + 1, out=slot_bounds[1:])
-    starts = slot_bounds[:-1]
-    active_start = starts + n_idle
-    n_total = int(slot_bounds[-1])
-
-    duration = np.empty(n_total, dtype=float)
-    i_load = np.empty(n_total, dtype=float)
-    kind = np.empty(n_total, dtype=np.int8)
-
-    standby = ~slept
-    sb_idx = starts[standby]
-    duration[sb_idx] = t_idle[standby]
-    i_load[sb_idx] = device.i_sdb
-    kind[sb_idx] = _KIND_CODES["standby"]
-
-    sa_idx = starts[has_sa]
-    duration[sa_idx] = sleep_after[has_sa]
-    i_load[sa_idx] = device.i_sdb
-    kind[sa_idx] = _KIND_CODES["standby"]
-
-    pd_pos = starts + sa_off
-    pd_idx = pd_pos[slept]
-    duration[pd_idx] = device.t_pd
-    i_load[pd_idx] = device.i_pd
-    kind[pd_idx] = _KIND_CODES["pd"]
-
-    dw_idx = (pd_pos + 1)[has_dwell]
-    duration[dw_idx] = dwell[has_dwell]
-    i_load[dw_idx] = device.i_slp
-    kind[dw_idx] = _KIND_CODES["sleep"]
-
-    wu_pos = active_start - 1
-    wu_idx = wu_pos[slept]
-    duration[wu_idx] = device.t_wu
-    i_load[wu_idx] = device.i_wu
-    kind[wu_idx] = _KIND_CODES["wu"]
-
-    run_dur = (device.t_sdb_to_run + t_active) + device.t_run_to_sdb
-    duration[active_start] = run_dur
-    i_load[active_start] = i_active
-    kind[active_start] = _KIND_CODES["run"]
-
-    phase_dur = phase_dem = None
-    if phase_context:
-        phase_dur = np.empty(n_total, dtype=float)
-        phase_dem = np.empty(n_total, dtype=float)
-        # Single-segment phases: the lookahead is the segment itself.
-        phase_dur[active_start] = run_dur
-        phase_dem[active_start] = run_dur * i_active
-        phase_dur[sb_idx] = t_idle[standby]
-        phase_dem[sb_idx] = t_idle[standby] * device.i_sdb
-        # Sleeping idle phases: masked running sums in component order
-        # reproduce each slot's sequential accumulation exactly (the
-        # fold only touches slots where the component is present, so
-        # every per-slot partial matches the scalar's += sequence).
-        components = (
-            (has_sa, sleep_after, device.i_sdb, starts),
-            (slept, device.t_pd, device.i_pd, pd_pos),
-            (has_dwell, dwell, device.i_slp, pd_pos + 1),
-            (slept, device.t_wu, device.i_wu, wu_pos),
-        )
-        total_d = 0.0
-        total_q = 0.0
-        for present, dur_c, load_c, _ in components:
-            total_d = np.where(present, total_d + dur_c, total_d)
-            total_q = np.where(present, total_q + dur_c * load_c, total_q)
-        remaining = total_d
-        demand = total_q
-        for present, dur_c, load_c, positions in components:
-            idx = positions[present]
-            phase_dur[idx] = remaining[present]
-            phase_dem[idx] = demand[present]
-            remaining = np.where(present, remaining - dur_c, remaining)
-            demand = np.where(present, demand - load_c * dur_c, demand)
-
     return TraceArrays(
-        duration=duration,
-        i_load=i_load,
-        kind=kind,
-        phase_duration=phase_dur,
-        phase_demand=phase_dem,
-        slot_bounds=slot_bounds,
-        active_start=active_start,
-        slept=slept,
-        aborted=aborted,
+        **plan_slot_arrays(
+            device,
+            t_idle,
+            t_active,
+            i_active,
+            sleep,
+            sleep_after,
+            phase_context=phase_context,
+        )
     )
 
 
@@ -1008,8 +905,11 @@ def _fc_scan_seeds(manager: "PowerManager") -> tuple[float, float] | None:
 def _run_fc(
     manager: "PowerManager",
     plan: TraceArrays,
-    trace: "LoadTrace",
+    trace: "LoadTrace | None",
     seeds: tuple[float, float],
+    *,
+    slots: tuple[list, list, list] | None = None,
+    scans: tuple | None = None,
 ) -> _KernelRun | None:
     """Native pass for FC-DPM: scan-compiled predictors + live slot solver.
 
@@ -1028,6 +928,13 @@ def _run_fc(
     committed only on success; a finite tank that would deplete mid-run
     returns None with the manager untouched (beyond ``start_run``), so
     the caller's scalar rerun sees pristine state.
+
+    The stacked batch driver passes pre-extracted slot columns via
+    ``slots`` (so no ``trace`` walk happens here) and pre-sliced rows of
+    its batched predictor scans via ``scans`` -- ``(idle_preds,
+    idle_final, active_preds, active_final)``, with the idle pair None
+    when nobody observes the idle predictor.  Both default to the
+    single-trace computation and are bit-identical to it.
     """
     controller = manager.controller
     source = manager.source
@@ -1037,27 +944,35 @@ def _run_fc(
     device = manager.device
     n_slots = plan.n_slots
 
-    t_idles = [slot.t_idle for slot in trace]
-    t_actives = [slot.t_active for slot in trace]
-    i_actives = [slot.i_active for slot in trace]
+    if slots is not None:
+        t_idles, t_actives, i_actives = slots
+    else:
+        t_idles = [slot.t_idle for slot in trace]
+        t_actives = [slot.t_active for slot in trace]
+        i_actives = [slot.i_active for slot in trace]
 
     idle_pred = controller.idle_length_predictor
     active_pred = controller.active_length_predictor
     est_idle0, est_active0 = seeds
     policy_feeds_idle = getattr(manager.policy, "predictor", None) is idle_pred
-    if controller.observes_idle or policy_feeds_idle:
-        idle_preds, idle_final = exponential_average_scan(
-            idle_pred.factor, est_idle0, t_idles
-        )
-        ip = idle_preds.tolist()
+    if scans is not None:
+        idle_preds, idle_final, active_preds, active_final = scans
+        ip = [est_idle0] * n_slots if idle_preds is None else idle_preds.tolist()
     else:
-        # Nobody observes the controller's idle predictor during the
-        # run: it predicts its frozen pre-run estimate every slot.
-        idle_preds = None
-        ip = [est_idle0] * n_slots
-    active_preds, active_final = exponential_average_scan(
-        active_pred.factor, est_active0, t_actives
-    )
+        if controller.observes_idle or policy_feeds_idle:
+            idle_preds, idle_final = exponential_average_scan(
+                idle_pred.factor, est_idle0, t_idles
+            )
+            ip = idle_preds.tolist()
+        else:
+            # Nobody observes the controller's idle predictor during the
+            # run: it predicts its frozen pre-run estimate every slot.
+            idle_preds = None
+            idle_final = None
+            ip = [est_idle0] * n_slots
+        active_preds, active_final = exponential_average_scan(
+            active_pred.factor, est_active0, t_actives
+        )
     ap = active_preds.tolist()
 
     durs = plan.duration.tolist()
@@ -1600,6 +1515,64 @@ def _plan_from_arrays(arrays: dict[str, np.ndarray]) -> TraceArrays:
     )
 
 
+def _stack_plan_group(
+    plans: list[TraceArrays], seeds: list[int]
+) -> dict[str, np.ndarray]:
+    """Pack a whole batch of per-seed plans into one shm group.
+
+    Every plan column concatenates row-major (index columns stay
+    row-local -- workers carve rows back out by offset, so no global
+    renumbering happens in either direction), plus the bookkeeping
+    columns a worker needs to find its row: ``seeds``, ``seg_offsets``
+    and ``slot_counts``.  One segment with a handful of large buffers
+    ships far cheaper than one group of small buffers per seed.
+    """
+    out = {
+        name: np.concatenate([getattr(p, name) for p in plans])
+        for name in _PLAN_FIELDS
+    }
+    seg_counts = np.array([p.n_segments for p in plans], dtype=np.intp)
+    out["seg_offsets"] = np.concatenate(([0], np.cumsum(seg_counts)))
+    out["slot_counts"] = np.array([p.n_slots for p in plans], dtype=np.intp)
+    out["seeds"] = np.asarray(seeds, dtype=np.int64)
+    return out
+
+
+def _stacked_plan_row(payload: dict, handle, seed: int) -> TraceArrays:
+    """One seed's plan, sliced zero-copy out of the stacked shm group.
+
+    The attached group and its row index are cached in the worker's
+    payload copy; per-seed cost is then eight array slices.  The row
+    views are bit-identical to the per-seed plan the coordinator
+    compiled (concatenate-then-slice is the identity).
+    """
+    cache = payload.get("_plan_stack")
+    if cache is None:
+        group = attach_group(handle)
+        row_of = {int(s): r for r, s in enumerate(group["seeds"].tolist())}
+        slot_offsets = np.concatenate(([0], np.cumsum(group["slot_counts"])))
+        cache = payload["_plan_stack"] = (group, row_of, slot_offsets)
+    group, row_of, slot_offsets = cache
+    r = row_of[seed]
+    lo = int(group["seg_offsets"][r])
+    hi = int(group["seg_offsets"][r + 1])
+    slo = int(slot_offsets[r])
+    shi = int(slot_offsets[r + 1])
+    return TraceArrays(
+        duration=group["duration"][lo:hi],
+        i_load=group["i_load"][lo:hi],
+        kind=group["kind"][lo:hi],
+        phase_duration=None,
+        phase_demand=None,
+        # Concatenated bounds keep each row's n_slots+1 entries, hence
+        # the +r / +r+1 row padding in the slice.
+        slot_bounds=group["slot_bounds"][slo + r : shi + r + 1],
+        active_start=group["active_start"][slo:shi],
+        slept=group["slept"][slo:shi],
+        aborted=group["aborted"][slo:shi],
+    )
+
+
 def _batch_seed_worker(seed: int) -> tuple[int, dict[str, SimulationResult]]:
     """One seed's full policy sweep, driven by the shared batch payload.
 
@@ -1617,7 +1590,7 @@ def _batch_seed_worker(seed: int) -> tuple[int, dict[str, SimulationResult]]:
     fast = payload["fast"]
     max_deficit_fraction = payload["max_deficit_fraction"]
     trace = payload["traces"][seed]
-    handle = payload["plans"].get(seed)
+    handle = payload["plans"].get("stacked")
     # Worker-local manager cache, living in this process's payload copy
     # (dies with the pool; the serial fallback's copy dies with the map).
     managers = payload.setdefault("_managers", {})
@@ -1647,7 +1620,7 @@ def _batch_seed_worker(seed: int) -> tuple[int, dict[str, SimulationResult]]:
         fc_seeds = _fc_scan_seeds(mgr)
         if plan is None:
             if handle is not None:
-                plan = _plan_from_arrays(attach_group(handle))
+                plan = _stacked_plan_row(payload, handle, seed)
             else:  # pragma: no cover - coordinator always ships a plan
                 plan = plan_trace_arrays(
                     mgr.device,
@@ -1703,7 +1676,7 @@ def _simulate_batch_parallel(
         trace = None if traces is None else traces.get(seed)
         built[seed] = trace if trace is not None else scenario.build_trace(seed)
 
-    groups: dict[int, dict[str, np.ndarray]] = {}
+    groups: dict[str, dict[str, np.ndarray]] = {}
     if fast:
         probe = None
         for spec in specs:
@@ -1713,9 +1686,10 @@ def _simulate_batch_parallel(
                 break
         if probe is not None:
             mgr, initial_charge = probe
+            plans = []
             for seed in seed_list:
                 mgr.reset(initial_charge)
-                groups[seed] = _plan_to_arrays(
+                plans.append(
                     plan_trace_arrays(
                         mgr.device,
                         built[seed],
@@ -1723,6 +1697,9 @@ def _simulate_batch_parallel(
                         phase_context=False,
                     )
                 )
+            # One stacked segment for the whole batch: a few large
+            # buffers instead of one small group per seed.
+            groups["stacked"] = _stack_plan_group(plans, seed_list)
     store = SharedArrayStore.create(groups)
     payload = {
         "scenario": scenario,
@@ -1747,6 +1724,7 @@ def simulate_batch(
     policies=None,
     *,
     fast: bool = True,
+    stacked: bool | None = None,
     traces: dict | None = None,
     max_deficit_fraction: float = 0.05,
     workers: int | None = 1,
@@ -1758,7 +1736,8 @@ def simulate_batch(
     scenario:
         A :class:`~repro.scenario.spec.Scenario` or a registered name.
     seeds:
-        Trace seeds; must be non-empty.
+        Trace seeds; must be non-empty and free of duplicates (results
+        are keyed by seed, so a repeated seed would silently collapse).
     policies:
         Policy specs (see :func:`_policy_manager`); defaults to the
         scenario's own policy kind.
@@ -1769,6 +1748,18 @@ def simulate_batch(
         the shared predictor configuration, so the plan is computed
         once per seed.  ``fast=False`` is the scalar reference path
         (one ``SlotSimulator`` per run) used by the equivalence tests.
+    stacked:
+        Route the whole batch through the stacked 2D kernel
+        (:mod:`~repro.sim.stacked`): per-seed plans pack into padded
+        ``seeds x segments`` arrays and the trace-functional policies
+        sweep every row at once, bit-identically to the serial loop.
+        ``None`` (default) auto-routes multi-seed in-process batches
+        whose every spec is stacked-eligible and falls back to the
+        per-seed loop otherwise (counted per spec under
+        ``sim.batch_ineligible``); ``True`` forces the stacked route
+        (raising ``ConfigurationError`` if any spec is ineligible or
+        ``fast=False``, and overriding ``workers`` -- the stacked
+        sweep is in-process); ``False`` opts out.
     traces:
         Optional pre-built ``{seed: LoadTrace}``; seeds not present are
         generated from the scenario.  Lets callers amortize trace
@@ -1793,20 +1784,31 @@ def simulate_batch(
     seed_list = [int(s) for s in seeds]
     if not seed_list:
         raise ConfigurationError("simulate_batch needs at least one seed")
+    if len(set(seed_list)) != len(seed_list):
+        dupes = sorted({s for s in seed_list if seed_list.count(s) > 1})
+        raise ConfigurationError(
+            f"simulate_batch got duplicate seeds {dupes}: results are "
+            "keyed by seed, so repeated seeds would silently collapse"
+        )
     specs = list(policies) if policies is not None else [scenario.policy.kind]
     if not specs:
         raise ConfigurationError("simulate_batch needs at least one policy")
     for spec in specs:
         _parse_policy_spec(spec)
+    if stacked and not fast:
+        raise ConfigurationError("stacked=True requires fast=True")
     n_workers = resolve_workers(workers)
-    if n_workers > 1 and len(seed_list) > 1:
+    if n_workers > 1 and len(seed_list) > 1 and stacked is not True:
         with OBS.span(
             "sim.batch",
             scenario=scenario.name,
             n_seeds=len(seed_list),
             n_policies=len(specs),
             workers=n_workers,
+            route="parallel",
         ):
+            if OBS.enabled:
+                OBS.metrics.counter("sim.batch_route", path="parallel").inc()
             return _simulate_batch_parallel(
                 scenario,
                 seed_list,
@@ -1830,7 +1832,50 @@ def simulate_batch(
         scenario=scenario.name,
         n_seeds=len(seed_list),
         n_policies=len(specs),
-    ):
+    ) as span:
+        if fast and stacked is not False and (stacked or len(seed_list) > 1):
+            # Stacked 2D route: one kernel sweep over the whole batch.
+            # Imported lazily -- sim.stacked imports this module.
+            from .stacked import (
+                _stacked_reason_key,
+                simulate_batch_stacked,
+                stacked_batch_ineligibility,
+            )
+
+            managers = {spec: _policy_manager(scenario, spec) for spec in specs}
+            reasons = {}
+            for spec in specs:
+                reason = stacked_batch_ineligibility(managers[spec])
+                if reason is not None:
+                    reasons[spec] = reason
+            if not reasons:
+                return simulate_batch_stacked(
+                    scenario,
+                    seed_list,
+                    specs,
+                    managers,
+                    max_deficit_fraction=max_deficit_fraction,
+                    traces=traces,
+                    span=span,
+                )
+            if stacked:
+                detail = "; ".join(f"{s}: {r}" for s, r in reasons.items())
+                raise ConfigurationError(
+                    f"stacked=True but the batch is not stacked-eligible -- {detail}"
+                )
+            # Auto mode: fall back to the per-seed loop, one reason
+            # count per ineligible spec plus the rows that fell back.
+            span.set(route="loop", fallback_rows=len(seed_list))
+            if OBS.enabled:
+                OBS.metrics.counter("sim.batch_route", path="loop").inc()
+                for reason in reasons.values():
+                    OBS.metrics.counter(
+                        "sim.batch_ineligible",
+                        reason=_stacked_reason_key(reason),
+                    ).inc()
+                OBS.metrics.counter("sim.batch_fallback_rows").inc(
+                    len(seed_list)
+                )
         for seed in seed_list:
             trace = None if traces is None else traces.get(seed)
             if trace is None:
