@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test lint bench bench-smoke bench-vector trace-smoke report export examples all
+.PHONY: install test lint bench bench-smoke bench-vector trace-smoke exp-smoke report export examples all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -37,6 +37,27 @@ trace-smoke:
 	$(PYTHON) -m repro.cli run --scenario table2 --trace trace-out/
 	$(PYTHON) scripts/check_trace.py trace-out/
 	$(PYTHON) -m repro.cli trace summary trace-out/ > /dev/null
+
+# Orchestration smoke: define two experiments, kill one mid-run with
+# the crash-injection hook (expected exit 3), resume it to completion,
+# merge a sharded run, validate every state file structurally, and
+# print the per-cell report.  Everything lands under exp-smoke-out/.
+exp-smoke:
+	rm -rf exp-smoke-out
+	FCDPM_CACHE_DIR=exp-smoke-out $(PYTHON) -m repro.cli exp define smoke-a \
+		--scenario exp2-fc-dpm --seeds 0:3 --policies conv-dpm,fc-dpm --fast
+	FCDPM_CACHE_DIR=exp-smoke-out $(PYTHON) -m repro.cli exp define smoke-b \
+		--scenario exp2-asap-dpm --seeds 0:3 --fast
+	FCDPM_CACHE_DIR=exp-smoke-out FCDPM_EXP_ABORT_AFTER=2 \
+		$(PYTHON) -m repro.cli exp run smoke-a; test $$? -eq 3
+	FCDPM_CACHE_DIR=exp-smoke-out $(PYTHON) -m repro.cli exp resume smoke-a
+	FCDPM_CACHE_DIR=exp-smoke-out $(PYTHON) -m repro.cli exp run smoke-b --shard 1/2
+	FCDPM_CACHE_DIR=exp-smoke-out $(PYTHON) -m repro.cli exp run smoke-b --shard 2/2
+	FCDPM_CACHE_DIR=exp-smoke-out $(PYTHON) -m repro.cli exp merge smoke-b
+	$(PYTHON) scripts/check_exp_state.py exp-smoke-out/experiments
+	FCDPM_CACHE_DIR=exp-smoke-out $(PYTHON) -m repro.cli exp report smoke-a
+	FCDPM_CACHE_DIR=exp-smoke-out $(PYTHON) -m repro.cli exp status
+	FCDPM_CACHE_DIR=exp-smoke-out $(PYTHON) -m repro.cli cache stats
 
 # Just the vectorized-kernel gates: single-trace >= 4x (fc-dpm >= 2x),
 # batch serial >= 12x (>= 50x with >= 4 cores), fc batch >= 2.5x,

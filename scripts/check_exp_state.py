@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Validate experiment ``state.json`` files (main and shard sidecars).
+
+Thin CLI over :func:`repro.exp.state.validate_state_dict`, used by
+``make exp-smoke`` and CI to assert that every state file under a
+directory is structurally sound: schema version, status vocabulary,
+spec round-trip, content-hash integrity, task-id agreement with the
+spec's own expansion, and settled-tasks-have-cache-keys.
+
+Accepts state files or directories (searched recursively for
+``state*.json``).  Exit status: 0 when every file validates, 1 with one
+problem per line otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def _state_files(target: Path) -> list[Path]:
+    if target.is_file():
+        return [target]
+    return sorted(target.rglob("state*.json"))
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(f"usage: {argv[0]} <state.json | directory>...", file=sys.stderr)
+        return 2
+    from repro.exp.state import validate_state_dict
+
+    failures = 0
+    checked = 0
+    for arg in argv[1:]:
+        target = Path(arg)
+        files = _state_files(target)
+        if not files:
+            print(f"FAIL {target}: no state*.json files found")
+            failures += 1
+            continue
+        for path in files:
+            checked += 1
+            try:
+                data = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                print(f"FAIL {path}: unreadable ({exc})")
+                failures += 1
+                continue
+            problems = validate_state_dict(data)
+            for problem in problems:
+                print(f"FAIL {path}: {problem}")
+            failures += len(problems)
+    if failures:
+        return 1
+    print(f"ok {checked} state file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -17,7 +17,7 @@ from ..devices.camcorder import camcorder_device_params
 from ..dpm.predictive import PredictiveShutdownPolicy
 from ..fuelcell.efficiency import LinearSystemEfficiency
 from ..prediction.exponential import ExponentialAveragePredictor
-from ..sim.montecarlo import run_seeds, table2_metrics
+from ..sim.montecarlo import seed_study
 from ..sim.slotsim import SlotSimulator
 from ..workload.mpeg import generate_mpeg_trace
 from .battery_contrast import shaping_contrast
@@ -102,7 +102,7 @@ def full_report(seed: int = 2007, n_seeds: int = 5, workers: int = 1) -> str:
 
     # -- Seed stability -----------------------------------------------------
     _section(out, f"Table 2 across {n_seeds} seeds (95% CI)")
-    summaries = run_seeds(table2_metrics, range(n_seeds), workers=workers)
+    summaries = seed_study("table2-metrics", range(n_seeds), workers=workers)
     rows = [["metric", "mean", "+-95%", "range"]]
     for name, s in summaries.items():
         rows.append(

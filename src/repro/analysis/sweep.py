@@ -4,16 +4,18 @@ Each sweep runs the full Experiment-1 style simulation while varying a
 single design knob, returning plain result dictionaries the ablation
 benches print.
 
-Every sweep takes ``workers=`` and fans its points out over processes
-(:class:`~repro.runtime.parallel.ParallelMap`): each point is an
-independent pure function of ``(trace, device, knob)``, evaluated by a
-module-level task function so it pickles, and results come back in
-point order -- bit-identical to a serial run.
+Every public sweep is a *thin client* of the experiment orchestration
+layer: it builds a declarative
+:func:`~repro.exp.spec.sweep_spec`, runs it ephemerally through
+:func:`~repro.exp.runner.run_experiment` (no state file, no cache
+writes), and reduces the per-cell values with
+:meth:`~repro.exp.results.ExperimentResults.by_knob` -- byte-identical
+to the historical direct ``ParallelMap`` fan-out, including under
+``workers>1``.  The per-point task functions below stay here; the
+``sweep.*`` task kinds in :mod:`repro.exp.tasks` call back into them.
 """
 
 from __future__ import annotations
-
-from functools import partial
 
 from ..core.fc_dpm import FCDPMController
 from ..core.manager import PowerManager
@@ -26,7 +28,6 @@ from ..prediction.base import LastValuePredictor
 from ..prediction.exponential import ExponentialAveragePredictor
 from ..prediction.learning_tree import LearningTreePredictor
 from ..prediction.regression import RegressionPredictor
-from ..runtime.parallel import ParallelMap
 from ..sim.slotsim import simulate_policies
 from ..workload.mpeg import generate_mpeg_trace
 from ..workload.trace import LoadTrace
@@ -138,7 +139,19 @@ def _predictor_point(
     return results[name].fuel / results["conv-dpm"].fuel
 
 
-# -- public sweeps -----------------------------------------------------------
+# -- public sweeps (thin clients of repro.exp) -------------------------------
+
+
+def _run_sweep(sweep: str, values, seed: int, scenario, fast: bool, workers: int):
+    """Build the sweep's spec, run it ephemerally, reduce by knob."""
+    # Lazy import: repro.exp.tasks calls back into this module's point
+    # functions, so a top-level import would be circular.
+    from ..exp import ExperimentResults, run_experiment, sweep_spec
+    from ..exp.spec import SWEEP_KINDS
+
+    spec = sweep_spec(sweep, values, seed=seed, scenario=scenario, fast=fast)
+    run = run_experiment(spec, workers=workers)
+    return ExperimentResults.from_run(run).by_knob(SWEEP_KINDS[sweep][1])
 
 
 def storage_capacity_sweep(
@@ -164,11 +177,7 @@ def storage_capacity_sweep(
     for cap in capacity_list:
         if cap <= 0:
             raise ConfigurationError("capacity must be positive")
-    trace, dev = _sweep_base(scenario, seed)
-    results = ParallelMap(workers=workers).map(
-        partial(_storage_capacity_point, trace, dev, fast=fast), capacity_list
-    )
-    return dict(zip(capacity_list, results))
+    return _run_sweep("storage", capacity_list, seed, scenario, fast, workers)
 
 
 def predictor_sweep(
@@ -180,12 +189,8 @@ def predictor_sweep(
     regression, and learning-tree predictors -- quantifying how much
     headroom better prediction buys.
     """
-    trace, dev = _sweep_base(scenario, seed)
     names = list(_PREDICTOR_FACTORIES)
-    results = ParallelMap(workers=workers).map(
-        partial(_predictor_point, trace, dev, fast=fast), names
-    )
-    return dict(zip(names, results))
+    return _run_sweep("predictor", names, seed, scenario, fast, workers)
 
 
 def efficiency_slope_sweep(
@@ -203,11 +208,7 @@ def efficiency_slope_sweep(
     ``{beta: fractional_saving_vs_asap}``.
     """
     beta_list = list(betas)
-    trace, dev = _sweep_base(scenario, seed)
-    results = ParallelMap(workers=workers).map(
-        partial(_efficiency_slope_point, trace, dev, fast=fast), beta_list
-    )
-    return dict(zip(beta_list, results))
+    return _run_sweep("beta", beta_list, seed, scenario, fast, workers)
 
 
 def recharge_threshold_sweep(
@@ -223,8 +224,4 @@ def recharge_threshold_sweep(
     this sweep shows its (mild) sensitivity.
     """
     threshold_list = list(thresholds)
-    trace, dev = _sweep_base(scenario, seed)
-    results = ParallelMap(workers=workers).map(
-        partial(_recharge_threshold_point, trace, dev, fast=fast), threshold_list
-    )
-    return dict(zip(threshold_list, results))
+    return _run_sweep("recharge", threshold_list, seed, scenario, fast, workers)

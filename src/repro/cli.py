@@ -267,6 +267,176 @@ def _traced_run(sc, args: argparse.Namespace, compute) -> dict[str, float]:
     return metrics
 
 
+def _parse_seeds(text: str) -> list[int]:
+    """``"0:5"`` (half-open range) or ``"0,1,4"`` (explicit list)."""
+    try:
+        if ":" in text:
+            lo, hi = text.split(":", 1)
+            return list(range(int(lo), int(hi)))
+        return [int(s) for s in text.split(",") if s.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad seeds {text!r}; expected 'lo:hi' or a comma list"
+        ) from None
+
+
+def _parse_knob_value(text: str):
+    """Ablation value: int if it parses, else float, else the string."""
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_ablations(pairs: list[str]) -> list[tuple[str, tuple]]:
+    """Each ``--ablate knob=v1,v2`` flag becomes one ablation axis."""
+    out = []
+    for pair in pairs:
+        knob, _, values = pair.partition("=")
+        if not knob or not values:
+            raise argparse.ArgumentTypeError(
+                f"bad ablation {pair!r}; expected knob=v1,v2,..."
+            )
+        out.append(
+            (knob, tuple(_parse_knob_value(v) for v in values.split(",")))
+        )
+    return out
+
+
+def _exp_store(args: argparse.Namespace):
+    from .exp import ExperimentStore
+
+    return ExperimentStore(args.state_dir)
+
+
+def _print_exp_status(state) -> None:
+    counts = state.counts()
+    rows = [["field", "value"], ["status", state.status],
+            ["hash", state.spec.content_hash[:16]],
+            ["kind", state.spec.kind],
+            ["tasks", str(len(state.tasks))]]
+    rows += [[status, str(n)] for status, n in counts.items() if n]
+    print(format_table(rows, title=f"experiment: {state.spec.name}"))
+
+
+def _cmd_exp(args: argparse.Namespace) -> int:
+    """``fcdpm exp define|run|resume|status|merge|report``."""
+    from .errors import ConfigurationError
+    from .exp import (
+        AbortRun,
+        ExperimentResults,
+        ExperimentSpec,
+        run_experiment,
+    )
+
+    store = _exp_store(args)
+    try:
+        if args.action == "define":
+            from .exp import SWEEP_KINDS, task_kind_names
+
+            # Accept the sweep shorthands the analysis layer uses
+            # ("storage" -> "sweep.storage") and refuse unknown kinds
+            # here, at define time, instead of failing every task later.
+            kind = SWEEP_KINDS.get(args.kind, (args.kind,))[0]
+            if kind not in task_kind_names():
+                known = sorted(set(task_kind_names()) | set(SWEEP_KINDS))
+                raise ConfigurationError(
+                    f"unknown task kind {args.kind!r}; expected one of {known}"
+                )
+            spec = ExperimentSpec(
+                name=args.name,
+                kind=kind,
+                scenario=args.scenario,
+                seeds=tuple(args.seeds if args.seeds is not None else (2007,)),
+                policies=tuple(args.policies.split(",")) if args.policies else (),
+                ablations=tuple(_parse_ablations(args.ablate or [])),
+                fast=args.fast,
+            )
+            state = store.define(spec, overwrite=args.overwrite)
+            print(f"defined {spec.name!r}: {spec.n_tasks} tasks "
+                  f"(hash {spec.content_hash[:16]}) under {store.root}")
+            _print_exp_status(state)
+            return 0
+        if args.action in ("run", "resume"):
+            try:
+                run = run_experiment(
+                    args.name,
+                    store=store,
+                    cache=_cache(args),
+                    workers=args.workers,
+                    shard=args.shard,
+                    resume=not getattr(args, "no_resume", False),
+                )
+            except AbortRun as exc:
+                print(f"aborted: {exc}")
+                return 3
+            print(
+                f"{args.name}: executed {run.executed}, resumed {run.resumed}, "
+                f"failed {run.failed} in {run.wall_s:.2f}s"
+                + (f" (shard {run.shard[0]}/{run.shard[1]})" if run.shard else "")
+            )
+            return 1 if run.failed else 0
+        if args.action == "status":
+            if args.name is None:
+                rows = [["experiment", "status", "tasks", "done"]]
+                for name in store.names():
+                    state = store.load(name)
+                    counts = state.counts()
+                    rows.append([
+                        name, state.status, str(len(state.tasks)),
+                        str(counts["done"] + counts["analyzed"]),
+                    ])
+                print(format_table(rows, title=f"experiments under {store.root}"))
+                return 0
+            _print_exp_status(store.load(args.name))
+            return 0
+        if args.action == "merge":
+            state = store.merge(args.name)
+            print(f"merged {len(store.shard_paths(args.name))} shard files")
+            _print_exp_status(state)
+            return 0
+        # report
+        state = store.load(args.name)
+        results = ExperimentResults.load(
+            state, _cache(args), mark_analyzed=args.mark_analyzed
+        )
+        frame = results.frame()
+        columns = list(frame[0])
+        rows = [columns] + [
+            [f"{row.get(c):.6g}" if isinstance(row.get(c), float) else str(row.get(c))
+             for c in columns]
+            for row in frame
+        ]
+        print(format_table(rows, title=f"experiment: {args.name}"))
+        if args.mark_analyzed:
+            store.save(state)
+        return 0
+    except ConfigurationError as exc:
+        print(f"error: {exc}")
+        return 2
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """``fcdpm cache stats|clear`` -- result-cache hygiene."""
+    cache = ResultCache()
+    if args.action == "stats":
+        stats = cache.stats()
+        rows = [["namespace", "entries", "bytes"]]
+        for namespace, ns in stats.namespaces.items():
+            rows.append([namespace, str(ns.entries), str(ns.bytes)])
+        rows.append(["(sidecars)", str(stats.sidecar_files),
+                     str(stats.sidecar_bytes)])
+        rows.append(["total", str(stats.entries), str(stats.total_bytes)])
+        print(format_table(rows, title=f"result cache: {stats.root}"))
+        return 0
+    removed = cache.clear(namespace=args.namespace)
+    scope = f"namespace {args.namespace!r}" if args.namespace else "all namespaces"
+    print(f"removed {removed} entries ({scope}) from {cache.root}")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """``fcdpm trace summary|check <dir>`` -- inspect a trace bundle."""
     from .obs import read_jsonl, trace_summary, validate_trace_dir
@@ -344,6 +514,84 @@ def main(argv: list[str] | None = None) -> int:
     trace.add_argument("action", choices=("summary", "check"))
     trace.add_argument("directory", help="directory written by run --trace")
 
+    exp = sub.add_parser(
+        "exp", help="define / run / inspect orchestrated experiments"
+    )
+    exp_sub = exp.add_subparsers(dest="action", required=True)
+    exp_define = exp_sub.add_parser("define", help="persist an experiment spec")
+    exp_define.add_argument("name", help="experiment name")
+    exp_define.add_argument(
+        "--kind", default="scenario",
+        help="task kind (scenario | scenario-metrics | table2-metrics | "
+        "sweep.storage | sweep.beta | sweep.recharge | sweep.predictor; "
+        "the sweep shorthands storage/beta/recharge/predictor also work)",
+    )
+    exp_define.add_argument("--scenario", help="registered scenario name")
+    exp_define.add_argument(
+        "--seeds", type=_parse_seeds, help="'lo:hi' range or comma list"
+    )
+    exp_define.add_argument(
+        "--policies", help="comma list of simulate_batch policy specs"
+    )
+    exp_define.add_argument(
+        "--ablate", action="append", metavar="KNOB=V1,V2",
+        help="one ablation axis (repeatable; cross product is expanded)",
+    )
+    exp_define.add_argument(
+        "--fast", action="store_true", help="route through the vectorized kernel"
+    )
+    exp_define.add_argument(
+        "--overwrite", action="store_true",
+        help="replace an existing definition with a different spec",
+    )
+    exp_run = exp_sub.add_parser("run", help="drive a defined experiment")
+    exp_run.add_argument("name")
+    exp_run.add_argument(
+        "--shard", metavar="I/N",
+        help="execute only this 1-based round-robin slice of the tasks",
+    )
+    exp_run.add_argument(
+        "--no-resume", action="store_true",
+        help="re-execute tasks even when their results are cached",
+    )
+    exp_resume = exp_sub.add_parser(
+        "resume", help="alias of run (resume is the default behavior)"
+    )
+    exp_resume.add_argument("name")
+    exp_resume.add_argument("--shard", metavar="I/N")
+    exp_status = exp_sub.add_parser("status", help="lifecycle summary")
+    exp_status.add_argument("name", nargs="?", help="omit to list everything")
+    exp_merge = exp_sub.add_parser(
+        "merge", help="fold shard state files into state.json"
+    )
+    exp_merge.add_argument("name")
+    exp_report = exp_sub.add_parser(
+        "report", help="per-cell metric frame of a finished experiment"
+    )
+    exp_report.add_argument("name")
+    exp_report.add_argument(
+        "--mark-analyzed", action="store_true",
+        help="advance consumed task records to 'analyzed'",
+    )
+    for sub_parser in (exp_define, exp_run, exp_resume, exp_status,
+                       exp_merge, exp_report):
+        sub_parser.add_argument(
+            "--state-dir", default=None,
+            help="experiment state root (default $FCDPM_EXP_DIR or "
+            "<cache dir>/experiments)",
+        )
+
+    cache = sub.add_parser("cache", help="result-cache statistics and hygiene")
+    cache_sub = cache.add_subparsers(dest="action", required=True)
+    cache_sub.add_parser("stats", help="entry count / bytes per namespace")
+    cache_clear = cache_sub.add_parser(
+        "clear", help="delete entries (all, or one namespace)"
+    )
+    cache_clear.add_argument(
+        "--namespace", default=None,
+        help="only entries in this namespace (e.g. exp/scenario)",
+    )
+
     sub.add_parser("report", help="run the full evaluation report")
     export = sub.add_parser("export", help="write figure/table CSVs")
     export.add_argument("directory", help="output directory for the CSVs")
@@ -397,6 +645,8 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "run": _cmd_run,
         "trace": _cmd_trace,
+        "exp": _cmd_exp,
+        "cache": _cmd_cache,
     }
     return handlers[args.command](args)
 

@@ -23,15 +23,17 @@ Everything is stdlib-only and deterministic: parallel execution
 preserves result ordering and is bit-identical to serial.
 """
 
-from .cache import ResultCache, cache_key, code_fingerprint
+from .cache import CacheStats, ResultCache, cache_key, code_fingerprint
 from .memo import (
     clear_solver_cache,
     solve_slot_memo,
     solver_cache_stats,
 )
-from .parallel import MapStats, ParallelMap, resolve_workers
+from .parallel import BrokenPoolError, MapStats, ParallelMap, resolve_workers
 
 __all__ = [
+    "BrokenPoolError",
+    "CacheStats",
     "MapStats",
     "ParallelMap",
     "ResultCache",

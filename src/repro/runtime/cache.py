@@ -29,6 +29,7 @@ import pickle
 import tempfile
 import time
 from collections.abc import Callable
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
@@ -220,6 +221,27 @@ class ResultCache:
 
     # -- the convenience everyone actually uses ----------------------------
 
+    def store(
+        self, namespace: str, params: Any, value: Any, wall_s: float = 0.0
+    ) -> str:
+        """Store a computed value with full provenance; returns its key.
+
+        The write path of :meth:`cached`, usable when the computation
+        happened elsewhere (the experiment runner computes whole
+        batches, then stores each cell): entry pickle, fingerprint
+        sidecar, and ``<key>.manifest.json`` provenance record.  The
+        key is returned even when the cache is disabled, so callers can
+        link records to where the entry *would* live.
+        """
+        fp = code_fingerprint()
+        key = cache_key(namespace, params, fp)
+        if not self.enabled:
+            return key
+        self._note_invalidation(namespace, params, fp)
+        self.put(key, value)
+        self._write_entry_manifest(key, namespace, params, fp, wall_s)
+        return key
+
     def cached(self, namespace: str, params: Any, compute: Callable[[], Any]) -> Any:
         """Return the cached result of ``compute()`` for these parameters.
 
@@ -234,31 +256,146 @@ class ResultCache:
         sentinel = object()
         value = self.get(key, sentinel)
         if value is sentinel:
-            if self.enabled:
-                self._note_invalidation(namespace, params, fp)
             t0 = time.perf_counter()
             value = compute()
-            wall_s = time.perf_counter() - t0
-            self.put(key, value)
-            if self.enabled:
-                self._write_entry_manifest(key, namespace, params, fp, wall_s)
+            self.store(namespace, params, value, wall_s=time.perf_counter() - t0)
         return value
 
-    def clear(self) -> int:
-        """Delete every entry (and its sidecars); returns entries removed."""
+    # -- hygiene -----------------------------------------------------------
+
+    def _entry_namespace(self, path: Path) -> tuple[str, dict | None]:
+        """Namespace (and params) of one entry, via its manifest sidecar.
+
+        Entry keys are opaque hashes; the ``<key>.manifest.json``
+        provenance record is what remembers the namespace.  Entries
+        without a readable manifest report ``"(unknown)"``.
+        """
+        manifest = self.root / f"{path.stem}.manifest.json"
+        try:
+            data = json.loads(manifest.read_text())
+            return str(data["name"]), data.get("params")
+        except (OSError, json.JSONDecodeError, KeyError, TypeError):
+            return "(unknown)", None
+
+    def stats(self) -> "CacheStats":
+        """Entry count, bytes, and a per-namespace breakdown.
+
+        Namespaces come from each entry's manifest sidecar (entries
+        predating manifests group under ``"(unknown)"``); sidecar files
+        (``.fp`` fingerprints and the manifests themselves) are counted
+        separately.
+        """
+        namespaces: dict[str, NamespaceStats] = {}
+        entries = 0
+        entry_bytes = 0
+        sidecar_files = 0
+        sidecar_bytes = 0
         if not self.root.exists():
-            return 0
-        n = 0
-        for path in self.root.glob("*.pkl"):
+            return CacheStats(self.root, 0, 0, 0, 0, {})
+        for path in sorted(self.root.glob("*.pkl")):
             try:
-                path.unlink()
-                n += 1
+                size = path.stat().st_size
             except OSError:
-                pass
+                continue
+            entries += 1
+            entry_bytes += size
+            namespace, _ = self._entry_namespace(path)
+            current = namespaces.get(namespace, NamespaceStats(0, 0))
+            namespaces[namespace] = NamespaceStats(
+                current.entries + 1, current.bytes + size
+            )
         for pattern in ("*.fp", "*.manifest.json"):
             for path in self.root.glob(pattern):
                 try:
-                    path.unlink()
+                    sidecar_bytes += path.stat().st_size
+                    sidecar_files += 1
                 except OSError:
-                    pass
+                    continue
+        return CacheStats(
+            root=self.root,
+            entries=entries,
+            bytes=entry_bytes,
+            sidecar_files=sidecar_files,
+            sidecar_bytes=sidecar_bytes,
+            namespaces=dict(sorted(namespaces.items())),
+        )
+
+    def _unlink(self, path: Path) -> bool:
+        try:
+            path.unlink()
+            return True
+        except OSError:
+            return False
+
+    def _sweep_orphans(self) -> int:
+        """Remove sidecars whose entry pickle is gone; returns count.
+
+        Entry deletion (by :meth:`clear` or by hand) used to leave
+        ``<key>.manifest.json`` provenance records behind forever;
+        every clear now finishes with this sweep.  Fingerprint sidecars
+        are keyed by (namespace, params) rather than per entry, so they
+        are only swept by a full :meth:`clear`.
+        """
+        n = 0
+        for manifest in self.root.glob("*.manifest.json"):
+            stem = manifest.name[: -len(".manifest.json")]
+            if not (self.root / f"{stem}.pkl").exists():
+                n += self._unlink(manifest)
         return n
+
+    def clear(self, namespace: str | None = None) -> int:
+        """Delete entries (and their sidecars); returns entries removed.
+
+        ``namespace=None`` clears everything, including stray temp
+        files and orphaned sidecars.  With a namespace, only entries
+        whose manifest names that namespace go -- each with its
+        manifest and its (namespace, params) fingerprint sidecar --
+        followed by an orphaned-manifest sweep.  Entries without a
+        manifest cannot be attributed and are only removed by a full
+        clear.
+        """
+        if not self.root.exists():
+            return 0
+        n = 0
+        if namespace is None:
+            for path in self.root.glob("*.pkl"):
+                n += self._unlink(path)
+            for pattern in ("*.fp", "*.manifest.json", "*.tmp"):
+                for path in self.root.glob(pattern):
+                    self._unlink(path)
+            return n
+        for path in self.root.glob("*.pkl"):
+            entry_namespace, params = self._entry_namespace(path)
+            if entry_namespace != namespace:
+                continue
+            n += self._unlink(path)
+            self._unlink(self.root / f"{path.stem}.manifest.json")
+            if params is not None:
+                self._unlink(self._sidecar_path(namespace, params))
+        self._sweep_orphans()
+        return n
+
+
+@dataclass(frozen=True)
+class NamespaceStats:
+    """Entry count and pickle bytes of one namespace."""
+
+    entries: int
+    bytes: int
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """One :meth:`ResultCache.stats` snapshot."""
+
+    root: Path
+    entries: int
+    bytes: int
+    sidecar_files: int
+    sidecar_bytes: int
+    namespaces: dict[str, NamespaceStats]
+
+    @property
+    def total_bytes(self) -> int:
+        """Entries plus sidecars."""
+        return self.bytes + self.sidecar_bytes

@@ -44,6 +44,32 @@ _POOL_FAILURES = (
     AttributeError,
 )
 
+
+class BrokenPoolError(RuntimeError):
+    """A worker process died mid-map; names the in-flight chunk.
+
+    A bare ``BrokenProcessPool`` says nothing about *what* was running
+    when the worker died (OOM kill, segfault in an extension, ...).
+    This wrapper pins the earliest affected chunk: its index, the item
+    slice it covered, and a repr preview of those items -- enough to
+    reproduce the kill serially.  Counted under
+    ``runtime.parallel.broken_pool``; with ``serial_fallback=False`` it
+    propagates to the caller instead of retrying serially.
+    """
+
+    def __init__(self, chunk_index: int, item_range: tuple[int, int], items):
+        self.chunk_index = chunk_index
+        self.item_range = item_range
+        self.items_preview = [repr(item)[:80] for item in items[:3]]
+        lo, hi = item_range
+        preview = ", ".join(self.items_preview)
+        if hi - lo > len(self.items_preview):
+            preview += ", ..."
+        super().__init__(
+            f"process pool broke while executing chunk {chunk_index} "
+            f"(items {lo}:{hi}): [{preview}]"
+        )
+
 #: Per-process shared payload installed by ``ParallelMap.map(shared=...)``.
 _SHARED: object | None = None
 
@@ -262,15 +288,27 @@ class ParallelMap:
         Dispatch granularity: each worker receives about this many
         contiguous chunks.  More chunks smooth out stragglers at the
         cost of more pickling round-trips.
+    serial_fallback:
+        When True (the default) any pool-infrastructure failure retries
+        the whole map serially.  False propagates the failure instead
+        -- a dead worker surfaces as :class:`BrokenPoolError` naming
+        the in-flight chunk, which callers like long experiment runs
+        prefer over silently re-running hours of work inline.
 
     After each :meth:`map` call, :attr:`stats` describes what happened.
     """
 
-    def __init__(self, workers: int | None = 1, chunks_per_worker: int = 4) -> None:
+    def __init__(
+        self,
+        workers: int | None = 1,
+        chunks_per_worker: int = 4,
+        serial_fallback: bool = True,
+    ) -> None:
         if chunks_per_worker < 1:
             raise ConfigurationError("chunks_per_worker must be >= 1")
         self.workers = resolve_workers(workers)
         self.chunks_per_worker = chunks_per_worker
+        self.serial_fallback = serial_fallback
         self.stats = MapStats()
 
     # -- execution ---------------------------------------------------------
@@ -289,6 +327,14 @@ class ParallelMap:
                 OBS.tracer.adopt(chunk.spans)
             if chunk.metrics:
                 OBS.metrics.merge(chunk.metrics)
+
+    def _drop_partial_records(self, exc: BaseException) -> None:
+        """Reset chunk telemetry of a failed dispatch before the retry."""
+        self.stats.fallback_reason = f"{type(exc).__name__}: {exc}"
+        self.stats.task_durations = []
+        self.stats.chunk_sizes = []
+        self.stats.chunk_durations = []
+        self.stats.chunk_pids = []
 
     def _map_serial(self, fn: Callable, items: Sequence) -> list:
         chunk = _run_chunk(
@@ -317,7 +363,13 @@ class ParallelMap:
             results: list = []
             # Collect in submission order: ordering is positional, and a
             # failure surfaces on the earliest affected chunk.
-            chunks = [future.result() for future in futures]
+            chunks = []
+            for i, future in enumerate(futures):
+                try:
+                    chunks.append(future.result())
+                except BrokenProcessPool as exc:
+                    lo, hi = slices[i]
+                    raise BrokenPoolError(i, (lo, hi), items[lo:hi]) from exc
         self.stats.mode = "process"
         self.stats.workers = self.workers
         for chunk in chunks:
@@ -356,13 +408,19 @@ class ParallelMap:
                 else:
                     try:
                         results = self._map_processes(fn, item_list, shared)
+                    except BrokenPoolError as exc:
+                        if OBS.enabled:
+                            OBS.metrics.counter(
+                                "runtime.parallel.broken_pool"
+                            ).inc()
+                        if not self.serial_fallback:
+                            raise
+                        self._drop_partial_records(exc)
+                        results = self._map_serial(fn, item_list)
                     except _POOL_FAILURES as exc:
-                        self.stats.fallback_reason = f"{type(exc).__name__}: {exc}"
-                        # Drop any partial chunk records of the failed dispatch.
-                        self.stats.task_durations = []
-                        self.stats.chunk_sizes = []
-                        self.stats.chunk_durations = []
-                        self.stats.chunk_pids = []
+                        if not self.serial_fallback:
+                            raise
+                        self._drop_partial_records(exc)
                         results = self._map_serial(fn, item_list)
         finally:
             _set_shared(previous_shared)

@@ -125,6 +125,23 @@ def run_seeds(
     return {key: summarize(key, values) for key, values in samples.items()}
 
 
+def seed_study(kind: str, seeds, workers: int = 1) -> dict[str, SeedSummary]:
+    """Seed-stability study through the experiment orchestration layer.
+
+    The :func:`run_seeds` shape -- ``{metric: SeedSummary}`` with metric
+    order pinned to the first seed's dict order -- but driven as an
+    ephemeral :class:`~repro.exp.spec.ExperimentSpec` of ``kind`` cells
+    (``"table2-metrics"``, ``"scenario-metrics"``, or any registered
+    task kind returning a metric dict).  Bit-identical to calling
+    :func:`run_seeds` with the matching per-seed function.
+    """
+    from ..exp import ExperimentResults, run_experiment, seed_study_spec
+
+    spec = seed_study_spec(kind, seeds)
+    run = run_experiment(spec, workers=workers)
+    return ExperimentResults.from_run(run).seed_summaries()
+
+
 def table2_metrics(seed: int) -> dict[str, float]:
     """Experiment-1 normalized fuel + FC-vs-ASAP saving for one seed.
 

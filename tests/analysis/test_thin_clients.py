@@ -1,0 +1,74 @@
+"""Byte-identity of the thin analysis clients vs pre-refactor goldens.
+
+The four ablation sweeps, the seed-stability study and the full report
+were re-plumbed through the experiment orchestration layer
+(:mod:`repro.exp`).  These tests pin their outputs ``==``-equal to
+values captured from the direct (pre-refactor) implementations --
+float-exact, not approx.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.sweep import (
+    efficiency_slope_sweep,
+    predictor_sweep,
+    recharge_threshold_sweep,
+    storage_capacity_sweep,
+)
+
+GOLDENS = Path(__file__).parent.parent / "goldens"
+
+
+@pytest.fixture(scope="module")
+def sweeps_golden():
+    return json.loads((GOLDENS / "sweeps_golden.json").read_text())
+
+
+class TestSweepGoldens:
+    def test_storage_capacity_sweep(self, sweeps_golden):
+        result = storage_capacity_sweep()
+        encoded = {
+            repr(cap): {policy: value.hex() for policy, value in row.items()}
+            for cap, row in result.items()
+        }
+        assert encoded == sweeps_golden["storage_capacity_sweep"]
+
+    def test_efficiency_slope_sweep(self, sweeps_golden):
+        result = efficiency_slope_sweep()
+        encoded = {repr(beta): value.hex() for beta, value in result.items()}
+        assert encoded == sweeps_golden["efficiency_slope_sweep"]
+
+    def test_predictor_sweep(self, sweeps_golden):
+        result = predictor_sweep()
+        encoded = {name: value.hex() for name, value in result.items()}
+        assert encoded == sweeps_golden["predictor_sweep"]
+
+    def test_recharge_threshold_sweep(self, sweeps_golden):
+        result = recharge_threshold_sweep()
+        encoded = {repr(th): value.hex() for th, value in result.items()}
+        assert encoded == sweeps_golden["recharge_threshold_sweep"]
+
+    def test_workers_do_not_change_bytes(self, sweeps_golden):
+        result = recharge_threshold_sweep(workers=2)
+        encoded = {repr(th): value.hex() for th, value in result.items()}
+        assert encoded == sweeps_golden["recharge_threshold_sweep"]
+
+
+class TestSeedStudyGolden:
+    def test_seed_study_equals_run_seeds(self):
+        from repro.sim.montecarlo import run_seeds, seed_study, table2_metrics
+
+        assert seed_study("table2-metrics", range(2)) == run_seeds(
+            table2_metrics, range(2)
+        )
+
+
+class TestFullReportGolden:
+    def test_report_text_is_byte_identical(self):
+        from repro.analysis.experiments import full_report
+
+        golden = (GOLDENS / "full_report_seed2007_n2.txt").read_text()
+        assert full_report(seed=2007, n_seeds=2) == golden

@@ -1,0 +1,96 @@
+"""ExperimentResults: frames, reducers, partial-result refusal."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exp import (
+    ExperimentResults,
+    ExperimentStore,
+    run_experiment,
+    scenario_batch_spec,
+    seed_study_spec,
+)
+from repro.runtime.cache import ResultCache
+from repro.sim.montecarlo import run_seeds, table2_metrics
+
+
+@pytest.fixture
+def spec():
+    return scenario_batch_spec(
+        "res", "exp2-fc-dpm", [0, 1], policies=("conv-dpm", "fc-dpm")
+    )
+
+
+class TestFrame:
+    def test_rows_carry_identity_and_metrics(self, spec):
+        frame = ExperimentResults.from_run(run_experiment(spec)).frame()
+        assert len(frame) == spec.n_tasks
+        row = frame[0]
+        assert row["task_id"] == "t00000"
+        assert row["scenario"] == "exp2-fc-dpm"
+        assert row["policy"] == "conv-dpm"
+        assert {"fuel", "bled", "deficit", "duration"} <= set(row)
+
+    def test_rows_follow_expansion_order(self, spec):
+        frame = ExperimentResults.from_run(run_experiment(spec)).frame()
+        assert [r["task_id"] for r in frame] == [
+            f"t{i:05d}" for i in range(spec.n_tasks)
+        ]
+
+
+class TestSeedSummaries:
+    def test_matches_run_seeds(self):
+        spec = seed_study_spec("table2-metrics", range(2))
+        run = run_experiment(spec)
+        via_exp = ExperimentResults.from_run(run).seed_summaries()
+        direct = run_seeds(table2_metrics, range(2))
+        assert via_exp == direct
+        # Metric order pinned to the first cell's dict order.
+        assert list(via_exp) == list(direct)
+
+    def test_rejects_non_dict_cells(self, spec):
+        from repro.exp import sweep_spec
+
+        run = run_experiment(sweep_spec("beta", [0.0], seed=3))
+        with pytest.raises(ConfigurationError, match="dict-valued"):
+            ExperimentResults.from_run(run).seed_summaries()
+
+
+class TestLoad:
+    def test_refuses_partial_experiments(self, spec, tmp_path, monkeypatch):
+        store = ExperimentStore(tmp_path / "exp")
+        cache = ResultCache()
+        monkeypatch.setenv("FCDPM_EXP_ABORT_AFTER", "2")
+        from repro.exp import AbortRun
+
+        with pytest.raises(AbortRun):
+            run_experiment(spec, store=store, cache=cache)
+        monkeypatch.delenv("FCDPM_EXP_ABORT_AFTER")
+        state = store.load(spec.name)
+        with pytest.raises(ConfigurationError, match="unfinished"):
+            ExperimentResults.load(state, cache)
+
+    def test_refuses_evicted_values(self, spec, tmp_path):
+        store = ExperimentStore(tmp_path / "exp")
+        cache = ResultCache()
+        run_experiment(spec, store=store, cache=cache)
+        cache.clear()
+        state = store.load(spec.name)
+        with pytest.raises(ConfigurationError, match="evicted"):
+            ExperimentResults.load(state, cache)
+
+    def test_mark_analyzed_advances_records(self, spec, tmp_path):
+        store = ExperimentStore(tmp_path / "exp")
+        cache = ResultCache()
+        run_experiment(spec, store=store, cache=cache)
+        state = store.load(spec.name)
+        ExperimentResults.load(state, cache, mark_analyzed=True)
+        assert state.status == "analyzed"
+        assert all(r.status == "analyzed" for r in state.tasks.values())
+
+
+class TestByKnob:
+    def test_missing_knob_raises(self, spec):
+        results = ExperimentResults.from_run(run_experiment(spec))
+        with pytest.raises(ConfigurationError, match="no 'capacity' param"):
+            results.by_knob("capacity")

@@ -1,0 +1,206 @@
+"""run_experiment: batching, resume, sharding, failure isolation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exp import (
+    ExperimentResults,
+    ExperimentSpec,
+    ExperimentStore,
+    parse_shard,
+    run_experiment,
+    scenario_batch_spec,
+    shard_tasks,
+    sweep_spec,
+)
+from repro.exp.tasks import result_metrics, task_kind
+from repro.runtime.cache import ResultCache
+from repro.sim.vectorized import simulate_batch
+
+
+@pytest.fixture
+def spec():
+    return scenario_batch_spec(
+        "batch", "exp2-fc-dpm", [0, 1], policies=("conv-dpm", "fc-dpm")
+    )
+
+
+class TestShardMath:
+    def test_parse_shard_accepts_string_and_tuple(self):
+        assert parse_shard("2/4") == (2, 4)
+        assert parse_shard((1, 3)) == (1, 3)
+        assert parse_shard(None) is None
+
+    def test_parse_shard_rejects_garbage(self):
+        for bad in ("x/y", "0/2", "3/2", "2"):
+            with pytest.raises(ConfigurationError):
+                parse_shard(bad)
+
+    def test_shards_partition_the_tasks(self, spec):
+        tasks = spec.expand()
+        slices = [shard_tasks(tasks, (i, 3)) for i in (1, 2, 3)]
+        recombined = sorted(
+            (t for s in slices for t in s), key=lambda t: t.index
+        )
+        assert recombined == tasks
+
+
+class TestEphemeralRun:
+    def test_matches_direct_simulate_batch(self, spec):
+        run = run_experiment(spec)
+        assert run.executed == 4 and run.failed == 0
+        cells = ExperimentResults.from_run(run).by_cell()
+        direct = simulate_batch(
+            "exp2-fc-dpm", [0, 1], ["conv-dpm", "fc-dpm"], fast=True
+        )
+        for seed in (0, 1):
+            for policy in ("conv-dpm", "fc-dpm"):
+                assert cells[(seed, policy)] == result_metrics(
+                    direct[seed][policy]
+                )
+
+    def test_workers_bit_identical(self, spec):
+        serial = ExperimentResults.from_run(run_experiment(spec)).by_cell()
+        fanned = ExperimentResults.from_run(
+            run_experiment(spec, workers=2)
+        ).by_cell()
+        assert serial == fanned
+
+    def test_ephemeral_run_leaves_no_state(self, spec, tmp_path):
+        run_experiment(spec)
+        # conftest redirects FCDPM_CACHE_DIR into tmp_path's sibling; an
+        # ephemeral run must not create the experiments directory.
+        from repro.exp.state import default_state_root
+
+        assert not default_state_root().exists()
+
+    def test_single_cell_equals_grouped(self):
+        # A lone straggler cell re-executed alone must be bit-equal to
+        # the same cell from a grouped batch call.
+        lone = scenario_batch_spec("one", "exp2-fc-dpm", [1], policies=("fc-dpm",))
+        grouped = scenario_batch_spec(
+            "many", "exp2-fc-dpm", [0, 1], policies=("conv-dpm", "fc-dpm")
+        )
+        one = ExperimentResults.from_run(run_experiment(lone)).by_cell()
+        many = ExperimentResults.from_run(run_experiment(grouped)).by_cell()
+        assert one[(1, "fc-dpm")] == many[(1, "fc-dpm")]
+
+
+class TestPersistedRun:
+    def test_records_settle_and_link_cache_keys(self, spec, tmp_path):
+        store = ExperimentStore(tmp_path / "exp")
+        cache = ResultCache()
+        run = run_experiment(spec, store=store, cache=cache)
+        state = store.load(spec.name)
+        assert state.status == "done"
+        for record in state.tasks.values():
+            assert record.settled
+            assert record.cache_key
+            assert cache.contains(record.cache_key)
+            # Per-entry provenance manifest sits beside the pickle.
+            assert (cache.root / f"{record.cache_key}.manifest.json").exists()
+        assert run.executed == spec.n_tasks
+
+    def test_second_run_resumes_everything(self, spec, tmp_path):
+        store = ExperimentStore(tmp_path / "exp")
+        cache = ResultCache()
+        first = run_experiment(spec, store=store, cache=cache)
+        second = run_experiment(spec, store=store, cache=cache)
+        assert first.executed == spec.n_tasks
+        assert second.executed == 0
+        assert second.resumed == spec.n_tasks
+        assert ExperimentResults.from_run(second).by_cell() == \
+            ExperimentResults.from_run(first).by_cell()
+
+    def test_resume_false_reexecutes(self, spec, tmp_path):
+        store = ExperimentStore(tmp_path / "exp")
+        cache = ResultCache()
+        run_experiment(spec, store=store, cache=cache)
+        again = run_experiment(spec, store=store, cache=cache, resume=False)
+        assert again.executed == spec.n_tasks and again.resumed == 0
+
+    def test_manifestless_entry_is_not_trusted(self, spec, tmp_path):
+        store = ExperimentStore(tmp_path / "exp")
+        cache = ResultCache()
+        run_experiment(spec, store=store, cache=cache)
+        # Strip one entry's provenance manifest; resume must recompute
+        # that task instead of trusting a bare pickle.
+        key = store.load(spec.name).tasks["t00000"].cache_key
+        (cache.root / f"{key}.manifest.json").unlink()
+        again = run_experiment(spec, store=store, cache=cache)
+        assert again.executed == 1
+        assert again.resumed == spec.n_tasks - 1
+
+    def test_evicted_entry_reverts_to_defined_and_recomputes(
+        self, spec, tmp_path
+    ):
+        store = ExperimentStore(tmp_path / "exp")
+        cache = ResultCache()
+        run_experiment(spec, store=store, cache=cache)
+        key = store.load(spec.name).tasks["t00001"].cache_key
+        cache.clear()
+        again = run_experiment(spec, store=store, cache=cache)
+        assert again.executed == spec.n_tasks  # everything was evicted
+        state = store.load(spec.name)
+        assert state.tasks["t00001"].cache_key  # re-settled
+        assert state.status == "done"
+
+    def test_sharded_runs_merge_to_full_result(self, spec, tmp_path):
+        store = ExperimentStore(tmp_path / "exp")
+        cache = ResultCache()
+        store.define(spec)
+        r1 = run_experiment(spec.name, store=store, cache=cache, shard="1/2")
+        r2 = run_experiment(spec.name, store=store, cache=cache, shard="2/2")
+        assert r1.executed + r2.executed == spec.n_tasks
+        merged = store.merge(spec.name)
+        assert merged.status == "done"
+        full = ExperimentResults.from_run(run_experiment(spec)).by_cell()
+        assert ExperimentResults.load(merged, cache).by_cell() == full
+
+    def test_run_by_name_requires_store(self):
+        with pytest.raises(ConfigurationError, match="requires a store"):
+            run_experiment("whatever")
+
+    def test_run_manifest_written(self, spec, tmp_path):
+        store = ExperimentStore(tmp_path / "exp")
+        run_experiment(spec, store=store, cache=ResultCache())
+        path = store.experiment_dir(spec.name) / "manifest.json"
+        assert path.exists()
+        from repro.obs import validate_manifest
+        import json
+
+        assert validate_manifest(json.loads(path.read_text())) == []
+
+
+class TestFailureIsolation:
+    def test_failing_kind_records_failed_not_raises(self, tmp_path):
+        @task_kind("test.boom")
+        def _boom(task):
+            raise ValueError(f"boom on seed {task.seed}")
+
+        try:
+            spec = ExperimentSpec(name="f", kind="test.boom", seeds=(0, 1))
+            store = ExperimentStore(tmp_path / "exp")
+            run = run_experiment(spec, store=store, cache=ResultCache())
+            assert run.failed == 2 and run.executed == 0
+            state = store.load("f")
+            assert state.status == "failed"
+            assert "boom on seed 0" in state.tasks["t00000"].error
+        finally:
+            from repro.exp.tasks import TASK_KINDS
+
+            TASK_KINDS.pop("test.boom", None)
+
+    def test_unknown_kind_is_a_recorded_failure(self, tmp_path):
+        spec = ExperimentSpec(name="u", kind="no-such-kind", seeds=(0,))
+        run = run_experiment(spec)
+        assert run.failed == 1
+
+
+class TestSweepKinds:
+    def test_sweep_spec_runs_and_reduces(self):
+        spec = sweep_spec("recharge", [0.25, 0.75], seed=3)
+        run = run_experiment(spec)
+        by_knob = ExperimentResults.from_run(run).by_knob("threshold")
+        assert list(by_knob) == [0.25, 0.75]
+        assert all(isinstance(v, float) for v in by_knob.values())

@@ -1,0 +1,95 @@
+"""Kill-then-resume integration: a crashed run completes on resume.
+
+Simulates a mid-run crash with the ``FCDPM_EXP_ABORT_AFTER`` hook
+(abort after N task commits), then resumes and proves
+
+* only the remainder executes (cache-hit counters),
+* the resumed tasks are loaded, not recomputed,
+* the final merged result is ``==``-equal to an uninterrupted run.
+"""
+
+import pytest
+
+from repro.exp import (
+    AbortRun,
+    ExperimentResults,
+    ExperimentStore,
+    run_experiment,
+    scenario_batch_spec,
+)
+from repro.obs import observing
+from repro.runtime.cache import ResultCache
+
+ABORT_AFTER = 2
+
+
+@pytest.fixture
+def spec():
+    return scenario_batch_spec(
+        "killed", "exp2-fc-dpm", [0, 1, 2], policies=("conv-dpm", "fc-dpm")
+    )
+
+
+class TestKillThenResume:
+    def test_resume_completes_the_crashed_run(self, spec, tmp_path, monkeypatch):
+        store = ExperimentStore(tmp_path / "experiments")
+        cache = ResultCache()
+        store.define(spec)
+
+        # -- crash mid-run -------------------------------------------------
+        monkeypatch.setenv("FCDPM_EXP_ABORT_AFTER", str(ABORT_AFTER))
+        with pytest.raises(AbortRun):
+            run_experiment(spec.name, store=store, cache=cache)
+        monkeypatch.delenv("FCDPM_EXP_ABORT_AFTER")
+
+        crashed = store.load(spec.name)
+        counts = crashed.counts()
+        assert counts["done"] == ABORT_AFTER
+        # The abort path reverts running tasks to defined -- no task is
+        # left claiming to be in flight.
+        assert counts["running"] == 0
+        assert counts["defined"] == spec.n_tasks - ABORT_AFTER
+
+        # -- resume, with telemetry proving the cache hits -----------------
+        with observing() as obs:
+            resumed = run_experiment(spec.name, store=store, cache=cache)
+            snapshot = obs.metrics.snapshot()
+        assert resumed.resumed == ABORT_AFTER
+        assert resumed.executed == spec.n_tasks - ABORT_AFTER
+        assert resumed.failed == 0
+        resumed_counter = next(
+            data["value"]
+            for key, data in snapshot.items()
+            if key.startswith("exp.tasks_resumed")
+        )
+        done_counter = next(
+            data["value"]
+            for key, data in snapshot.items()
+            if key.startswith("exp.tasks_done")
+        )
+        assert resumed_counter == ABORT_AFTER
+        assert done_counter == spec.n_tasks - ABORT_AFTER
+
+        final = store.load(spec.name)
+        assert final.status == "done"
+        resumed_flags = [r.resumed for r in final.tasks.values()]
+        assert sum(resumed_flags) == ABORT_AFTER
+
+        # -- equality with an uninterrupted run ----------------------------
+        uninterrupted = ExperimentResults.from_run(run_experiment(spec))
+        recovered = ExperimentResults.load(final, cache)
+        assert recovered.by_cell() == uninterrupted.by_cell()
+
+    def test_double_crash_still_converges(self, spec, tmp_path, monkeypatch):
+        store = ExperimentStore(tmp_path / "experiments")
+        cache = ResultCache()
+        store.define(spec)
+        monkeypatch.setenv("FCDPM_EXP_ABORT_AFTER", "2")
+        for _ in range(2):
+            with pytest.raises(AbortRun):
+                run_experiment(spec.name, store=store, cache=cache)
+        monkeypatch.delenv("FCDPM_EXP_ABORT_AFTER")
+        final_run = run_experiment(spec.name, store=store, cache=cache)
+        assert final_run.resumed == 4
+        assert final_run.executed == spec.n_tasks - 4
+        assert store.load(spec.name).status == "done"

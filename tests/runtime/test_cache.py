@@ -133,3 +133,92 @@ class TestResultCache:
         path = next(tmp_path.glob("*.pkl"))
         with path.open("rb") as fh:
             assert pickle.load(fh) == {"v": 3}
+
+
+class TestStore:
+    def test_store_then_cached_hits(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        key = cache.store("ns", {"seed": 1}, {"fuel": 2.0}, wall_s=0.5)
+        assert cache.contains(key)
+        # cached() must serve the stored value without recomputing.
+        value = cache.cached("ns", {"seed": 1}, lambda: pytest_fail())
+        assert value == {"fuel": 2.0}
+
+    def test_store_writes_provenance_manifest(self, tmp_path):
+        import json
+
+        cache = ResultCache(root=tmp_path)
+        key = cache.store("ns", {"seed": 1}, 42)
+        manifest = json.loads((tmp_path / f"{key}.manifest.json").read_text())
+        assert manifest["name"] == "ns"
+        assert manifest["params"] == {"seed": 1}
+
+    def test_disabled_store_returns_key_without_writing(self, tmp_path):
+        cache = ResultCache(root=tmp_path, enabled=False)
+        key = cache.store("ns", {"seed": 1}, 42)
+        assert key
+        assert not any(tmp_path.glob("*.pkl"))
+
+
+def pytest_fail():  # pragma: no cover - called only on a cache bug
+    raise AssertionError("compute ran despite a stored value")
+
+
+class TestStatsAndSelectiveClear:
+    def _fill(self, cache):
+        cache.store("exp/scenario", {"seed": 0}, {"fuel": 1.0})
+        cache.store("exp/scenario", {"seed": 1}, {"fuel": 2.0})
+        cache.store("sweep/beta", {"seed": 0}, 0.5)
+
+    def test_stats_breaks_down_by_namespace(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        self._fill(cache)
+        stats = cache.stats()
+        assert stats.entries == 3
+        assert stats.bytes > 0
+        assert stats.namespaces["exp/scenario"].entries == 2
+        assert stats.namespaces["sweep/beta"].entries == 1
+        assert stats.sidecar_files > 0
+        assert stats.total_bytes == stats.bytes + stats.sidecar_bytes
+
+    def test_stats_on_empty_cache(self, tmp_path):
+        stats = ResultCache(root=tmp_path / "none").stats()
+        assert stats.entries == 0 and stats.namespaces == {}
+
+    def test_manifestless_entries_group_as_unknown(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        key = cache.store("ns", {"seed": 1}, 42)
+        (tmp_path / f"{key}.manifest.json").unlink()
+        stats = cache.stats()
+        assert stats.namespaces == {"(unknown)": stats.namespaces["(unknown)"]}
+
+    def test_clear_namespace_leaves_others(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        self._fill(cache)
+        removed = cache.clear(namespace="exp/scenario")
+        assert removed == 2
+        stats = cache.stats()
+        assert "exp/scenario" not in stats.namespaces
+        assert stats.namespaces["sweep/beta"].entries == 1
+
+    def test_clear_namespace_removes_sidecars_too(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        self._fill(cache)
+        cache.clear(namespace="exp/scenario")
+        # No orphaned manifests: every remaining manifest has its pickle.
+        for manifest in tmp_path.glob("*.manifest.json"):
+            stem = manifest.name[: -len(".manifest.json")]
+            assert (tmp_path / f"{stem}.pkl").exists()
+
+    def test_full_clear_sweeps_orphans_and_tmp(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        self._fill(cache)
+        # Orphan one manifest by deleting its pickle by hand, and drop a
+        # stray temp file -- the historical leak cases.
+        victim = next(tmp_path.glob("*.pkl"))
+        victim.unlink()
+        (tmp_path / "stray.tmp").write_text("x")
+        cache.clear()
+        assert list(tmp_path.glob("*.manifest.json")) == []
+        assert list(tmp_path.glob("*.fp")) == []
+        assert list(tmp_path.glob("*.tmp")) == []

@@ -192,3 +192,112 @@ class TestRuntimeFlags:
     def test_workers_zero_means_all_cores(self, capsys):
         assert main(["--no-cache", "--workers", "0", "sweep", "recharge"]) == 0
         assert "sweep: recharge" in capsys.readouterr().out
+
+
+class TestExpCommand:
+    def _define(self, tmp_path, capsys):
+        state_dir = str(tmp_path / "experiments")
+        assert main([
+            "exp", "define", "demo", "--scenario", "exp2-fc-dpm",
+            "--seeds", "0:2", "--policies", "conv-dpm,fc-dpm",
+            "--fast", "--state-dir", state_dir,
+        ]) == 0
+        capsys.readouterr()
+        return state_dir
+
+    def test_define_run_status_report(self, tmp_path, capsys):
+        state_dir = self._define(tmp_path, capsys)
+        assert main(["exp", "run", "demo", "--state-dir", state_dir]) == 0
+        out = capsys.readouterr().out
+        assert "executed 4" in out
+        assert main(["exp", "status", "demo", "--state-dir", state_dir]) == 0
+        assert "done" in capsys.readouterr().out
+        assert main(["exp", "report", "demo", "--state-dir", state_dir]) == 0
+        out = capsys.readouterr().out
+        assert "t00000" in out and "fuel" in out
+
+    def test_abort_exits_3_and_resume_finishes(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        state_dir = self._define(tmp_path, capsys)
+        monkeypatch.setenv("FCDPM_EXP_ABORT_AFTER", "2")
+        assert main(["exp", "run", "demo", "--state-dir", state_dir]) == 3
+        monkeypatch.delenv("FCDPM_EXP_ABORT_AFTER")
+        capsys.readouterr()
+        assert main(["exp", "resume", "demo", "--state-dir", state_dir]) == 0
+        out = capsys.readouterr().out
+        assert "resumed 2" in out and "executed 2" in out
+
+    def test_sharded_runs_then_merge(self, tmp_path, capsys):
+        state_dir = self._define(tmp_path, capsys)
+        for shard in ("1/2", "2/2"):
+            assert main([
+                "exp", "run", "demo", "--shard", shard,
+                "--state-dir", state_dir,
+            ]) == 0
+        assert main(["exp", "merge", "demo", "--state-dir", state_dir]) == 0
+        out = capsys.readouterr().out
+        assert "merged 2 shard files" in out
+
+    def test_define_with_ablation(self, tmp_path, capsys):
+        state_dir = str(tmp_path / "experiments")
+        assert main([
+            "exp", "define", "sweep", "--kind", "sweep.beta",
+            "--seeds", "3", "--ablate", "beta=0.0,0.13",
+            "--state-dir", state_dir,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 tasks" in out
+
+    def test_define_accepts_sweep_shorthand_and_runs(self, tmp_path, capsys):
+        # "--kind storage" is the analysis-layer shorthand for
+        # "sweep.storage"; it must define runnable tasks, not a spec
+        # whose every task fails with an unknown-kind error.
+        state_dir = str(tmp_path / "experiments")
+        assert main([
+            "exp", "define", "short", "--kind", "storage",
+            "--scenario", "exp2-fc-dpm", "--seeds", "4",
+            "--ablate", "capacity=3,6", "--fast",
+            "--state-dir", state_dir,
+        ]) == 0
+        assert "sweep.storage" in capsys.readouterr().out
+        assert main(["exp", "run", "short", "--state-dir", state_dir]) == 0
+        assert "executed 2, resumed 0, failed 0" in capsys.readouterr().out
+
+    def test_define_unknown_kind_is_a_config_error(self, tmp_path, capsys):
+        assert main([
+            "exp", "define", "bogus", "--kind", "nope",
+            "--state-dir", str(tmp_path / "experiments"),
+        ]) == 2
+        out = capsys.readouterr().out
+        assert "unknown task kind" in out and "sweep.storage" in out
+
+    def test_status_without_name_lists(self, tmp_path, capsys):
+        state_dir = self._define(tmp_path, capsys)
+        assert main(["exp", "status", "--state-dir", state_dir]) == 0
+        assert "demo" in capsys.readouterr().out
+
+    def test_missing_experiment_is_a_config_error(self, tmp_path, capsys):
+        assert main([
+            "exp", "run", "ghost", "--state-dir", str(tmp_path / "x"),
+        ]) == 2
+        assert "error:" in capsys.readouterr().out
+
+
+class TestCacheCommand:
+    def test_stats_and_selective_clear(self, tmp_path, capsys):
+        state_dir = str(tmp_path / "experiments")
+        main([
+            "exp", "define", "c", "--scenario", "exp2-fc-dpm",
+            "--seeds", "0:2", "--fast", "--state-dir", state_dir,
+        ])
+        main(["exp", "run", "c", "--state-dir", state_dir])
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "exp/scenario" in out
+        assert main(["cache", "clear", "--namespace", "exp/scenario"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 2 entries" in out
+        assert main(["cache", "clear"]) == 0
+        assert "all namespaces" in capsys.readouterr().out
