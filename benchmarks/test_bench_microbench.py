@@ -427,6 +427,63 @@ def test_bench_vectorized_batch_stacked(emit, kernel_record):
     assert ratio >= 3.0, f"stacked kernel only {ratio:.1f}x faster"
 
 
+def test_bench_fc_stacked(emit, kernel_record):
+    """1000-seed FC-DPM sweep: lockstep stacked solves vs the per-row loop.
+
+    Kernel round 4's claim: FC-DPM's storage-coupled slot solves, which
+    forced the stacked route to fall back to one ``_run_fc`` pass per
+    row, batch across rows when the iteration is transposed -- all rows
+    advance in lockstep, one ``solve_slot_array`` call per slot column.
+    Both sides run the identical end-to-end sweep over 1000 seeds on
+    exp2-conv-dpm, warm best-of with interleaved gc'd rounds, under the
+    exact-equality contract.  Gate: >= 2x over the per-row loop (the
+    loop side is itself the scan-compiled kernel, not the scalar
+    simulator, so the bar is a genuine same-generation comparison).
+    """
+    import gc
+
+    from repro.scenario import get_scenario
+    from repro.sim.vectorized import simulate_batch
+
+    sc = get_scenario("exp2-conv-dpm")
+    seeds = list(range(1000))
+    policies = ["fc-dpm"]
+
+    stacked = simulate_batch(sc, seeds, policies, stacked=True)
+    loop = simulate_batch(sc, seeds, policies, stacked=False)
+    assert stacked == loop
+
+    t_loop = float("inf")
+    t_stacked = float("inf")
+    for _ in range(3):
+        gc.collect()
+        t0 = time.perf_counter()
+        simulate_batch(sc, seeds, policies, stacked=False)
+        t_loop = min(t_loop, time.perf_counter() - t0)
+        gc.collect()
+        t0 = time.perf_counter()
+        simulate_batch(sc, seeds, policies, stacked=True)
+        t_stacked = min(t_stacked, time.perf_counter() - t0)
+    ratio = t_loop / t_stacked
+    data = {
+        "n_seeds": len(seeds),
+        "policies": policies,
+        "loop_ms": 1e3 * t_loop,
+        "stacked_ms": 1e3 * t_stacked,
+        "speedup": ratio,
+    }
+    emit(
+        "microbench_fc_stacked",
+        "simulate_batch: 1000 seeds x fc-dpm (lockstep stacked), warm best-of\n"
+        f"per-row loop:    {1e3 * t_loop:.1f} ms\n"
+        f"stacked lockstep: {1e3 * t_stacked:.1f} ms\n"
+        f"speedup: {ratio:.1f}x",
+        data=data,
+    )
+    kernel_record("batch_fc_stacked", data)
+    assert ratio >= 2.0, f"fc-dpm stacked only {ratio:.1f}x faster"
+
+
 def test_bench_clamped_cumsum_clamp_heavy(emit, kernel_record):
     """Storage recurrence where nearly every segment clamps.
 

@@ -223,3 +223,48 @@ class FCDPMController(SourceController):
         self._active_planned = False
         self.solutions.clear()
         self.n_guard_activations = 0
+
+    def commit_kernel_run(
+        self,
+        n_slots: int,
+        *,
+        if_idle: float,
+        if_active: float,
+        active_planned: bool,
+        active_current_sum: float,
+        active_current_n: int,
+        solutions,
+        n_guards: int,
+        active_commit: tuple,
+        idle_commit: tuple | None,
+        frozen_idle_estimate: float | None,
+    ) -> None:
+        """Commit the end state of a compiled kernel pass in one shot.
+
+        The vectorized kernels (``sim.vectorized._run_fc`` per trace,
+        ``sim.stacked._run_fc_stacked`` per batch row) integrate a whole
+        run without touching the controller, then call this with exactly
+        the values the sequential ``on_idle_start`` / ``output`` /
+        ``on_slot_end`` protocol would have left behind.  ``*_commit``
+        are ``(observations, predictions, final_estimate)`` triples for
+        :meth:`~repro.prediction.exponential.ExponentialAveragePredictor
+        .commit_scan`; ``idle_commit`` is None when this controller does
+        not observe idle lengths, in which case a non-None
+        ``frozen_idle_estimate`` replays the frozen predictor's last
+        ``predict()`` bookkeeping (None when the device policy already
+        feeds the shared predictor).
+        """
+        if n_slots:
+            self._if_idle = if_idle
+            self._if_active = if_active
+            self._active_planned = active_planned
+        self._active_current_sum = active_current_sum
+        self._active_current_n = active_current_n
+        self.solutions.extend(solutions)
+        self.n_guard_activations += n_guards
+        self.active_length_predictor.commit_scan(*active_commit)
+        if idle_commit is not None:
+            self.idle_length_predictor.commit_scan(*idle_commit)
+        elif frozen_idle_estimate is not None and n_slots:
+            # Frozen predictor: predict() still remembered its estimate.
+            self.idle_length_predictor._remember(frozen_idle_estimate)

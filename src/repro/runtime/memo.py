@@ -21,12 +21,31 @@ anything else (e.g. a stateful composed model) transparently degrades
 to a direct solve.  The cache is process-local: parallel workers each
 warm their own, which preserves determinism (the solver is pure).
 
+The table is a bounded LRU: long sweeps and service-style lifetimes
+pose an unbounded stream of distinct problems, so instead of growing
+without limit (or dropping the whole table at a threshold, as earlier
+revisions did) the least-recently-used entry is evicted once the cap is
+reached.  The cap defaults to :data:`SOLVER_CACHE_MAX`, can be
+overridden with the ``FCDPM_SOLVER_CACHE_MAX`` environment variable,
+and is adjustable at runtime via :func:`set_solver_cache_max`.
+Evictions are counted in :class:`SolverCacheStats` and, when the obs
+layer is recording, surfaced as the ``runtime.memo.evictions`` counter
+beside a ``runtime.memo.hit_ratio`` gauge.
+
+The batched solver (:func:`repro.core.optimizer_array.solve_slot_array`)
+*bypasses* this cache entirely -- array passes amortize the solve
+across rows far below the per-hit cost of a dict probe, and seeding the
+LRU from whole batches would evict the scalar path's genuinely hot
+entries.  See ``docs/performance.md`` ("Kernel round 4").
+
 The solver is imported lazily so this module sits below
 :mod:`repro.core` in the import graph (``core.fc_dpm`` imports us).
 """
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -36,12 +55,25 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.setting import SlotProblem, SlotSolution
     from ..fuelcell.efficiency import SystemEfficiencyModel
 
-#: Bound on distinct (model, problem) entries; reached only by
-#: adversarial workloads, at which point the table is simply dropped.
+#: Default bound on distinct (model, problem) entries; beyond it the
+#: least-recently-used solution is evicted per insert.
 SOLVER_CACHE_MAX = 1 << 17
 
-_CACHE: dict[tuple, "SlotSolution"] = {}
+_CACHE: OrderedDict[tuple, "SlotSolution"] = OrderedDict()
+_CACHE_MAX = SOLVER_CACHE_MAX
 _SOLVE = None
+
+
+def _env_cache_max() -> int:
+    raw = os.environ.get("FCDPM_SOLVER_CACHE_MAX", "")
+    try:
+        value = int(raw)
+    except ValueError:
+        return SOLVER_CACHE_MAX
+    return value if value > 0 else SOLVER_CACHE_MAX
+
+
+_CACHE_MAX = _env_cache_max()
 
 
 def _solver():
@@ -56,11 +88,12 @@ def _solver():
 
 @dataclass
 class SolverCacheStats:
-    """Hit/miss counters of the slot-solver cache."""
+    """Hit/miss/eviction counters of the slot-solver cache."""
 
     hits: int = 0
     misses: int = 0
     uncacheable: int = 0
+    evictions: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -79,7 +112,7 @@ def solve_slot_memo(
     Bit-identical to the direct call (the solver is a pure function of
     ``(problem, model)``); repeated identical slots return the cached
     frozen :class:`~repro.core.setting.SlotSolution` in well under a
-    microsecond.
+    microsecond.  Entries beyond the LRU cap evict oldest-first.
     """
     token = getattr(model, "cache_token", None)
     if token is None:
@@ -91,15 +124,21 @@ def solve_slot_memo(
     solution = _CACHE.get(key)
     if solution is None:
         _STATS.misses += 1
+        while len(_CACHE) >= _CACHE_MAX:
+            _CACHE.popitem(last=False)
+            _STATS.evictions += 1
+            if OBS.enabled:
+                OBS.metrics.counter("runtime.memo.evictions").inc()
+        solution = _CACHE[key] = _solver()(problem, model)
         if OBS.enabled:
             OBS.metrics.counter("runtime.memo.misses").inc()
-        if len(_CACHE) >= SOLVER_CACHE_MAX:
-            _CACHE.clear()
-        solution = _CACHE[key] = _solver()(problem, model)
+            OBS.metrics.gauge("runtime.memo.hit_ratio").set(_STATS.hit_rate)
     else:
+        _CACHE.move_to_end(key)
         _STATS.hits += 1
         if OBS.enabled:
             OBS.metrics.counter("runtime.memo.hits").inc()
+            OBS.metrics.gauge("runtime.memo.hit_ratio").set(_STATS.hit_rate)
     return solution
 
 
@@ -111,9 +150,27 @@ def solver_cache_stats() -> SolverCacheStats:
 def clear_solver_cache() -> None:
     """Drop every cached solution and zero the counters."""
     _CACHE.clear()
-    _STATS.hits = _STATS.misses = _STATS.uncacheable = 0
+    _STATS.hits = _STATS.misses = _STATS.uncacheable = _STATS.evictions = 0
 
 
 def solver_cache_size() -> int:
     """Number of memoized (model, problem) entries."""
     return len(_CACHE)
+
+
+def solver_cache_max() -> int:
+    """Current LRU capacity."""
+    return _CACHE_MAX
+
+
+def set_solver_cache_max(cap: int) -> None:
+    """Resize the LRU; a smaller cap evicts oldest entries immediately."""
+    if cap <= 0:
+        raise ValueError("solver cache cap must be positive")
+    global _CACHE_MAX
+    _CACHE_MAX = cap
+    while len(_CACHE) > _CACHE_MAX:
+        _CACHE.popitem(last=False)
+        _STATS.evictions += 1
+        if OBS.enabled:
+            OBS.metrics.counter("runtime.memo.evictions").inc()

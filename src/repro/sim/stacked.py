@@ -18,9 +18,10 @@ trace-functional policies in single vectorized sweeps:
   all rows (:func:`_run_asap_stacked`) instead of a Python loop per
   segment per seed;
 - FC-DPM's Eq. 14/15 predictor scans batch across rows
-  (:func:`~repro.prediction.exponential.exponential_average_scan_batch`);
-  only its storage-coupled per-slot solves stay sequential, one row at
-  a time through the shared :func:`~repro.sim.vectorized._run_fc` pass.
+  (:func:`~repro.prediction.exponential.exponential_average_scan_batch`)
+  and its storage-coupled per-slot solves advance all rows in lockstep,
+  one :func:`~repro.core.optimizer_array.solve_slot_array` call per
+  slot column (:func:`_run_fc_stacked`).
 
 Planning is batched too: all rows' slots concatenate into one
 :func:`~repro.sim.integrator.plan_slot_arrays` call (every layout rule
@@ -46,6 +47,7 @@ individually (see docs/observability.md).
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import time
 from dataclasses import dataclass
@@ -56,6 +58,12 @@ import numpy as np
 
 from ..core.baselines import ASAPDPMController, ConvDPMController, StaticController
 from ..core.fc_dpm import FCDPMController
+from ..core.optimizer_array import (
+    SlotProblemColumns,
+    SlotSolutionColumns,
+    solve_slot_array,
+)
+from ..core.setting import SlotSolution
 from ..dpm.predictive import PredictiveShutdownPolicy
 from ..errors import SimulationError
 from ..obs import OBS
@@ -68,12 +76,10 @@ from .slotsim import SimulationResult, SlotResult
 from .vectorized import (
     _MAX_RESCANS,
     TraceArrays,
-    _assemble_result,
     _fc_scan_seeds,
     _fuel_currents,
     _realize_commands,
     _reason_key,
-    _run_fc,
     _storage_deltas,
     fast_path_ineligibility,
 )
@@ -588,6 +594,261 @@ def _run_asap_stacked(manager: "PowerManager", sp: StackedPlans) -> _StackedRun:
     )
 
 
+def _run_fc_stacked(
+    manager: "PowerManager",
+    sp: StackedPlans,
+    slots: _BatchSlots,
+    seeds: tuple[float, float],
+    idle_scan: tuple | None,
+    active_scan: tuple,
+) -> tuple[_StackedRun, dict]:
+    """Lockstep stacked pass for FC-DPM's storage-coupled slot solves.
+
+    The per-row sequential loop (``vectorized._run_fc``) cannot batch
+    along the segment axis -- each slot's ``SlotProblem`` takes the live
+    storage level as ``c_ini`` -- but it *can* batch across rows: every
+    row poses its slot-``k`` problem from state that only depends on its
+    own first ``k`` slots.  So this pass transposes the iteration:
+    advance all rows in lockstep, one slot column at a time.  At step
+    ``k`` it assembles per-row problem columns (predictor columns from
+    the batched Eq. 14/15 scans, the active-current running mean as a
+    masked fold, ``c_ini`` live from the previous step's storage
+    integration), solves them in a single
+    :func:`~repro.core.optimizer_array.solve_slot_array` call, and
+    integrates the column's idle/active segments with the
+    storage-saturation guard, clamp ledger, and Section-4.2 active
+    re-plan as vectorized mask arithmetic over all rows.
+
+    Bit-exactness: every expression replays ``_run_fc``'s scalar op
+    order (the solver by construction; the guard/realize/fuel/delta
+    arithmetic via the shared ``_realize_commands`` /
+    ``_fuel_currents`` / ``_storage_deltas`` helpers; phase folds as
+    masked sequential accumulation), so per-segment outputs, ledgers,
+    and controller end-state inputs equal the per-row pass bit for bit.
+    Rows shorter than the batch width go inert past their last slot:
+    their lanes still compute (the scan columns hold each row's frozen
+    estimate, so the dead solves stay in-range) but every commit is
+    masked by validity.  Requires stacked eligibility (bottomless tank:
+    no depletion aborts; exact controller/model types).
+
+    Returns the generic :class:`_StackedRun` (the driver's shared
+    assembly machinery consumes it like any other pass) plus the
+    FC-specific end-state columns the exit commit needs: per-row
+    solution fields, guard counts, running active-current sums, last
+    commands, and the active-plan flag.
+    """
+    controller = manager.controller
+    source = manager.source
+    fc = source.fc
+    storage = source.storage
+    model = controller.model
+    device = manager.device
+    flat = sp.flat
+
+    rows_n = sp.n_rows
+    valid = slots.valid
+    width_s = valid.shape[1]
+    rows_idx = np.arange(rows_n)
+
+    est_idle0, est_active0 = seeds
+    # Problem columns, floored exactly as the scalar pass floors them.
+    if idle_scan is None:
+        ti2d = None
+        ti_const = np.full(rows_n, max(est_idle0, 1e-6))
+    else:
+        ti2d = np.maximum(idle_scan[0], 1e-6)
+        ti_const = None
+    ta2d = np.maximum(active_scan[0], 1e-6)
+
+    slept2d = _pad_rows(flat.slept, valid).astype(bool)
+    i_idle2d = np.where(slept2d, device.i_slp, device.i_sdb)
+    ov = controller._overheads(True)
+    t_wu2d = np.where(slept2d, ov.get("t_wu", 0.0), 0.0)
+    t_pd2d = np.where(slept2d, ov.get("t_pd", 0.0), 0.0)
+    i_wu2d = np.where(slept2d, ov.get("i_wu", 0.0), 0.0)
+    i_pd2d = np.where(slept2d, ov.get("i_pd", 0.0), 0.0)
+    i_active2d = _pad_rows(slots.i_active, valid)
+
+    # start_run happens at the exit commit; its inputs are the fresh
+    # manager's storage state, read here without mutating anything.
+    c_target = storage.charge
+    c_max_col = np.full(rows_n, storage.capacity)
+    c_end_col = np.full(rows_n, c_target)
+    est_fixed = controller.active_current_estimate
+    fallback = controller.fallback_active_current
+    acn0 = controller._active_current_n
+
+    cap = storage.capacity
+    hi_guard = 0.999 * cap
+    lo_guard = 0.001 * cap
+    if_min = model.if_min
+    if_max = model.if_max
+
+    # Global segment indices of each (row, slot): idle spans
+    # [bstart, astart), active spans [astart, end).
+    g_bounds = flat.slot_bounds
+    bstart2d = np.zeros((rows_n, width_s), dtype=np.intp)
+    astart2d = np.zeros((rows_n, width_s), dtype=np.intp)
+    end2d = np.zeros((rows_n, width_s), dtype=np.intp)
+    bstart2d[valid] = g_bounds[:-1]
+    astart2d[valid] = flat.active_start
+    end2d[valid] = g_bounds[1:]
+    icnt2d = astart2d - bstart2d
+    acnt2d = end2d - astart2d
+    seg_base = sp.seg_offsets[:-1]
+
+    durs = flat.duration
+    loads = flat.i_load
+    i_f_flat = np.zeros(durs.shape[0])
+    fuel_flat = np.zeros(durs.shape[0])
+    charges = np.zeros((rows_n, sp.width + 1))
+    cur = np.full(rows_n, storage.charge)
+    charges[:, 0] = cur
+    bled = np.full(rows_n, storage.bled_charge)
+    deficit = np.full(rows_n, storage.deficit_charge)
+
+    guards = np.zeros(rows_n, dtype=np.intp)
+    acs = np.full(rows_n, controller._active_current_sum)
+    if_idle_last = np.full(rows_n, controller._if_idle)
+    if_active_last = np.full(rows_n, controller._if_active)
+    planned = np.full(rows_n, controller._active_planned, dtype=bool)
+
+    sol2d = {
+        name: np.zeros((rows_n, width_s), dtype=dtype)
+        for name, dtype in _SOL_FIELDS
+    }
+
+    def integrate(active_mask, g_idx, r_vals, ifc_vals):
+        """One segment column: fuel, storage clamp, per-segment scatter."""
+        nonlocal cur, bled, deficit
+        gs = np.where(active_mask, g_idx, 0)
+        d = durs[gs]
+        i_l = loads[gs]
+        fuel_j = ifc_vals * d
+        delta = _storage_deltas(storage, r_vals, i_l, d)
+        new = cur + delta
+        over = active_mask & (new > cap)
+        under = active_mask & (new < 0.0)
+        ok = active_mask & ~over & ~under
+        bled = bled + np.where(over, new - cap, 0.0)
+        deficit = deficit + np.where(under, -new, 0.0)
+        cur = np.where(over, cap, np.where(under, 0.0, np.where(ok, new, cur)))
+        g_act = g_idx[active_mask]
+        i_f_flat[g_act] = r_vals[active_mask]
+        fuel_flat[g_act] = fuel_j[active_mask]
+        charges[rows_idx[active_mask], g_act - seg_base[active_mask] + 1] = cur[
+            active_mask
+        ]
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        for k in range(width_s):
+            vk = valid[:, k]
+            # Active-current estimate: est / fallback / running mean,
+            # exactly the scalar priority (acn0 + k is the same python
+            # int the scalar divides by).
+            if est_fixed is not None:
+                i_est = np.full(rows_n, est_fixed)
+            elif acn0 + k == 0:
+                i_est = np.full(rows_n, fallback)
+            else:
+                i_est = acs / (acn0 + k)
+            probs = SlotProblemColumns(
+                t_idle=ti_const if ti2d is None else ti2d[:, k],
+                t_active=ta2d[:, k],
+                i_idle=i_idle2d[:, k],
+                i_active=i_est,
+                c_ini=cur,
+                c_end=c_end_col,
+                c_max=c_max_col,
+                sleeping=slept2d[:, k],
+                t_wu=t_wu2d[:, k],
+                t_pd=t_pd2d[:, k],
+                i_wu=i_wu2d[:, k],
+                i_pd=i_pd2d[:, k],
+            )
+            sol = solve_slot_array(probs, model)
+            for name, _ in _SOL_FIELDS:
+                sol2d[name][:, k] = getattr(sol, name)
+            if_idle = sol.if_idle
+            if_idle_last = np.where(vk, if_idle, if_idle_last)
+            if_active_last = np.where(vk, sol.if_active, if_active_last)
+
+            # Idle segments: guard + realize per segment column.
+            icnt = icnt2d[:, k]
+            for j in range(int(icnt[vk].max(initial=0))):
+                act = vk & (j < icnt)
+                gs = np.where(act, bstart2d[:, k] + j, 0)
+                i_l = loads[gs]
+                guard = ((cur >= hi_guard) & (if_idle > i_l)) | (
+                    (cur <= lo_guard) & (if_idle < i_l)
+                )
+                guards += guard & act
+                cmd = np.where(
+                    guard,
+                    np.minimum(np.maximum(i_l, if_min), if_max),
+                    if_idle,
+                )
+                r = _realize_commands(fc, cmd)
+                integrate(act, bstart2d[:, k] + j, r, _fuel_currents(fc, r))
+
+            # Active phase: sequential rem/dem folds, one held command.
+            acnt = acnt2d[:, k]
+            n_active = int(acnt[vk].max(initial=0))
+            rem = np.zeros(rows_n)
+            dem = np.zeros(rows_n)
+            for j in range(n_active):
+                aj = vk & (j < acnt)
+                gs = np.where(aj, astart2d[:, k] + j, 0)
+                d = durs[gs]
+                rem = np.where(aj, rem + d, rem)
+                dem = np.where(aj, dem + d * loads[gs], dem)
+            has_a = vk & (acnt > 0)
+            if_a = np.where(has_a, (dem + c_target - cur) / rem, if_min)
+            cmd_a = np.minimum(np.maximum(if_a, if_min), if_max)
+            if_active_last = np.where(has_a, cmd_a, if_active_last)
+            planned = np.where(vk, acnt > 0, planned)
+            r_a = _realize_commands(fc, cmd_a)
+            ifc_a = _fuel_currents(fc, r_a)
+            for j in range(n_active):
+                aj = vk & (j < acnt)
+                integrate(aj, astart2d[:, k] + j, r_a, ifc_a)
+
+            acs = np.where(vk, acs + i_active2d[:, k], acs)
+
+    run = _StackedRun(
+        fuel_flat=fuel_flat,
+        delivered_flat=i_f_flat * durs,
+        i_f_flat=i_f_flat,
+        charges=charges,
+        bled=bled,
+        deficit=deficit,
+        recharging=None,
+    )
+    state = {
+        "sol2d": sol2d,
+        "guards": guards,
+        "acs": acs,
+        "acn0": acn0,
+        "if_idle_last": if_idle_last,
+        "if_active_last": if_active_last,
+        "planned": planned,
+    }
+    return run, state
+
+
+#: SlotSolution fields in declaration order, with their column dtypes.
+_SOL_FIELDS = tuple(
+    (f.name, bool if f.name in ("range_clamped", "capacity_limited") else float)
+    for f in dataclasses.fields(SlotSolution)
+)
+
+
+def _fc_row_solutions(sol2d: dict, row: int, n: int) -> list:
+    """Row ``row``'s first ``n`` solved slots as scalar ``SlotSolution``s."""
+    cols = SlotSolutionColumns(**{name: arr[row] for name, arr in sol2d.items()})
+    return [cols.row(k) for k in range(n)]
+
+
 # -- batch driver -------------------------------------------------------------
 
 
@@ -696,8 +957,8 @@ def simulate_batch_stacked(
     sleeps_l = sleeps_rows.tolist()
     aborted_rows_l = aborted_rows.tolist()
 
-    # Per-spec stacked passes.  FC-DPM only batches its predictor scans
-    # here; its storage-coupled slot solves run per row below.
+    # Per-spec stacked passes.  FC-DPM batches its predictor scans and
+    # then sweeps all rows in lockstep, one slot column per step.
     runs: dict[str, _StackedRun] = {}
     fc_specs: dict[str, dict] = {}
     initial_charge: dict[str, float] = {}
@@ -731,10 +992,15 @@ def simulate_batch_stacked(
             active_scan = exponential_average_scan_batch(
                 apred.factor, seeds0[1], slots.t_active2d, slots.counts
             )
+            runs[spec], state = _run_fc_stacked(
+                mgr, sp, slots, seeds0, idle_scan, active_scan
+            )
             fc_specs[spec] = {
                 "seeds": seeds0,
+                "feeds": feeds,
                 "idle_scan": idle_scan,
                 "active_scan": active_scan,
+                "state": state,
             }
         else:
             cmd0 = (
@@ -744,7 +1010,7 @@ def simulate_batch_stacked(
             )
             runs[spec] = _run_const_stacked(mgr, sp, float(cmd0))
 
-    # Finish each non-FC run's assembly columns (totals + slot gathers,
+    # Finish each run's assembly columns (totals + slot gathers,
     # per-slot columns converted to Python lists whole).
     finals: dict[str, dict] = {}
     for spec, run in runs.items():
@@ -765,24 +1031,6 @@ def simulate_batch_stacked(
                 ends_local > astart_local, run.i_f_flat[g_bounds[1:] - 1], 0.0
             ).tolist()
         finals[spec] = entry
-
-    if fc_specs:
-        # The FC pass and _assemble_result read these per-row plan
-        # invariants; seed them from the batch columns up front.
-        seg_off_l = sp.seg_offsets.tolist()
-        for r, plan in enumerate(sp.rows):
-            slo = slot_off_l[r]
-            shi = slot_off_l[r + 1]
-            d = plan.__dict__
-            d["duration_total"] = float(dur_rows[r])
-            d["load_charge_total"] = float(load_rows[r])
-            d["load_charge_seg"] = load_seg[seg_off_l[r] : seg_off_l[r + 1]]
-            d["slot_load_charge"] = slot_loads[slo:shi]
-            d["slot_load_list"] = slot_loads_l[slo:shi]
-            d["slept_list"] = slept_l[slo:shi]
-            d["aborted_list"] = aborted_l[slo:shi]
-            d["n_sleeps"] = sleeps_l[r]
-            d["n_aborted"] = aborted_rows_l[r]
 
     if OBS.enabled:
         OBS.metrics.counter("sim.route", path="fast").inc(rows_n * len(specs))
@@ -840,21 +1088,63 @@ def simulate_batch_stacked(
         if run.recharging is not None:
             mgr.controller._recharging = bool(run.recharging[row])
 
+    def commit_fc_controller(spec: str, row: int) -> None:
+        """Leave an FC controller exactly as replaying ``row`` would.
+
+        ``mgr.reset`` wipes the shared probe-policy predictor when this
+        spec owns it, so callers must run :func:`commit_probe_policy`
+        *after* every FC commit.
+        """
+        info = fc_specs[spec]
+        st = info["state"]
+        mgr = managers[spec]
+        mgr.reset(initial_charge[spec])
+        controller = mgr.controller
+        controller.start_run(mgr.source.storage.charge, mgr.source.storage.capacity)
+        n = counts_l[row]
+        lo = int(slots.offsets[row])
+        ap2d, a_fin = info["active_scan"]
+        idle_scan = info["idle_scan"]
+        controller.commit_kernel_run(
+            n,
+            if_idle=float(st["if_idle_last"][row]),
+            if_active=float(st["if_active_last"][row]),
+            active_planned=bool(st["planned"][row]),
+            active_current_sum=float(st["acs"][row]),
+            active_current_n=st["acn0"] + n,
+            solutions=_fc_row_solutions(st["sol2d"], row, n),
+            n_guards=int(st["guards"][row]),
+            active_commit=(
+                slots.t_active[lo : lo + n],
+                ap2d[row, :n],
+                float(a_fin[row]),
+            ),
+            idle_commit=(
+                (
+                    slots.t_idle[lo : lo + n],
+                    idle_scan[0][row, :n],
+                    float(idle_scan[1][row]),
+                )
+                if controller.observes_idle
+                else None
+            ),
+            frozen_idle_estimate=None if info["feeds"] else info["seeds"][0],
+        )
+
     def commit_exit(row: int, raising_index: int | None) -> None:
         """Deferred end-state commits at the batch exit point.
 
         On success (``raising_index`` None) every spec gets ``row``.  On
         a deficit raise at (row, spec j), the serial loop had already
         run specs ``<= j`` on that row and specs ``> j`` only up to the
-        previous one; FC specs commit per row in their own pass and are
-        skipped here.
+        previous one.
         """
         for i, spec in enumerate(specs):
-            if spec in fc_specs:
-                continue
             target = row if raising_index is None or i <= raising_index else row - 1
             if target < 0:
                 continue  # fresh manager, untouched so far
+            if spec in fc_specs:
+                commit_fc_controller(spec, target)
             commit_manager(spec, target)
         commit_probe_policy(row)
 
@@ -862,46 +1152,11 @@ def simulate_batch_stacked(
     results: dict[int, dict[str, SimulationResult]] = {}
     for r, seed in enumerate(seed_list):
         per_policy: dict[str, SimulationResult] = {}
-        plan = sp.rows[r]
         n_slots_r = counts_l[r]
         slo = slot_off_l[r]
         shi = slo + n_slots_r
         for i, spec in enumerate(specs):
             mgr = managers[spec]
-            if spec in fc_specs:
-                info = fc_specs[spec]
-                mgr.reset(initial_charge[spec])
-                mgr.controller.start_run(
-                    mgr.source.storage.charge, mgr.source.storage.capacity
-                )
-                idle_scan = info["idle_scan"]
-                ap2d, a_fin = info["active_scan"]
-                scans = (
-                    None if idle_scan is None else idle_scan[0][r, :n_slots_r],
-                    None if idle_scan is None else float(idle_scan[1][r]),
-                    ap2d[r, :n_slots_r],
-                    float(a_fin[r]),
-                )
-                run1d = _run_fc(
-                    mgr,
-                    plan,
-                    None,
-                    info["seeds"],
-                    slots=(
-                        slots.t_idle[slo:shi].tolist(),
-                        slots.t_active[slo:shi].tolist(),
-                        slots.i_active[slo:shi].tolist(),
-                    ),
-                    scans=scans,
-                )
-                assert run1d is not None  # bottomless tank: cannot deplete
-                try:
-                    per_policy[mgr.name] = _assemble_result(mgr, plan, run1d, mdf)
-                except SimulationError:
-                    # _assemble_result committed this manager already.
-                    commit_exit(r, i)
-                    raise
-                continue
             run = runs[spec]
             entry = finals[spec]
             deficit_r = float(run.deficit[r])

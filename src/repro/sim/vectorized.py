@@ -957,23 +957,29 @@ def _run_fc(
     policy_feeds_idle = getattr(manager.policy, "predictor", None) is idle_pred
     if scans is not None:
         idle_preds, idle_final, active_preds, active_final = scans
-        ip = [est_idle0] * n_slots if idle_preds is None else idle_preds.tolist()
     else:
         if controller.observes_idle or policy_feeds_idle:
             idle_preds, idle_final = exponential_average_scan(
                 idle_pred.factor, est_idle0, t_idles
             )
-            ip = idle_preds.tolist()
         else:
             # Nobody observes the controller's idle predictor during the
             # run: it predicts its frozen pre-run estimate every slot.
             idle_preds = None
             idle_final = None
-            ip = [est_idle0] * n_slots
         active_preds, active_final = exponential_average_scan(
             active_pred.factor, est_active0, t_actives
         )
-    ap = active_preds.tolist()
+    # Problem columns, floored array-natively (np.maximum matches the
+    # scalar max() bitwise here: no signed-zero tie against 1e-6).  A
+    # frozen idle predictor contributes one constant, not a list.
+    if idle_preds is None:
+        ti_l = None
+        ti_const = max(est_idle0, 1e-6)
+    else:
+        ti_l = np.maximum(idle_preds, 1e-6).tolist()
+        ti_const = 0.0
+    ta_l = np.maximum(active_preds, 1e-6).tolist()
 
     durs = plan.duration.tolist()
     loads = plan.i_load.tolist()
@@ -1024,6 +1030,25 @@ def _run_fc(
     i_sdb = device.i_sdb
     i_slp = device.i_slp
 
+    # The active-current running mean (i_est at slot k uses the sum over
+    # slots < k) is trace-functional: precompute the whole series with a
+    # seeded cumsum that replays the scalar ``+=`` fold bit for bit.
+    if n_slots:
+        sums = _running_sums(acs, np.asarray(i_actives, dtype=float))
+        acs_final = float(sums[-1])
+    else:
+        sums = None
+        acs_final = acs
+    if est_fixed is not None:
+        est_l = None
+    elif n_slots:
+        counts = acn + np.arange(n_slots)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            means = sums[:-1] / counts
+        est_l = np.where(counts == 0, fallback, means).tolist()
+    else:
+        est_l = []
+
     solutions = []
     guards = 0
     if_idle_last = controller._if_idle
@@ -1032,17 +1057,11 @@ def _run_fc(
 
     for k in range(n_slots):
         sleeping = slept_l[k]
-        if est_fixed is not None:
-            i_est = est_fixed
-        elif acn == 0:
-            i_est = fallback
-        else:
-            i_est = acs / acn
         problem = SlotProblem(
-            t_idle=max(ip[k], 1e-6),
-            t_active=max(ap[k], 1e-6),
+            t_idle=ti_const if ti_l is None else ti_l[k],
+            t_active=ta_l[k],
             i_idle=i_slp if sleeping else i_sdb,
-            i_active=i_est,
+            i_active=est_fixed if est_l is None else est_l[k],
             c_ini=cur,
             c_end=c_target,
             c_max=c_max,
@@ -1143,24 +1162,24 @@ def _run_fc(
                 fuel_append(fuel_j)
                 charge_append(cur)
 
-        acs += i_actives[k]
-        acn += 1
-
     # Success: commit the exact sequential end state in one shot.
-    if n_slots:
-        controller._if_idle = if_idle_last
-        controller._if_active = if_active_last
-        controller._active_planned = last_planned
-    controller._active_current_sum = acs
-    controller._active_current_n = acn
-    controller.solutions.extend(solutions)
-    controller.n_guard_activations += guards
-    active_pred.commit_scan(t_actives, active_preds, active_final)
-    if controller.observes_idle:
-        idle_pred.commit_scan(t_idles, idle_preds, idle_final)
-    elif not policy_feeds_idle and n_slots:
-        # Frozen predictor: predict() still remembered its estimate.
-        idle_pred._remember(ip[-1])
+    controller.commit_kernel_run(
+        n_slots,
+        if_idle=if_idle_last,
+        if_active=if_active_last,
+        active_planned=last_planned,
+        active_current_sum=acs_final,
+        active_current_n=acn + n_slots,
+        solutions=solutions,
+        n_guards=guards,
+        active_commit=(t_actives, active_preds, active_final),
+        idle_commit=(
+            (t_idles, idle_preds, idle_final)
+            if controller.observes_idle
+            else None
+        ),
+        frozen_idle_estimate=None if policy_feeds_idle else est_idle0,
+    )
     # (Shared-predictor wiring: replay_policy already committed it.)
     return _KernelRun(
         np.asarray(if_l),

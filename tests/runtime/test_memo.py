@@ -1,7 +1,10 @@
 """Unit tests for the solver memoization layer."""
 
+import dataclasses
+
 import pytest
 
+import repro.runtime.memo as memo_mod
 from repro.core.optimizer import solve_slot
 from repro.core.setting import SlotProblem
 from repro.fuelcell.efficiency import (
@@ -9,9 +12,13 @@ from repro.fuelcell.efficiency import (
     ConstantSystemEfficiency,
     LinearSystemEfficiency,
 )
+from repro.obs import observing
 from repro.runtime.memo import (
+    SOLVER_CACHE_MAX,
     clear_solver_cache,
+    set_solver_cache_max,
     solve_slot_memo,
+    solver_cache_max,
     solver_cache_size,
     solver_cache_stats,
 )
@@ -25,9 +32,16 @@ PROBLEM = SlotProblem(
 
 @pytest.fixture(autouse=True)
 def fresh_cache():
+    cap = solver_cache_max()
     clear_solver_cache()
     yield
     clear_solver_cache()
+    set_solver_cache_max(cap)
+
+
+def _problems(n):
+    """``n`` distinct cacheable problems."""
+    return [dataclasses.replace(PROBLEM, t_idle=10.0 + k) for k in range(n)]
 
 
 class TestEquivalence:
@@ -109,3 +123,81 @@ class TestStats:
 
     def test_empty_hit_rate(self):
         assert solver_cache_stats().hit_rate == 0.0
+
+    def test_clear_resets_evictions(self):
+        set_solver_cache_max(2)
+        model = LinearSystemEfficiency()
+        for p in _problems(3):
+            solve_slot_memo(p, model)
+        assert solver_cache_stats().evictions == 1
+        clear_solver_cache()
+        assert solver_cache_stats().evictions == 0
+
+
+class TestLRUBound:
+    def test_default_cap(self):
+        assert SOLVER_CACHE_MAX == 1 << 17
+        assert solver_cache_max() == SOLVER_CACHE_MAX
+
+    def test_size_never_exceeds_cap(self):
+        set_solver_cache_max(4)
+        model = LinearSystemEfficiency()
+        for p in _problems(10):
+            solve_slot_memo(p, model)
+        assert solver_cache_size() == 4
+        assert solver_cache_stats().evictions == 6
+
+    def test_evicts_least_recently_used(self):
+        set_solver_cache_max(2)
+        model = LinearSystemEfficiency()
+        a, b, c = _problems(3)
+        solve_slot_memo(a, model)
+        solve_slot_memo(b, model)
+        solve_slot_memo(a, model)  # refresh a: b is now LRU
+        solve_slot_memo(c, model)  # evicts b
+        before = solver_cache_stats().misses
+        solve_slot_memo(a, model)
+        assert solver_cache_stats().misses == before  # a survived
+        solve_slot_memo(b, model)
+        assert solver_cache_stats().misses == before + 1  # b was evicted
+
+    def test_set_cap_evicts_down_immediately(self):
+        model = LinearSystemEfficiency()
+        for p in _problems(6):
+            solve_slot_memo(p, model)
+        assert solver_cache_size() == 6
+        set_solver_cache_max(2)
+        assert solver_cache_size() == 2
+        assert solver_cache_stats().evictions == 4
+
+    def test_rejects_non_positive_cap(self):
+        with pytest.raises(ValueError):
+            set_solver_cache_max(0)
+        with pytest.raises(ValueError):
+            set_solver_cache_max(-5)
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("FCDPM_SOLVER_CACHE_MAX", "7")
+        assert memo_mod._env_cache_max() == 7
+        monkeypatch.setenv("FCDPM_SOLVER_CACHE_MAX", "not-a-number")
+        assert memo_mod._env_cache_max() == SOLVER_CACHE_MAX
+        monkeypatch.setenv("FCDPM_SOLVER_CACHE_MAX", "-3")
+        assert memo_mod._env_cache_max() == SOLVER_CACHE_MAX
+        monkeypatch.delenv("FCDPM_SOLVER_CACHE_MAX")
+        assert memo_mod._env_cache_max() == SOLVER_CACHE_MAX
+
+
+class TestObsMetrics:
+    def test_eviction_counter_and_hit_ratio_gauge(self):
+        set_solver_cache_max(1)
+        model = LinearSystemEfficiency()
+        a, b = _problems(2)
+        with observing() as obs:
+            solve_slot_memo(a, model)  # miss
+            solve_slot_memo(a, model)  # hit
+            solve_slot_memo(b, model)  # miss + eviction
+            snapshot = obs.metrics.snapshot()
+        assert snapshot["runtime.memo.hits"]["value"] == 1
+        assert snapshot["runtime.memo.misses"]["value"] == 2
+        assert snapshot["runtime.memo.evictions"]["value"] == 1
+        assert snapshot["runtime.memo.hit_ratio"]["value"] == pytest.approx(1 / 3)
