@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test lint bench bench-smoke bench-vector trace-smoke exp-smoke report export examples all
+.PHONY: install test lint bench bench-smoke bench-vector trace-smoke exp-smoke live-smoke report export examples all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -58,6 +58,32 @@ exp-smoke:
 	FCDPM_CACHE_DIR=exp-smoke-out $(PYTHON) -m repro.cli exp report smoke-a
 	FCDPM_CACHE_DIR=exp-smoke-out $(PYTHON) -m repro.cli exp status
 	FCDPM_CACHE_DIR=exp-smoke-out $(PYTHON) -m repro.cli cache stats
+
+# Live-telemetry smoke: run a sharded experiment with --live flushing,
+# validate every heartbeat + OpenMetrics exposition structurally
+# (scripts/check_live.py), assert the watch/status/top scripting
+# surface (exit 0 on a healthy finished run), then inject a stall into
+# the heartbeats and assert `exp watch --once` exits 4.  Artifacts land
+# under live-smoke-out/.
+live-smoke:
+	rm -rf live-smoke-out
+	FCDPM_CACHE_DIR=live-smoke-out $(PYTHON) -m repro.cli exp define live-a \
+		--scenario exp2-fc-dpm --seeds 0:4 --policies conv-dpm,fc-dpm --fast
+	FCDPM_CACHE_DIR=live-smoke-out $(PYTHON) -m repro.cli exp run live-a \
+		--shard 1/2 --live --live-interval 0.2
+	FCDPM_CACHE_DIR=live-smoke-out $(PYTHON) -m repro.cli exp run live-a \
+		--shard 2/2 --live --live-interval 0.2
+	FCDPM_CACHE_DIR=live-smoke-out $(PYTHON) -m repro.cli exp merge live-a
+	$(PYTHON) scripts/check_live.py live-smoke-out/experiments/live-a \
+		--require-final --require-sample exp_tasks_done_total \
+		--require-sample sim_batch_rows_completed_total
+	FCDPM_CACHE_DIR=live-smoke-out $(PYTHON) -m repro.cli exp watch live-a --once
+	FCDPM_CACHE_DIR=live-smoke-out $(PYTHON) -m repro.cli exp status live-a --json > /dev/null
+	FCDPM_CACHE_DIR=live-smoke-out $(PYTHON) -m repro.cli top --once
+	$(PYTHON) scripts/check_live.py live-smoke-out/experiments/live-a --inject-stall
+	FCDPM_CACHE_DIR=live-smoke-out $(PYTHON) -m repro.cli exp watch live-a --once; \
+		test $$? -eq 4
+	@echo "live-smoke ok (stall detection verified)"
 
 # Just the vectorized-kernel gates: single-trace >= 4x (fc-dpm >= 2x),
 # batch serial >= 12x (>= 50x with >= 4 cores), fc batch >= 2.5x,

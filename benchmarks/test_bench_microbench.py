@@ -618,3 +618,75 @@ def test_bench_obs_disabled_overhead(emit):
         f"projected disabled-telemetry overhead {100 * overhead:.2f}% "
         "exceeds the 2% budget"
     )
+
+
+def test_bench_obs_live_disabled_overhead(emit):
+    """Disabled *live* telemetry must cost < 2% of the batch bench.
+
+    The live layer adds three hot-path hooks (``sim.batch_rows_completed``
+    per seed row, the in-flight chunk gauge, and per-chunk completion
+    counters) -- all behind the same ``OBS.enabled`` guard -- plus the
+    runner's ``progress is not None`` attribute test per task commit.
+    With telemetry off, no flusher thread may exist and the projected
+    guard cost must stay inside the 2% budget (same projection method
+    as :func:`test_bench_obs_disabled_overhead`).
+    """
+    import threading
+
+    from repro.obs import OBS
+    from repro.scenario import get_scenario
+    from repro.sim.vectorized import simulate_batch
+
+    assert not OBS.enabled, "benches must run with telemetry off"
+
+    n = 200_000
+    hit = False
+    t0 = time.perf_counter()
+    for _ in range(n):
+        if OBS.enabled:
+            hit = True
+    t_guard = (time.perf_counter() - t0) / n
+    assert not hit
+
+    sc = get_scenario("exp1-conv-dpm")
+    seeds = list(range(20))
+    policies = ["conv-dpm", "asap-dpm", "static:0.8"]
+    traces = {s: sc.build_trace(s) for s in seeds}
+
+    def run():
+        return simulate_batch(sc, seeds, policies, fast=True, traces=traces)
+
+    run()
+    t_batch = _best_of(run, repeats=3, number=1)
+
+    # Off-path executions the live layer adds per batch, overcounted:
+    # one rows-completed guard per seed row on each path (x2 margin for
+    # the loop + stacked variants), the inflight gauge + per-chunk
+    # counter guards (bounded by chunk count, overcounted at one per
+    # seed x policy), and one progress attribute test per task commit
+    # (same order as a guard; counted as guards here).
+    guards = 3 * len(seeds) * len(policies) + 2 * len(seeds) + 20
+    projected = guards * t_guard
+    overhead = projected / t_batch
+
+    assert not any(
+        t.name.startswith("fcdpm-live") for t in threading.enumerate()
+    ), "a LiveFlusher thread is alive in a telemetry-off bench"
+
+    emit(
+        "microbench_obs_live_disabled_overhead",
+        "live-telemetry disabled-path overhead vs vectorized batch\n"
+        f"guard: {1e9 * t_guard:.1f} ns/check\n"
+        f"batch: {1e3 * t_batch:.1f} ms per run\n"
+        f"projected overhead ({guards} guards, overcounted): "
+        f"{100 * overhead:.4f}%",
+        data={
+            "guard_ns": 1e9 * t_guard,
+            "batch_ms": 1e3 * t_batch,
+            "projected_overhead_fraction": overhead,
+        },
+    )
+    assert overhead < 0.02, (
+        f"projected disabled live-telemetry overhead {100 * overhead:.2f}% "
+        "exceeds the 2% budget"
+    )

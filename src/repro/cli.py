@@ -321,8 +321,202 @@ def _print_exp_status(state) -> None:
     print(format_table(rows, title=f"experiment: {state.spec.name}"))
 
 
+def _resolve_live(args: argparse.Namespace) -> float | None:
+    """``--live`` / ``--live-interval`` / ``$FCDPM_LIVE_INTERVAL``."""
+    from .obs.live import live_interval
+
+    if getattr(args, "live_interval", None) is not None:
+        return live_interval(args.live_interval)
+    if getattr(args, "live", False):
+        return live_interval(True)
+    return live_interval(None)
+
+
+def _experiment_payload(
+    store, name: str, stall_factor: float, now: float | None = None
+) -> dict:
+    """Machine-readable status of one experiment + its heartbeats.
+
+    The shape ``exp status --json`` / ``watch --json`` / ``top --json``
+    all emit -- the scripting surface for cross-host shard monitoring.
+    """
+    from .obs.live import heartbeat_age, is_stalled, iter_heartbeats
+
+    state = store.load(name)
+    counts = state.counts()
+    beats = []
+    for shard_label, data in iter_heartbeats(store.experiment_dir(name)):
+        beats.append({
+            "shard": shard_label,
+            "pid": data.get("pid"),
+            "host": data.get("host"),
+            "phase": data.get("phase", ""),
+            "tasks_done": data.get("tasks_done", 0),
+            "tasks_failed": data.get("tasks_failed", 0),
+            "tasks_total": data.get("tasks_total", 0),
+            "task_rate": data.get("task_rate", 0.0),
+            "eta_s": data.get("eta_s"),
+            "cache_hit_ratio": data.get("cache_hit_ratio"),
+            "interval_s": data.get("interval_s"),
+            "final": bool(data.get("final")),
+            "age_s": heartbeat_age(data, now),
+            "stalled": is_stalled(data, now, stall_factor),
+        })
+    return {
+        "name": name,
+        "status": state.status,
+        "spec_hash": state.spec.content_hash,
+        "kind": state.spec.kind,
+        "tasks": {"total": len(state.tasks), **counts},
+        "heartbeats": beats,
+        "stalled": any(b["stalled"] for b in beats),
+        "failed": counts.get("failed", 0),
+    }
+
+
+def _payload_exit_code(payloads: list[dict]) -> int:
+    """Scripting contract: 4 = stall detected, 1 = failures, 0 = ok."""
+    if any(p["stalled"] for p in payloads):
+        return 4
+    if any(p["failed"] for p in payloads):
+        return 1
+    return 0
+
+
+def _fmt_duration(seconds: float | None) -> str:
+    if seconds is None:
+        return "-"
+    seconds = float(seconds)
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    if seconds < 3600:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds / 3600:.1f}h"
+
+
+def _heartbeat_rows(payload: dict) -> list[list[str]]:
+    rows = [["shard", "phase", "done", "failed", "total", "rate/s",
+             "eta", "age", "state"]]
+    for b in payload["heartbeats"]:
+        if b["stalled"]:
+            state = "STALLED"
+        elif b["final"]:
+            state = "final"
+        else:
+            state = "live"
+        rows.append([
+            b["shard"] or "-", b["phase"] or "-",
+            str(b["tasks_done"]), str(b["tasks_failed"]),
+            str(b["tasks_total"]),
+            f"{b['task_rate']:.2f}",
+            _fmt_duration(b["eta_s"]),
+            _fmt_duration(b["age_s"]),
+            state,
+        ])
+    return rows
+
+
+def _render_watch(payload: dict) -> str:
+    header = (
+        f"experiment: {payload['name']}  status: {payload['status']}  "
+        f"kind: {payload['kind']}"
+    )
+    if not payload["heartbeats"]:
+        return header + "\n  (no heartbeats yet -- run with --live)"
+    return header + "\n" + format_table(_heartbeat_rows(payload))
+
+
+def _cmd_exp_watch(args: argparse.Namespace, store) -> int:
+    """``fcdpm exp watch NAME`` -- poll heartbeats, render, detect stalls."""
+    import json as _json
+
+    def render_once() -> tuple[int, dict]:
+        payload = _experiment_payload(store, args.name, args.stall_factor)
+        if args.json:
+            print(_json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(_render_watch(payload))
+        return _payload_exit_code([payload]), payload
+
+    if args.once:
+        return render_once()[0]
+    try:
+        while True:
+            print("\x1b[2J\x1b[H", end="")
+            code, payload = render_once()
+            done = sum(b["tasks_done"] + b["tasks_failed"]
+                       for b in payload["heartbeats"])
+            total = sum(b["tasks_total"] for b in payload["heartbeats"])
+            if payload["heartbeats"] and all(
+                b["final"] for b in payload["heartbeats"]
+            ) and (not total or done >= total):
+                return code
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """``fcdpm top`` -- every experiment's live heartbeats in one table."""
+    import json as _json
+
+    from .errors import ConfigurationError
+
+    store = _exp_store(args)
+
+    def collect() -> list[dict]:
+        payloads = []
+        for name in store.names():
+            try:
+                payloads.append(
+                    _experiment_payload(store, name, args.stall_factor)
+                )
+            except ConfigurationError:
+                continue
+        return payloads
+
+    def render_once() -> int:
+        payloads = collect()
+        if args.json:
+            print(_json.dumps(payloads, indent=2, sort_keys=True))
+            return _payload_exit_code(payloads)
+        rows = [["experiment", "status", "shard", "phase", "done", "failed",
+                 "total", "eta", "age", "state"]]
+        for p in payloads:
+            if not p["heartbeats"]:
+                rows.append([p["name"], p["status"], "-", "-", "-", "-",
+                             str(p["tasks"]["total"]), "-", "-", "-"])
+                continue
+            for b in p["heartbeats"]:
+                if b["stalled"]:
+                    state = "STALLED"
+                elif b["final"]:
+                    state = "final"
+                else:
+                    state = "live"
+                rows.append([
+                    p["name"], p["status"], b["shard"] or "-",
+                    b["phase"] or "-", str(b["tasks_done"]),
+                    str(b["tasks_failed"]), str(b["tasks_total"]),
+                    _fmt_duration(b["eta_s"]), _fmt_duration(b["age_s"]),
+                    state,
+                ])
+        print(format_table(rows, title=f"experiments under {store.root}"))
+        return _payload_exit_code(payloads)
+
+    if args.once:
+        return render_once()
+    try:
+        while True:
+            print("\x1b[2J\x1b[H", end="")
+            render_once()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
 def _cmd_exp(args: argparse.Namespace) -> int:
-    """``fcdpm exp define|run|resume|status|merge|report``."""
+    """``fcdpm exp define|run|resume|status|merge|report|watch``."""
     from .errors import ConfigurationError
     from .exp import (
         AbortRun,
@@ -359,16 +553,30 @@ def _cmd_exp(args: argparse.Namespace) -> int:
                   f"(hash {spec.content_hash[:16]}) under {store.root}")
             _print_exp_status(state)
             return 0
+        if args.action == "watch":
+            return _cmd_exp_watch(args, store)
         if args.action in ("run", "resume"):
+            from contextlib import nullcontext
+
+            live = _resolve_live(args)
+            # Live flushing needs a populated registry: wrap the run in
+            # an observing() scope so counters/gauges actually record.
+            scope = nullcontext()
+            if live is not None:
+                from .obs import OBS, observing
+
+                scope = observing() if not OBS.enabled else nullcontext()
             try:
-                run = run_experiment(
-                    args.name,
-                    store=store,
-                    cache=_cache(args),
-                    workers=args.workers,
-                    shard=args.shard,
-                    resume=not getattr(args, "no_resume", False),
-                )
+                with scope:
+                    run = run_experiment(
+                        args.name,
+                        store=store,
+                        cache=_cache(args),
+                        workers=args.workers,
+                        shard=args.shard,
+                        resume=not getattr(args, "no_resume", False),
+                        live=live,
+                    )
             except AbortRun as exc:
                 print(f"aborted: {exc}")
                 return 3
@@ -379,6 +587,17 @@ def _cmd_exp(args: argparse.Namespace) -> int:
             )
             return 1 if run.failed else 0
         if args.action == "status":
+            if getattr(args, "json", False):
+                import json as _json
+
+                names = [args.name] if args.name else store.names()
+                payloads = [
+                    _experiment_payload(store, name, args.stall_factor)
+                    for name in names
+                ]
+                out = payloads[0] if args.name else payloads
+                print(_json.dumps(out, indent=2, sort_keys=True))
+                return _payload_exit_code(payloads)
             if args.name is None:
                 rows = [["experiment", "status", "tasks", "done"]]
                 for name in store.names():
@@ -559,8 +778,45 @@ def main(argv: list[str] | None = None) -> int:
     )
     exp_resume.add_argument("name")
     exp_resume.add_argument("--shard", metavar="I/N")
+    for sub_parser in (exp_run, exp_resume):
+        sub_parser.add_argument(
+            "--live", action="store_true",
+            help="publish live heartbeats + an OpenMetrics exposition "
+            "under the experiment dir while running (fcdpm exp watch)",
+        )
+        sub_parser.add_argument(
+            "--live-interval", type=float, metavar="SECONDS",
+            help="live flush cadence (implies --live; default 1.0, "
+            "also via $FCDPM_LIVE_INTERVAL)",
+        )
     exp_status = exp_sub.add_parser("status", help="lifecycle summary")
     exp_status.add_argument("name", nargs="?", help="omit to list everything")
+    exp_status.add_argument(
+        "--json", action="store_true",
+        help="machine-readable status incl. live heartbeats "
+        "(exit 4 on a detected stall, 1 on failed tasks)",
+    )
+    exp_watch = exp_sub.add_parser(
+        "watch", help="refreshing live-progress view of a running experiment"
+    )
+    exp_watch.add_argument("name")
+    exp_watch.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="poll cadence for the refreshing view (default 2s)",
+    )
+    exp_watch.add_argument(
+        "--once", action="store_true",
+        help="render one frame and exit (exit 4 = stall, 1 = failures)",
+    )
+    exp_watch.add_argument(
+        "--json", action="store_true", help="emit the status payload as JSON"
+    )
+    for sub_parser in (exp_status, exp_watch):
+        sub_parser.add_argument(
+            "--stall-factor", type=float, default=3.0, metavar="N",
+            help="flag a shard stalled when its heartbeat is older than "
+            "N x its flush interval (default 3)",
+        )
     exp_merge = exp_sub.add_parser(
         "merge", help="fold shard state files into state.json"
     )
@@ -574,12 +830,37 @@ def main(argv: list[str] | None = None) -> int:
         help="advance consumed task records to 'analyzed'",
     )
     for sub_parser in (exp_define, exp_run, exp_resume, exp_status,
-                       exp_merge, exp_report):
+                       exp_watch, exp_merge, exp_report):
         sub_parser.add_argument(
             "--state-dir", default=None,
             help="experiment state root (default $FCDPM_EXP_DIR or "
             "<cache dir>/experiments)",
         )
+
+    top = sub.add_parser(
+        "top", help="live heartbeat overview of every experiment"
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="poll cadence for the refreshing view (default 2s)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="render one frame and exit (exit 4 = stall, 1 = failures)",
+    )
+    top.add_argument(
+        "--json", action="store_true", help="emit status payloads as JSON"
+    )
+    top.add_argument(
+        "--stall-factor", type=float, default=3.0, metavar="N",
+        help="flag a shard stalled when its heartbeat is older than "
+        "N x its flush interval (default 3)",
+    )
+    top.add_argument(
+        "--state-dir", default=None,
+        help="experiment state root (default $FCDPM_EXP_DIR or "
+        "<cache dir>/experiments)",
+    )
 
     cache = sub.add_parser("cache", help="result-cache statistics and hygiene")
     cache_sub = cache.add_subparsers(dest="action", required=True)
@@ -646,6 +927,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "trace": _cmd_trace,
         "exp": _cmd_exp,
+        "top": _cmd_top,
         "cache": _cmd_cache,
     }
     return handlers[args.command](args)

@@ -40,6 +40,7 @@ from typing import Any
 
 from ..errors import ConfigurationError
 from ..obs import OBS
+from ..obs.live import LiveFlusher, LiveProgress, live_interval
 from ..runtime.cache import ResultCache, code_fingerprint
 from ..runtime.parallel import ParallelMap
 from .spec import ExperimentSpec, UnitTask
@@ -186,6 +187,9 @@ class _Runner:
         self.shard_label = f"{shard[0]}/{shard[1]}" if shard else None
         self.abort_after = _abort_after()
         self.committed = 0
+        #: Live task-progress counters, set when ``--live`` flushing is
+        #: on; every commit path bumps it so the heartbeat tracks.
+        self.progress: LiveProgress | None = None
         self.run = ExperimentRun(
             spec=state.spec, state=state, shard=shard, _cache=cache
         )
@@ -197,6 +201,11 @@ class _Runner:
         if self.store is not None:
             self.state.refresh_status()
             self.store.save(self.state, shard=self.shard)
+
+    def set_phase(self, phase: str) -> None:
+        """Surface the current dispatch phase in the live heartbeat."""
+        if self.progress is not None:
+            self.progress.set_phase(phase)
 
     def _maybe_abort(self) -> None:
         if self.abort_after is not None and self.committed >= self.abort_after:
@@ -220,6 +229,8 @@ class _Runner:
         self.run.results[task.task_id] = value
         self.run.executed += 1
         self.committed += 1
+        if self.progress is not None:
+            self.progress.add_done()
         if OBS.enabled:
             OBS.metrics.counter("exp.tasks_done", kind=task.kind).inc()
         self.checkpoint()
@@ -232,6 +243,8 @@ class _Runner:
         record.error = error
         self.run.failed += 1
         self.committed += 1
+        if self.progress is not None:
+            self.progress.add_failed()
         if OBS.enabled:
             OBS.metrics.counter("exp.tasks_failed", kind=task.kind).inc()
         self.checkpoint()
@@ -244,6 +257,10 @@ class _Runner:
         record.resumed = True
         record.cache_key = key
         self.run.resumed += 1
+        if self.progress is not None:
+            # Resumed tasks count toward done so the heartbeat's
+            # done+failed converges on total.
+            self.progress.add_done()
         if OBS.enabled:
             OBS.metrics.counter("exp.tasks_resumed", kind=task.kind).inc()
 
@@ -261,6 +278,10 @@ class _Runner:
             scenario = group[0].scenario
             if isinstance(scenario, dict):
                 scenario = Scenario.from_dict(scenario)
+            self.set_phase(
+                "batch:"
+                + (scenario if isinstance(scenario, str) else scenario.name)
+            )
             by_cell = {
                 (t.seed, effective_policy(t)): t for t in group
             }
@@ -313,6 +334,7 @@ class _Runner:
         """Fan every other kind out through :class:`ParallelMap`."""
         if not tasks:
             return
+        self.set_phase("dispatch:tasks")
         workers = self.workers if self.workers is not None else 0
         if workers and workers != 1 and len(tasks) > 1:
             outcomes = ParallelMap(workers=self.workers).map(_safe_run_task, tasks)
@@ -348,6 +370,7 @@ def run_experiment(
     workers: int | None = 1,
     shard=None,
     resume: bool = True,
+    live: float | bool | None = None,
 ) -> ExperimentRun:
     """Drive an experiment's unit tasks to completion.
 
@@ -375,6 +398,14 @@ def run_experiment(
     resume:
         Skip tasks whose results are already in the cache (verified
         via their entry manifests).  ``False`` re-executes everything.
+    live:
+        Live-telemetry flushing: ``True`` enables it at the default
+        cadence, a number is the flush interval in seconds, ``None``
+        defers to ``$FCDPM_LIVE_INTERVAL``, ``False`` forces it off.
+        When on (and a ``store`` provides a directory), a background
+        :class:`~repro.obs.live.LiveFlusher` publishes per-shard
+        heartbeats + an OpenMetrics exposition under the experiment
+        dir for ``fcdpm exp watch`` / ``fcdpm top``.
 
     Returns an :class:`ExperimentRun`; the state file (when persisted)
     is left consistent even if the process dies mid-run, because every
@@ -402,12 +433,50 @@ def run_experiment(
     shard_label = f"{shard[0]}/{shard[1]}" if shard else "1/1"
 
     runner = _Runner(state, store, cache, shard, workers)
+    interval = live_interval(live)
+    flusher: LiveFlusher | None = None
+    if interval is not None and store is not None:
+        runner.progress = LiveProgress(total=len(mine), phase="resume-scan")
+        flusher = LiveFlusher(
+            store.experiment_dir(spec.name),
+            spec.name,
+            progress=runner.progress,
+            interval=interval,
+            shard=shard,
+        )
+        flusher.start()
     t0 = time.perf_counter()
+    clean = False
+    try:
+        _run_all(runner, spec, state, cache, mine, fingerprint, shard_label, resume)
+        clean = True
+    finally:
+        if flusher is not None:
+            runner.set_phase("done" if clean else "aborted")
+            flusher.stop(final=clean)
+
+    runner.run.wall_s = time.perf_counter() - t0
+    if store is not None:
+        _write_run_manifest(store, state, runner, workers)
+    return runner.run
+
+
+def _run_all(
+    runner: _Runner,
+    spec: ExperimentSpec,
+    state: ExperimentState,
+    cache: ResultCache,
+    mine: list[UnitTask],
+    fingerprint: str,
+    shard_label: str,
+    resume: bool,
+) -> None:
+    """The span-wrapped resume-scan + dispatch body of a run."""
     with OBS.span(
         "exp.run",
         experiment=spec.name,
         kind=spec.kind,
-        n_tasks=len(tasks),
+        n_tasks=len(state.tasks),
         shard=shard_label,
     ) as span:
         # -- resume scan ---------------------------------------------------
@@ -459,11 +528,6 @@ def run_experiment(
                 resumed=runner.run.resumed,
                 failed=runner.run.failed,
             )
-
-    runner.run.wall_s = time.perf_counter() - t0
-    if store is not None:
-        _write_run_manifest(store, state, runner, workers)
-    return runner.run
 
 
 def _write_run_manifest(

@@ -17,6 +17,16 @@ The observability layer for the runtime/sim/power stack.  Four pieces:
     JSONL dumps, Chrome ``chrome://tracing`` files, human summaries
     (surfaced as ``fcdpm trace summary`` / ``fcdpm run --trace``).
 
+Two live-telemetry companions stream state *during* a run:
+
+:mod:`repro.obs.live`
+    A background :class:`LiveFlusher` thread publishing atomic
+    heartbeat JSONs (progress, rate, ETA, stall detection) per
+    run/shard, polled by ``fcdpm exp watch`` / ``fcdpm top``.
+:mod:`repro.obs.openmetrics`
+    OpenMetrics text exposition of the full metrics snapshot --
+    renderer, atomic writer, parser, and validator.
+
 Everything is **off by default** and reached through the
 :data:`~repro.obs.state.OBS` switchboard -- instrumented hot paths cost
 one attribute test when disabled (benchmarked under 2% on the
@@ -31,8 +41,26 @@ from .export import (
     write_spans_jsonl,
     write_trace_bundle,
 )
+from .live import (
+    HEARTBEAT_SCHEMA_VERSION,
+    Heartbeat,
+    LiveFlusher,
+    LiveProgress,
+    heartbeat_age,
+    heartbeat_path,
+    is_stalled,
+    iter_heartbeats,
+    live_interval,
+    validate_heartbeat,
+)
 from .manifest import MANIFEST_SCHEMA_VERSION, RunManifest, build_manifest
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .openmetrics import (
+    parse_openmetrics,
+    render_openmetrics,
+    validate_exposition,
+    write_openmetrics,
+)
 from .schema import (
     validate_chrome_trace,
     validate_manifest,
@@ -44,12 +72,16 @@ from .state import OBS, Observability, disable, enable, observing
 from .tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
+    "HEARTBEAT_SCHEMA_VERSION",
     "MANIFEST_SCHEMA_VERSION",
     "NULL_TRACER",
     "OBS",
     "Counter",
     "Gauge",
+    "Heartbeat",
     "Histogram",
+    "LiveFlusher",
+    "LiveProgress",
     "MetricsRegistry",
     "NullTracer",
     "Observability",
@@ -59,15 +91,25 @@ __all__ = [
     "build_manifest",
     "disable",
     "enable",
+    "heartbeat_age",
+    "heartbeat_path",
+    "is_stalled",
+    "iter_heartbeats",
+    "live_interval",
     "observing",
+    "parse_openmetrics",
     "read_jsonl",
+    "render_openmetrics",
     "trace_summary",
+    "validate_exposition",
+    "validate_heartbeat",
     "validate_chrome_trace",
     "validate_manifest",
     "validate_span",
     "validate_span_set",
     "validate_trace_dir",
     "write_chrome_trace",
+    "write_openmetrics",
     "write_spans_jsonl",
     "write_trace_bundle",
 ]

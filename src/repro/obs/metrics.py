@@ -40,13 +40,15 @@ _HISTOGRAM_RESERVOIR = 8192
 class Counter:
     """Monotonically increasing value (ints or float quantities)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
-    def __init__(self) -> None:
+    def __init__(self, lock: threading.Lock | None = None) -> None:
         self.value = 0.0
+        self._lock = lock if lock is not None else threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def to_dict(self) -> dict[str, Any]:
         return {"type": "counter", "value": self.value}
@@ -55,13 +57,15 @@ class Counter:
 class Gauge:
     """Last-written value (e.g. a configuration or end-state reading)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
-    def __init__(self) -> None:
+    def __init__(self, lock: threading.Lock | None = None) -> None:
         self.value = 0.0
+        self._lock = lock if lock is not None else threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def to_dict(self) -> dict[str, Any]:
         return {"type": "gauge", "value": self.value}
@@ -76,25 +80,27 @@ class Histogram:
     exact.
     """
 
-    __slots__ = ("count", "total", "minimum", "maximum", "_samples")
+    __slots__ = ("count", "total", "minimum", "maximum", "_samples", "_lock")
 
-    def __init__(self) -> None:
+    def __init__(self, lock: threading.Lock | None = None) -> None:
         self.count = 0
         self.total = 0.0
         self.minimum = math.inf
         self.maximum = -math.inf
         self._samples: list[float] = []
+        self._lock = lock if lock is not None else threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        if value < self.minimum:
-            self.minimum = value
-        if value > self.maximum:
-            self.maximum = value
-        if len(self._samples) < _HISTOGRAM_RESERVOIR:
-            self._samples.append(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.minimum:
+                self.minimum = value
+            if value > self.maximum:
+                self.maximum = value
+            if len(self._samples) < _HISTOGRAM_RESERVOIR:
+                self._samples.append(value)
 
     @property
     def mean(self) -> float:
@@ -131,11 +137,13 @@ def _key(name: str, labels: dict[str, Any]) -> str:
 class MetricsRegistry:
     """Get-or-create instrument store with a flat snapshot export.
 
-    Instrument creation is lock-protected; updates on an obtained
-    instrument are plain attribute arithmetic (the GIL makes the
-    occasional lost increment under free threading a non-issue for
-    throughput telemetry -- the simulators themselves are
-    single-threaded per process).
+    Registry-created instruments share the registry's lock: every
+    mutation (``inc``/``set``/``observe``) and the whole of
+    :meth:`snapshot` acquire it, so a live flusher thread snapshotting
+    mid-run can never observe a torn instrument (e.g. a histogram whose
+    ``count`` was bumped but whose ``sum`` wasn't yet).  The lock is
+    uncontended single-threaded and only ever paid on the *enabled*
+    path -- disabled hot paths never reach an instrument at all.
     """
 
     def __init__(self) -> None:
@@ -147,7 +155,7 @@ class MetricsRegistry:
         inst = self._instruments.get(key)
         if inst is None:
             with self._lock:
-                inst = self._instruments.setdefault(key, cls())
+                inst = self._instruments.setdefault(key, cls(self._lock))
         if not isinstance(inst, cls):
             raise TypeError(
                 f"instrument {key!r} is a {type(inst).__name__}, "
@@ -168,10 +176,19 @@ class MetricsRegistry:
         return len(self._instruments)
 
     def snapshot(self) -> dict[str, dict[str, Any]]:
-        """Flat ``{key: instrument-dict}`` view, sorted by key."""
+        """Flat ``{key: instrument-dict}`` view, sorted by key.
+
+        The entire export is built while holding the registry lock, so
+        concurrent mutators (which take the same lock) can never be
+        caught mid-update -- every instrument dict in the snapshot is
+        internally consistent, and the snapshot as a whole is a single
+        point-in-time cut.
+        """
         with self._lock:
-            items = sorted(self._instruments.items())
-        return {key: inst.to_dict() for key, inst in items}
+            return {
+                key: inst.to_dict()
+                for key, inst in sorted(self._instruments.items())
+            }
 
     def merge(self, snapshot: dict[str, dict[str, Any]]) -> None:
         """Fold a foreign snapshot in (worker registries after a fan-out).
@@ -193,11 +210,16 @@ class MetricsRegistry:
                 self.gauge(name, **labels).set(data.get("value", 0.0))
             elif kind == "histogram":
                 hist = self.histogram(name, **labels)
-                hist.count += int(data.get("count", 0))
-                hist.total += float(data.get("sum", 0.0))
-                if data.get("count"):
-                    hist.minimum = min(hist.minimum, float(data.get("min", math.inf)))
-                    hist.maximum = max(hist.maximum, float(data.get("max", -math.inf)))
+                with hist._lock:
+                    hist.count += int(data.get("count", 0))
+                    hist.total += float(data.get("sum", 0.0))
+                    if data.get("count"):
+                        hist.minimum = min(
+                            hist.minimum, float(data.get("min", math.inf))
+                        )
+                        hist.maximum = max(
+                            hist.maximum, float(data.get("max", -math.inf))
+                        )
 
     def reset(self) -> None:
         """Drop every instrument (tests and fresh runs)."""

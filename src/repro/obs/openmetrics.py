@@ -1,0 +1,345 @@
+"""OpenMetrics text exposition of a :class:`MetricsRegistry` snapshot.
+
+The live-telemetry layer (:mod:`repro.obs.live`) periodically renders
+the full metrics snapshot into the `OpenMetrics text format
+<https://prometheus.io/docs/specs/om/open_metrics_spec/>`_ -- the exact
+artifact a future ``fcdpm serve /metrics`` endpoint will serve, and a
+file Prometheus' node-exporter textfile collector can scrape today.
+
+Mapping from the registry's instrument model:
+
+==============  ==============================================================
+registry kind   OpenMetrics family
+==============  ==============================================================
+counter         ``counter`` -- one ``<name>_total`` sample
+gauge           ``gauge`` -- one ``<name>`` sample
+histogram       ``summary`` -- ``{quantile="0.5"|"0.95"}`` samples (the
+                registry's nearest-rank p50/p95) plus ``_sum`` / ``_count``
+==============  ==============================================================
+
+Registry keys (``sim.route{path=fast}``) are split back into name +
+labels; names and label names are sanitized into the OpenMetrics
+charset (``sim_route``), label values are escaped per the spec.  The
+module also ships a small text-format *parser* so tests and
+``scripts/check_live.py`` can round-trip an exposition instead of
+string-matching it.
+
+Everything is dependency-free and pure -- rendering never touches the
+registry lock (it consumes an already-taken snapshot).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import re
+import tempfile
+from pathlib import Path
+from typing import Any
+
+#: Schema note stamped into the exposition header comment.
+OPENMETRICS_VERSION = "1.0.0"
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_LABEL_OK = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+#: The two quantiles the registry's histograms retain.
+_QUANTILES = (("0.5", "p50"), ("0.95", "p95"))
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Fold an arbitrary registry name into the OpenMetrics charset.
+
+    Dots and dashes (the registry convention: ``sim.batch_route``)
+    become underscores; a leading digit gets an underscore prefix; the
+    empty string becomes ``_``.
+    """
+    out = _NAME_BAD.sub("_", name)
+    if not out or out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def sanitize_label_name(name: str) -> str:
+    """Same folding for label names (no colons allowed there)."""
+    out = _LABEL_BAD.sub("_", name)
+    if not out or out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the spec: backslash, quote, newline."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def unescape_label_value(value: str) -> str:
+    """Inverse of :func:`escape_label_value` (used by the parser)."""
+    out: list[str] = []
+    it = iter(value)
+    for ch in it:
+        if ch != "\\":
+            out.append(ch)
+            continue
+        nxt = next(it, "")
+        out.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, nxt))
+    return "".join(out)
+
+
+def split_metric_key(key: str) -> tuple[str, dict[str, str]]:
+    """Split a registry key ``name{k=v,...}`` into ``(name, labels)``."""
+    name, brace, inner = key.partition("{")
+    if not brace:
+        return key, {}
+    inner = inner[:-1] if inner.endswith("}") else inner
+    labels: dict[str, str] = {}
+    for part in inner.split(","):
+        if not part:
+            continue
+        k, _, v = part.partition("=")
+        labels[k] = v
+    return name, labels
+
+
+def _format_value(value: Any) -> str:
+    """A float rendered per the spec (incl. the Inf/NaN spellings)."""
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _label_text(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{sanitize_label_name(k)}="{escape_label_value(v)}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def render_openmetrics(snapshot: dict[str, dict[str, Any]]) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` dict as exposition text.
+
+    Families are emitted in sorted name order, each with its ``# TYPE``
+    line; the document ends with the mandatory ``# EOF`` terminator.
+    A sanitization collision between two registry names of *different*
+    instrument kinds is disambiguated by suffixing the later family
+    with its kind.
+    """
+    _OM_TYPES = {"counter": "counter", "gauge": "gauge", "histogram": "summary"}
+    # family name -> {"type": om_type, "samples": [(sample_name, labels, value)]}
+    families: dict[str, dict[str, Any]] = {}
+    taken: dict[str, str] = {}  # family name -> om type already claimed
+    for key in sorted(snapshot):
+        data = snapshot[key]
+        kind = data.get("type", "counter")
+        om_type = _OM_TYPES.get(kind, "gauge")
+        raw_name, labels = split_metric_key(key)
+        family = sanitize_metric_name(raw_name)
+        if om_type == "counter" and family.endswith("_total"):
+            family = family[: -len("_total")]
+        if taken.get(family, om_type) != om_type:
+            family = f"{family}_{om_type}"
+        taken.setdefault(family, om_type)
+        entry = families.setdefault(family, {"type": om_type, "samples": []})
+        if kind == "counter":
+            entry["samples"].append(
+                (f"{family}_total", labels, data.get("value", 0.0))
+            )
+        elif kind == "histogram":
+            for quantile, stat in _QUANTILES:
+                q_labels = dict(labels)
+                q_labels["quantile"] = quantile
+                entry["samples"].append((family, q_labels, data.get(stat, 0.0)))
+            entry["samples"].append(
+                (f"{family}_count", labels, data.get("count", 0))
+            )
+            entry["samples"].append((f"{family}_sum", labels, data.get("sum", 0.0)))
+        else:
+            entry["samples"].append((family, labels, data.get("value", 0.0)))
+
+    lines: list[str] = []
+    for family in sorted(families):
+        entry = families[family]
+        lines.append(f"# TYPE {family} {entry['type']}")
+        for sample_name, labels, value in entry["samples"]:
+            lines.append(
+                f"{sample_name}{_label_text(labels)} {_format_value(value)}"
+            )
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(
+    path: Path | str, snapshot: dict[str, dict[str, Any]]
+) -> Path:
+    """Atomically write the exposition (temp file + ``os.replace``).
+
+    A concurrent reader (scraper, ``fcdpm exp watch``) sees either the
+    previous or the new complete document, never a torn one.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = render_openmetrics(snapshot)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+# -- parsing -----------------------------------------------------------------
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL_RE = re.compile(
+    r'\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)'
+)
+
+
+def _parse_labels(text: str) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    pos = 0
+    while pos < len(text):
+        match = _LABEL_RE.match(text, pos)
+        if match is None:
+            raise ValueError(f"bad label set {text!r} at offset {pos}")
+        labels[match.group("name")] = unescape_label_value(match.group("value"))
+        pos = match.end()
+    return labels
+
+
+def parse_openmetrics(
+    text: str,
+) -> tuple[dict[str, str], list[tuple[str, dict[str, str], float]]]:
+    """Parse exposition text into ``(families, samples)``.
+
+    ``families`` maps family name to declared type; ``samples`` is a
+    list of ``(sample_name, labels, value)`` in document order.  Raises
+    ``ValueError`` on lines that fit neither shape -- the strictness
+    the round-trip tests rely on.
+    """
+    families: dict[str, str] = {}
+    samples: list[tuple[str, dict[str, str], float]] = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                families[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: unparsable sample {line!r}")
+        labels = _parse_labels(match.group("labels") or "")
+        raw = match.group("value")
+        try:
+            value = float(raw)
+        except ValueError:
+            spelled = {"+Inf": math.inf, "-Inf": -math.inf, "NaN": math.nan}
+            if raw not in spelled:
+                raise ValueError(
+                    f"line {lineno}: bad sample value {raw!r}"
+                ) from None
+            value = spelled[raw]
+        samples.append((match.group("name"), labels, value))
+    return families, samples
+
+
+def _family_of(sample_name: str, families: dict[str, str]) -> str | None:
+    """The declared family a sample name belongs to, if any."""
+    if sample_name in families:
+        return sample_name
+    for suffix in ("_total", "_count", "_sum"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in families:
+                return base
+    return None
+
+
+def validate_exposition(text: str) -> list[str]:
+    """Structural problems with an exposition document (empty = valid).
+
+    Checks the ``# EOF`` terminator, sample parseability, name charset,
+    family declarations, and the counter ``_total`` naming rule --
+    the contract ``scripts/check_live.py`` enforces in CI.
+    """
+    problems: list[str] = []
+    lines = text.splitlines()
+    if not lines or lines[-1].strip() != "# EOF":
+        problems.append("exposition does not end with '# EOF'")
+    if text and not text.endswith("\n"):
+        problems.append("exposition does not end with a newline")
+    body = [ln for ln in lines[:-1] if ln.strip()]
+    if any(ln.strip() == "# EOF" for ln in body):
+        problems.append("'# EOF' appears before the final line")
+    try:
+        families, samples = parse_openmetrics(text)
+    except ValueError as exc:
+        return problems + [str(exc)]
+    # An empty document (just "# EOF") is valid: a run with telemetry
+    # disabled flushes an empty registry.  Sample-presence requirements
+    # belong to the caller (scripts/check_live.py asserts them in CI).
+    for name, labels, value in samples:
+        if not _NAME_OK.match(name):
+            problems.append(f"sample {name!r}: invalid metric name")
+        family = _family_of(name, families)
+        if family is None:
+            problems.append(f"sample {name!r}: no '# TYPE' family declared")
+            continue
+        om_type = families[family]
+        if om_type == "counter":
+            if not name.endswith("_total"):
+                problems.append(
+                    f"sample {name!r}: counter samples must end in '_total'"
+                )
+            if value < 0:
+                problems.append(f"sample {name!r}: negative counter value")
+        for label in labels:
+            if not _LABEL_OK.match(label):
+                problems.append(f"sample {name!r}: invalid label {label!r}")
+            if label == "quantile" and om_type != "summary":
+                problems.append(
+                    f"sample {name!r}: quantile label on a non-summary family"
+                )
+    return problems
+
+
+__all__ = [
+    "OPENMETRICS_VERSION",
+    "escape_label_value",
+    "parse_openmetrics",
+    "render_openmetrics",
+    "sanitize_label_name",
+    "sanitize_metric_name",
+    "split_metric_key",
+    "unescape_label_value",
+    "validate_exposition",
+    "write_openmetrics",
+]

@@ -323,6 +323,7 @@ class ParallelMap:
             OBS.metrics.histogram("runtime.parallel.chunk_seconds").observe(
                 chunk.elapsed
             )
+            OBS.metrics.counter("runtime.parallel.chunks_completed").inc()
             if chunk.spans:
                 OBS.tracer.adopt(chunk.spans)
             if chunk.metrics:
@@ -360,6 +361,12 @@ class ParallelMap:
                 pool.submit(_run_chunk, fn, items[lo:hi], i, trace_pid)
                 for i, (lo, hi) in enumerate(slices)
             ]
+            # The in-flight gauge lets a live flusher show how much of
+            # the fan-out is still outstanding mid-map.
+            if trace_pid is not None:
+                OBS.metrics.gauge("runtime.parallel.inflight_chunks").set(
+                    len(futures)
+                )
             results: list = []
             # Collect in submission order: ordering is positional, and a
             # failure surfaces on the earliest affected chunk.
@@ -370,6 +377,10 @@ class ParallelMap:
                 except BrokenProcessPool as exc:
                     lo, hi = slices[i]
                     raise BrokenPoolError(i, (lo, hi), items[lo:hi]) from exc
+                if trace_pid is not None:
+                    OBS.metrics.gauge("runtime.parallel.inflight_chunks").set(
+                        len(futures) - len(chunks)
+                    )
         self.stats.mode = "process"
         self.stats.workers = self.workers
         for chunk in chunks:

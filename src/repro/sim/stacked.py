@@ -1034,6 +1034,7 @@ def simulate_batch_stacked(
 
     if OBS.enabled:
         OBS.metrics.counter("sim.route", path="fast").inc(rows_n * len(specs))
+        OBS.metrics.counter("sim.batch_rows_completed").inc(rows_n)
     if span is not None:
         total_cells = rows_n * sp.width if sp.width else 0
         padded = 1.0 - (int(sp.n_seg.sum()) / total_cells) if total_cells else 0.0

@@ -1957,4 +1957,6 @@ def simulate_batch(
                     OBS.metrics.counter("sim.route", path="fast").inc()
                 per_policy[mgr.name] = result
             results[seed] = per_policy
+            if OBS.enabled:
+                OBS.metrics.counter("sim.batch_rows_completed").inc()
     return results

@@ -204,3 +204,82 @@ class TestSweepKinds:
         by_knob = ExperimentResults.from_run(run).by_knob("threshold")
         assert list(by_knob) == [0.25, 0.75]
         assert all(isinstance(v, float) for v in by_knob.values())
+
+
+class TestLiveRun:
+    def test_live_run_writes_final_heartbeat_and_exposition(self, tmp_path, spec):
+        import json
+
+        from repro.obs.live import (
+            exposition_path,
+            heartbeat_path,
+            validate_heartbeat,
+        )
+        from repro.obs.openmetrics import validate_exposition
+
+        store = ExperimentStore(tmp_path / "exp")
+        run = run_experiment(spec, store=store, cache=ResultCache(), live=0.1)
+        assert run.executed == 4 and run.failed == 0
+        exp_dir = store.experiment_dir(spec.name)
+        hb = json.loads(heartbeat_path(exp_dir).read_text())
+        assert validate_heartbeat(hb) == []
+        assert hb["final"] is True
+        assert hb["phase"] == "done"
+        assert hb["tasks_done"] == 4 and hb["tasks_total"] == 4
+        text = exposition_path(exp_dir).read_text()
+        assert validate_exposition(text) == []
+
+    def test_sharded_live_run_uses_shard_sidecar_names(self, tmp_path, spec):
+        import json
+
+        from repro.obs.live import heartbeat_path
+
+        store = ExperimentStore(tmp_path / "exp")
+        run_experiment(
+            spec, store=store, cache=ResultCache(), shard="1/2", live=0.1
+        )
+        exp_dir = store.experiment_dir(spec.name)
+        hb = json.loads(heartbeat_path(exp_dir, (1, 2)).read_text())
+        assert hb["shard"] == "1/2"
+        assert hb["tasks_done"] == 2 and hb["tasks_total"] == 2
+        assert not heartbeat_path(exp_dir).exists()
+
+    def test_aborted_live_run_leaves_nonfinal_heartbeat(
+        self, tmp_path, spec, monkeypatch
+    ):
+        import json
+
+        from repro.exp import AbortRun
+        from repro.obs.live import heartbeat_path, is_stalled
+
+        store = ExperimentStore(tmp_path / "exp")
+        monkeypatch.setenv("FCDPM_EXP_ABORT_AFTER", "2")
+        with pytest.raises(AbortRun):
+            run_experiment(spec, store=store, cache=ResultCache(), live=0.1)
+        hb = json.loads(heartbeat_path(store.experiment_dir(spec.name)).read_text())
+        assert hb["final"] is False
+        assert hb["phase"] == "aborted"
+        assert hb["tasks_done"] == 2
+        # The non-final heartbeat goes stale -> the watcher flags it.
+        assert is_stalled(hb, now=hb["updated"] + 10.0)
+
+    def test_live_off_writes_nothing(self, tmp_path, spec, monkeypatch):
+        from repro.obs.live import heartbeat_path
+
+        monkeypatch.delenv("FCDPM_LIVE_INTERVAL", raising=False)
+        store = ExperimentStore(tmp_path / "exp")
+        run_experiment(spec, store=store, cache=ResultCache())
+        assert not heartbeat_path(store.experiment_dir(spec.name)).exists()
+
+    def test_resumed_tasks_count_toward_heartbeat_done(self, tmp_path, spec):
+        import json
+
+        from repro.obs.live import heartbeat_path
+
+        store = ExperimentStore(tmp_path / "exp")
+        cache = ResultCache()
+        run_experiment(spec, store=store, cache=cache)
+        run = run_experiment(spec, store=store, cache=cache, live=0.1)
+        assert run.resumed == 4
+        hb = json.loads(heartbeat_path(store.experiment_dir(spec.name)).read_text())
+        assert hb["tasks_done"] == 4 and hb["final"] is True

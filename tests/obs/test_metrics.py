@@ -1,5 +1,7 @@
 """MetricsRegistry: instrument semantics, label keys, snapshot/merge."""
 
+import threading
+
 import pytest
 
 from repro.obs.metrics import MetricsRegistry, _key
@@ -90,6 +92,76 @@ def test_merge_folds_worker_snapshot():
     assert snap["lat"]["sum"] == 11.0
     assert snap["lat"]["min"] == 1.0
     assert snap["lat"]["max"] == 8.0
+
+
+class TestSnapshotUnderConcurrency:
+    """The live flusher snapshots while hot paths mutate -- the registry
+    lock must make every snapshot a consistent point-in-time cut."""
+
+    def test_snapshot_never_tears_a_histogram(self):
+        # A histogram observing a constant must always satisfy
+        # sum == count * constant in *every* snapshot; a snapshot taken
+        # between the count bump and the sum add would violate it.
+        reg = MetricsRegistry()
+        stop = threading.Event()
+
+        def hammer():
+            hist = reg.histogram("lat")
+            counter = reg.counter("ticks")
+            while not stop.is_set():
+                hist.observe(2.5)
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(3)]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(200):
+                snap = reg.snapshot()
+                if "lat" in snap:
+                    data = snap["lat"]
+                    assert data["sum"] == pytest.approx(data["count"] * 2.5)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+
+    def test_no_lost_increments_across_threads(self):
+        reg = MetricsRegistry()
+        n, per_thread = 4, 5000
+
+        def bump():
+            counter = reg.counter("hits")
+            hist = reg.histogram("lat")
+            for _ in range(per_thread):
+                counter.inc()
+                hist.observe(1.0)
+
+        threads = [threading.Thread(target=bump) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = reg.snapshot()
+        assert snap["hits"]["value"] == n * per_thread
+        assert snap["lat"]["count"] == n * per_thread
+        assert snap["lat"]["sum"] == float(n * per_thread)
+
+    def test_registry_instruments_share_one_lock(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("a")
+        gauge = reg.gauge("b")
+        hist = reg.histogram("c")
+        assert counter._lock is reg._lock
+        assert gauge._lock is reg._lock
+        assert hist._lock is reg._lock
+
+    def test_standalone_instruments_get_their_own_lock(self):
+        from repro.obs.metrics import Counter, Gauge, Histogram
+
+        for cls in (Counter, Gauge, Histogram):
+            inst = cls()
+            assert inst._lock is not None
 
 
 def test_reset_drops_everything():

@@ -1,0 +1,209 @@
+"""OpenMetrics exposition: sanitization, rendering, parsing, round-trip."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.openmetrics import (
+    escape_label_value,
+    parse_openmetrics,
+    render_openmetrics,
+    sanitize_label_name,
+    sanitize_metric_name,
+    split_metric_key,
+    unescape_label_value,
+    validate_exposition,
+    write_openmetrics,
+)
+
+
+class TestSanitization:
+    def test_dots_and_dashes_fold_to_underscores(self):
+        assert sanitize_metric_name("sim.batch-route") == "sim_batch_route"
+
+    def test_colons_survive_in_metric_names(self):
+        assert sanitize_metric_name("ns:metric") == "ns:metric"
+
+    def test_leading_digit_gets_prefixed(self):
+        assert sanitize_metric_name("2fast") == "_2fast"
+        assert sanitize_label_name("2x") == "_2x"
+
+    def test_empty_name_becomes_underscore(self):
+        assert sanitize_metric_name("") == "_"
+
+    def test_label_names_reject_colons(self):
+        assert sanitize_label_name("a:b") == "a_b"
+
+    def test_label_value_escaping_round_trips(self):
+        for raw in ['pl"ain', "back\\slash", "new\nline", 'all\\"\n三']:
+            assert unescape_label_value(escape_label_value(raw)) == raw
+
+
+class TestSplitMetricKey:
+    def test_bare_name(self):
+        assert split_metric_key("sim.route") == ("sim.route", {})
+
+    def test_labelled_key(self):
+        assert split_metric_key("sim.route{path=fast,mode=2d}") == (
+            "sim.route",
+            {"path": "fast", "mode": "2d"},
+        )
+
+
+class TestRendering:
+    def test_counter_sample_ends_in_total(self):
+        reg = MetricsRegistry()
+        reg.counter("sim.route", path="fast").inc(3)
+        text = render_openmetrics(reg.snapshot())
+        assert "# TYPE sim_route counter" in text
+        assert 'sim_route_total{path="fast"} 3' in text
+
+    def test_gauge_renders_plain(self):
+        reg = MetricsRegistry()
+        reg.gauge("runtime.parallel.inflight_chunks").set(7)
+        text = render_openmetrics(reg.snapshot())
+        assert "# TYPE runtime_parallel_inflight_chunks gauge" in text
+        assert "runtime_parallel_inflight_chunks 7" in text
+
+    def test_histogram_maps_to_summary_with_quantiles(self):
+        reg = MetricsRegistry()
+        for v in [1.0, 2.0, 3.0, 4.0, 100.0]:
+            reg.histogram("lat").observe(v)
+        text = render_openmetrics(reg.snapshot())
+        assert "# TYPE lat summary" in text
+        assert 'lat{quantile="0.5"} 3' in text
+        assert 'lat{quantile="0.95"} 100' in text
+        assert "lat_count 5" in text
+        assert "lat_sum 110" in text
+
+    def test_document_ends_with_eof_and_newline(self):
+        text = render_openmetrics({})
+        assert text.endswith("# EOF\n")
+
+    def test_type_collision_disambiguated_by_suffix(self):
+        snapshot = {
+            "a.b": {"type": "counter", "value": 1.0},
+            "a_b": {"type": "gauge", "value": 2.0},
+        }
+        text = render_openmetrics(snapshot)
+        # Both families exist, with distinct names and no re-declaration.
+        type_lines = [ln for ln in text.splitlines() if ln.startswith("# TYPE")]
+        declared = {ln.split()[2] for ln in type_lines}
+        assert len(declared) == len(type_lines) == 2
+        assert not validate_exposition(text)
+
+    def test_non_finite_values_spelled_per_spec(self):
+        snapshot = {
+            "g1": {"type": "gauge", "value": math.inf},
+            "g2": {"type": "gauge", "value": -math.inf},
+            "g3": {"type": "gauge", "value": math.nan},
+        }
+        text = render_openmetrics(snapshot)
+        assert "g1 +Inf" in text
+        assert "g2 -Inf" in text
+        assert "g3 NaN" in text
+
+
+class TestRoundTrip:
+    def _registry(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("sim.route", path="fast").inc(12)
+        reg.counter("sim.route", path="scalar").inc(2)
+        reg.counter("exp.tasks_done", kind="scenario").inc(40)
+        reg.gauge("runtime.parallel.inflight_chunks").set(3)
+        for v in [0.5, 1.5, 2.5]:
+            reg.histogram("runtime.parallel.chunk_seconds").observe(v)
+        return reg
+
+    def test_render_parse_recovers_every_value(self):
+        snapshot = self._registry().snapshot()
+        families, samples = parse_openmetrics(render_openmetrics(snapshot))
+        by_key = {
+            (name, tuple(sorted(labels.items()))): value
+            for name, labels, value in samples
+        }
+        assert by_key[("sim_route_total", (("path", "fast"),))] == 12
+        assert by_key[("sim_route_total", (("path", "scalar"),))] == 2
+        assert by_key[("exp_tasks_done_total", (("kind", "scenario"),))] == 40
+        assert by_key[("runtime_parallel_inflight_chunks", ())] == 3
+        assert by_key[("runtime_parallel_chunk_seconds_count", ())] == 3
+        assert by_key[("runtime_parallel_chunk_seconds_sum", ())] == 4.5
+        assert (
+            by_key[
+                ("runtime_parallel_chunk_seconds", (("quantile", "0.5"),))
+            ]
+            == 1.5
+        )
+        assert families["sim_route"] == "counter"
+        assert families["runtime_parallel_chunk_seconds"] == "summary"
+
+    def test_escaped_label_values_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("m", why='quo"te\nnl').inc()
+        _, samples = parse_openmetrics(render_openmetrics(reg.snapshot()))
+        assert samples[0][1] == {"why": 'quo"te\nnl'}
+
+    def test_rendered_exposition_validates_clean(self):
+        text = render_openmetrics(self._registry().snapshot())
+        assert validate_exposition(text) == []
+
+
+class TestValidation:
+    def test_missing_eof_flagged(self):
+        assert any(
+            "# EOF" in p for p in validate_exposition("m 1\n")
+        )
+
+    def test_counter_without_total_suffix_flagged(self):
+        text = "# TYPE m counter\nm 1\n# EOF\n"
+        assert any("_total" in p for p in validate_exposition(text))
+
+    def test_undeclared_family_flagged(self):
+        text = "m_total 1\n# EOF\n"
+        assert any("family" in p for p in validate_exposition(text))
+
+    def test_quantile_on_non_summary_flagged(self):
+        text = '# TYPE m gauge\nm{quantile="0.5"} 1\n# EOF\n'
+        assert any("quantile" in p for p in validate_exposition(text))
+
+    def test_unparsable_line_flagged(self):
+        text = "# TYPE m gauge\nm one\n# EOF\n"
+        assert validate_exposition(text)
+
+    def test_negative_counter_flagged(self):
+        text = "# TYPE m counter\nm_total -1\n# EOF\n"
+        assert any("negative" in p for p in validate_exposition(text))
+
+
+class TestAtomicWrite:
+    def test_write_then_read_back(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(9)
+        path = write_openmetrics(tmp_path / "metrics.prom", reg.snapshot())
+        text = path.read_text()
+        assert "hits_total 9" in text
+        assert validate_exposition(text) == []
+
+    def test_no_temp_litter_after_write(self, tmp_path):
+        write_openmetrics(tmp_path / "metrics.prom", {})
+        assert [p.name for p in tmp_path.iterdir()] == ["metrics.prom"]
+
+    def test_overwrite_replaces_whole_document(self, tmp_path):
+        target = tmp_path / "metrics.prom"
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        write_openmetrics(target, reg.snapshot())
+        reg.reset()
+        reg.counter("b").inc()
+        write_openmetrics(target, reg.snapshot())
+        text = target.read_text()
+        assert "b_total" in text and "a_total" not in text
+
+    def test_unwritable_parent_raises_oserror(self, tmp_path):
+        # A *file* where the parent directory should be fails mkstemp
+        # with ENOTDIR on any platform (and regardless of privileges).
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        with pytest.raises(OSError):
+            write_openmetrics(blocker / "metrics.prom", {})

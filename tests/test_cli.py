@@ -301,3 +301,114 @@ class TestCacheCommand:
         assert "removed 2 entries" in out
         assert main(["cache", "clear"]) == 0
         assert "all namespaces" in capsys.readouterr().out
+
+
+class TestLiveWatchCommands:
+    """exp run --live, exp watch, exp status --json, top."""
+
+    def _define_and_run_live(self, tmp_path, capsys, shard=None):
+        state_dir = str(tmp_path / "experiments")
+        assert main([
+            "exp", "define", "live", "--scenario", "exp2-fc-dpm",
+            "--seeds", "0:2", "--policies", "conv-dpm,fc-dpm",
+            "--fast", "--state-dir", state_dir,
+        ]) == 0
+        argv = [
+            "exp", "run", "live", "--live", "--live-interval", "0.2",
+            "--state-dir", state_dir,
+        ]
+        if shard:
+            argv += ["--shard", shard]
+        assert main(argv) == 0
+        capsys.readouterr()
+        return state_dir
+
+    def test_live_run_then_watch_once(self, tmp_path, capsys):
+        state_dir = self._define_and_run_live(tmp_path, capsys)
+        assert main([
+            "exp", "watch", "live", "--once", "--state-dir", state_dir,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "final" in out and "4" in out
+
+    def test_watch_once_json_payload(self, tmp_path, capsys):
+        import json
+
+        state_dir = self._define_and_run_live(tmp_path, capsys, shard="1/2")
+        assert main([
+            "exp", "watch", "live", "--once", "--json",
+            "--state-dir", state_dir,
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "live"
+        assert payload["stalled"] is False
+        (beat,) = payload["heartbeats"]
+        assert beat["shard"] == "1/2"
+        assert beat["tasks_done"] == 2 and beat["final"] is True
+
+    def test_watch_detects_injected_stall(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.live import heartbeat_path
+
+        state_dir = self._define_and_run_live(tmp_path, capsys)
+        hb_path = heartbeat_path(f"{state_dir}/live")
+        data = json.loads(hb_path.read_text())
+        # Simulate a crashed writer: non-final heartbeat, stale clock.
+        data["final"] = False
+        data["updated"] -= 60.0
+        hb_path.write_text(json.dumps(data))
+        assert main([
+            "exp", "watch", "live", "--once", "--state-dir", state_dir,
+        ]) == 4
+        assert "STALLED" in capsys.readouterr().out
+        # A generous stall factor un-flags it.
+        assert main([
+            "exp", "watch", "live", "--once", "--stall-factor", "1000",
+            "--state-dir", state_dir,
+        ]) == 0
+
+    def test_status_json_without_heartbeats(self, tmp_path, capsys):
+        import json
+
+        state_dir = str(tmp_path / "experiments")
+        assert main([
+            "exp", "define", "bare", "--scenario", "exp2-fc-dpm",
+            "--seeds", "0:2", "--policies", "conv-dpm",
+            "--fast", "--state-dir", state_dir,
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "exp", "status", "bare", "--json", "--state-dir", state_dir,
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "defined"
+        assert payload["tasks"]["total"] == 2
+        assert payload["heartbeats"] == []
+
+    def test_status_json_lists_all_without_name(self, tmp_path, capsys):
+        import json
+
+        state_dir = self._define_and_run_live(tmp_path, capsys)
+        assert main([
+            "exp", "status", "--json", "--state-dir", state_dir,
+        ]) == 0
+        payloads = json.loads(capsys.readouterr().out)
+        assert isinstance(payloads, list)
+        assert payloads[0]["name"] == "live"
+
+    def test_top_once_renders_every_experiment(self, tmp_path, capsys):
+        state_dir = self._define_and_run_live(tmp_path, capsys)
+        assert main(["top", "--once", "--state-dir", state_dir]) == 0
+        out = capsys.readouterr().out
+        assert "live" in out and "final" in out
+
+    def test_top_once_json(self, tmp_path, capsys):
+        import json
+
+        state_dir = self._define_and_run_live(tmp_path, capsys)
+        assert main([
+            "top", "--once", "--json", "--state-dir", state_dir,
+        ]) == 0
+        payloads = json.loads(capsys.readouterr().out)
+        assert len(payloads) == 1 and payloads[0]["name"] == "live"
